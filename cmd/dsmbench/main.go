@@ -1,0 +1,134 @@
+// dsmbench regenerates the paper's evaluation artifacts: Figure 2
+// (execution time vs processors), Figure 3 (AT vs FT2 improvement vs
+// problem size), Figure 5(a)/(b) (synthetic benchmark), and the ablation
+// studies listed in DESIGN.md.
+//
+// Usage:
+//
+//	dsmbench -fig 2            # Figure 2 at the scaled default sizes
+//	dsmbench -fig 3 -full      # Figure 3 at the paper's sizes
+//	dsmbench -fig 5a -fig 5b   # both synthetic panels
+//	dsmbench -all              # everything
+//	dsmbench -ablate locator   # one ablation (locator|lambda|tinit|related|piggyback)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	var figs, ablates multiFlag
+	flag.Var(&figs, "fig", "figure to regenerate: 2, 3, 5a, 5b (repeatable)")
+	flag.Var(&ablates, "ablate", "ablation to run: locator, lambda, tinit, related, piggyback, pathcompress (repeatable)")
+	all := flag.Bool("all", false, "regenerate every figure and ablation")
+	full := flag.Bool("full", false, "use the paper's full problem sizes (slow) instead of scaled defaults")
+	quiet := flag.Bool("q", false, "suppress progress output")
+	flag.Parse()
+
+	if *all {
+		figs = multiFlag{"2", "3", "5a", "5b"}
+		ablates = multiFlag{"locator", "lambda", "tinit", "related", "piggyback", "pathcompress"}
+	}
+	if len(figs) == 0 && len(ablates) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	progress := func(s string) { fmt.Fprintf(os.Stderr, "  [run] %s\n", s) }
+	if *quiet {
+		progress = nil
+	}
+	sizes := bench.DefaultSizes()
+	fig3ASP := []int{64, 128, 256, 512}
+	fig3SOR := []int{128, 256, 512, 1024}
+	if *full {
+		sizes = bench.FullSizes()
+		fig3ASP = []int{128, 256, 512, 1024}
+	}
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "dsmbench:", err)
+		os.Exit(1)
+	}
+	did5 := false
+	for _, f := range figs {
+		switch f {
+		case "2":
+			rows, err := bench.Fig2(sizes, nil, progress)
+			if err != nil {
+				fail(err)
+			}
+			bench.PrintFig2(os.Stdout, sizes, rows)
+			fmt.Println()
+		case "3":
+			rows, err := bench.Fig3(fig3ASP, fig3SOR, sizes.SORIters, 8, progress)
+			if err != nil {
+				fail(err)
+			}
+			bench.PrintFig3(os.Stdout, rows)
+			fmt.Println()
+		case "5a", "5b":
+			if did5 {
+				continue // both panels come from one sweep
+			}
+			did5 = true
+			rows, err := bench.Fig5(bench.Fig5Config{}, progress)
+			if err != nil {
+				fail(err)
+			}
+			if has(figs, "5a") {
+				bench.PrintFig5a(os.Stdout, rows)
+				fmt.Println()
+			}
+			if has(figs, "5b") {
+				bench.PrintFig5b(os.Stdout, rows)
+				fmt.Println()
+			}
+		default:
+			fail(fmt.Errorf("unknown figure %q", f))
+		}
+	}
+	for _, a := range ablates {
+		var rows []bench.AblationRow
+		var err error
+		switch a {
+		case "locator":
+			rows, err = bench.AblateLocator(progress)
+		case "lambda":
+			rows, err = bench.AblateLambda(progress)
+		case "tinit":
+			rows, err = bench.AblateTInit(progress)
+		case "related":
+			rows, err = bench.AblateRelated(progress)
+		case "piggyback":
+			rows, err = bench.AblatePiggyback(progress)
+		case "pathcompress":
+			rows, err = bench.AblatePathCompression(progress)
+		default:
+			err = fmt.Errorf("unknown ablation %q", a)
+		}
+		if err != nil {
+			fail(err)
+		}
+		bench.PrintAblation(os.Stdout, a, rows)
+		fmt.Println()
+	}
+}
+
+func has(m multiFlag, v string) bool {
+	for _, x := range m {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,52 @@
+// dsmcal prints the Hockney communication model calibration and the
+// home-access coefficient α deduction of the paper's Appendix A: the
+// t(m) curve, the half-peak length m½, and α as a function of object and
+// diff size for both network models.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/hockney"
+)
+
+func main() {
+	network := flag.String("network", "fastethernet", "network model: fastethernet, gigabit")
+	flag.Parse()
+
+	var m hockney.Model
+	switch *network {
+	case "fastethernet", "fe":
+		m = hockney.FastEthernet()
+	case "gigabit", "gbe":
+		m = hockney.Gigabit()
+	default:
+		fmt.Fprintf(os.Stderr, "dsmcal: unknown network %q\n", *network)
+		os.Exit(1)
+	}
+
+	fmt.Printf("Hockney model (Appendix A): %v\n", m)
+	fmt.Printf("t(m) = t0 + m/r∞ ;  m½ = t0·r∞ = %.0f bytes (Eq. 8)\n\n", m.HalfPeak())
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "message bytes\tt(m)\tachieved bandwidth\n")
+	for _, b := range []int{1, 64, 256, 870, 1024, 4096, 16384, 65536} {
+		t := m.Time(b)
+		bw := float64(b) / t.Seconds() / 1e6
+		fmt.Fprintf(tw, "%d\t%v\t%.2f MB/s\n", b, t, bw)
+	}
+	tw.Flush()
+
+	fmt.Printf("\nα = (2·m½ + o + d) / (2·m½ + 2)   (Eq. 4/7: overhead ratio of one\n")
+	fmt.Printf("eliminated fault-in+diff pair to one home redirection)\n\n")
+	tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "object bytes\tdiff = o/8\tdiff = o/2\tdiff = o\n")
+	for _, o := range []int{64, 256, 1024, 4096, 16384} {
+		fmt.Fprintf(tw, "%d\t%.4f\t%.4f\t%.4f\n",
+			o, m.Alpha(o, o/8), m.Alpha(o, o/2), m.Alpha(o, o))
+	}
+	tw.Flush()
+}

@@ -1,0 +1,73 @@
+// dsmrun executes one DSM application under a chosen configuration and
+// prints the full metrics report — the workhorse for exploring protocol
+// behavior outside the fixed figure sweeps.
+//
+// Usage:
+//
+//	dsmrun -app asp -n 256 -nodes 8 -policy AT
+//	dsmrun -app synthetic -r 16 -updates 2048 -workers 8 -policy FT1
+//	dsmrun -app sor -n 512 -iters 20 -nodes 16 -policy NoHM -locator manager
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/apps"
+)
+
+func main() {
+	var (
+		app     = flag.String("app", "asp", "application: asp, sor, nbody, tsp, synthetic")
+		n       = flag.Int("n", 128, "problem size (graph nodes / matrix side / bodies)")
+		iters   = flag.Int("iters", 12, "SOR iterations / Nbody steps")
+		cities  = flag.Int("cities", 10, "TSP cities")
+		nodes   = flag.Int("nodes", 8, "cluster nodes")
+		threads = flag.Int("threads", 0, "threads (0 = one per node)")
+		policy  = flag.String("policy", "AT", "migration policy: AT, FT<k>, NoHM, JUMP, Jackal[k], Jiajia")
+		loc     = flag.String("locator", "fwdptr", "home locator: fwdptr, manager, broadcast")
+		network = flag.String("network", "fastethernet", "network model: fastethernet, gigabit")
+		lambda  = flag.Float64("lambda", 0, "feedback coefficient λ (0 = paper's 1)")
+		tinit   = flag.Float64("tinit", 0, "initial threshold (0 = paper's 1)")
+		noPig   = flag.Bool("nopiggyback", false, "disable diff piggybacking on sync messages")
+		rep     = flag.Int("r", 8, "synthetic: repetition of the single-writer pattern")
+		updates = flag.Int("updates", 2048, "synthetic: total counter updates")
+		workers = flag.Int("workers", 8, "synthetic: worker threads (on nodes 1..workers)")
+	)
+	flag.Parse()
+
+	o := apps.Options{
+		Nodes: *nodes, Threads: *threads, Policy: *policy, Locator: *loc,
+		Network: *network, Lambda: *lambda, TInit: *tinit, NoPiggyback: *noPig,
+	}
+	var (
+		res apps.Result
+		err error
+	)
+	switch *app {
+	case "asp":
+		res, err = apps.RunASP(*n, o)
+	case "sor":
+		res, err = apps.RunSOR(*n, *iters, o)
+	case "nbody":
+		res, err = apps.RunNBody(*n, *iters, o)
+	case "tsp":
+		res, err = apps.RunTSP(*cities, o)
+	case "synthetic":
+		if o.Nodes < *workers+1 {
+			o.Nodes = *workers + 1
+		}
+		res, err = apps.RunSynthetic(apps.SyntheticOpts{
+			Repetition: *rep, TotalUpdates: *updates, Workers: *workers,
+		}, o)
+	default:
+		err = fmt.Errorf("unknown app %q", *app)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsmrun:", err)
+		os.Exit(1)
+	}
+	fmt.Println(res.App)
+	fmt.Print(res.Metrics.Summary())
+}

@@ -1,0 +1,243 @@
+// Package dsm is a home-based software distributed shared memory (DSM)
+// system with adaptive home migration, reproducing Fang, Wang, Zhu & Lau,
+// "A Novel Adaptive Home Migration Protocol in Home-based DSM" (IEEE
+// CLUSTER 2004).
+//
+// The library provides the Global Object Space (GOS) of the paper: an
+// object-granularity, home-based implementation of lazy release
+// consistency with TreadMarks-style twin/diff multiple-writer support,
+// running on a deterministic simulated cluster whose interconnect follows
+// Hockney's communication model. Its centerpiece is the per-object
+// adaptive home-migration threshold of the paper's §4:
+//
+//	T_i = max(T_{i-1} + λ·(R_i − α·E_i), T_init)
+//
+// which migrates an object's home to a lasting single writer while
+// suppressing migration under transient write patterns.
+//
+// # Quick start
+//
+//	c := dsm.New(dsm.Config{Nodes: 4, Policy: "AT"})
+//	counter := c.NewObject("counter", 1, 0)
+//	lock := c.NewLock(0)
+//	m, err := c.Run(4, func(t *dsm.Thread) {
+//	    for i := 0; i < 100; i++ {
+//	        t.Acquire(lock)
+//	        t.Write(counter, 0, t.Read(counter, 0)+1)
+//	        t.Release(lock)
+//	    }
+//	})
+//
+// Metrics report execution time (virtual), message counts by category,
+// network traffic, migrations and redirections — the quantities the
+// paper's figures plot.
+package dsm
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gos"
+	"repro/internal/hockney"
+	"repro/internal/locator"
+	"repro/internal/memory"
+	"repro/internal/migration"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Re-exported fundamental types. These are aliases so values flow freely
+// between the facade and the internal engine.
+type (
+	// NodeID identifies a cluster node.
+	NodeID = memory.NodeID
+	// ObjectID identifies a shared object.
+	ObjectID = memory.ObjectID
+	// Thread is an application thread; all shared accesses and
+	// synchronization go through it.
+	Thread = gos.Thread
+	// Lock names a distributed lock.
+	Lock = gos.LockID
+	// Barrier names a distributed barrier.
+	Barrier = gos.BarrierID
+	// Metrics are the per-run statistics.
+	Metrics = stats.Metrics
+	// Time is virtual time in nanoseconds.
+	Time = sim.Time
+	// Worker pins a thread to a node.
+	Worker = gos.Worker
+	// Trace is an ordered protocol-event log for access-pattern analysis.
+	Trace = trace.Trace
+	// TraceProfile is one object's classified access pattern.
+	TraceProfile = trace.Profile
+)
+
+// Convenient time units (virtual time).
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Config selects the cluster size, protocol and network for a run.
+// Zero values mean "paper defaults": AT policy, forwarding-pointer
+// locator, Fast-Ethernet-class network, piggybacking on.
+type Config struct {
+	// Nodes is the cluster size (required).
+	Nodes int
+	// Policy picks the migration protocol: "AT" (adaptive, default),
+	// "FT<k>" (fixed threshold k), "NoHM"/"NM", "JUMP", "Jackal[<k>]",
+	// "Jiajia".
+	Policy string
+	// Locator picks the home-location mechanism: "fwdptr" (default),
+	// "manager", "broadcast" (§3.2).
+	Locator string
+	// Network: "fastethernet" (default) or "gigabit".
+	Network string
+	// Lambda is λ of Eq. (2); 0 means the paper's 1.
+	Lambda float64
+	// TInit is the initial threshold; 0 means the paper's 1.
+	TInit float64
+	// NoPiggyback disables the §5.2 diff-piggybacking optimization.
+	NoPiggyback bool
+	// DebugWire round-trips every message through the binary codec
+	// (on in tests, off in large sweeps).
+	DebugWire bool
+	// Trace, when non-nil, records migration-relevant protocol events
+	// for offline pattern analysis and policy replay (see NewTrace,
+	// AnalyzeTrace, TraceReport).
+	Trace *Trace
+	// PathCompress enables forwarding-chain compression (extension
+	// beyond the paper): redirected requesters notify their stale entry
+	// points of the true home.
+	PathCompress bool
+}
+
+// Cluster is a configured DSM instance: declare shared state, then Run.
+type Cluster struct {
+	g   *gos.Cluster
+	cfg Config
+}
+
+// New builds a cluster. It panics on invalid configuration — a config is
+// developer input, not runtime data.
+func New(cfg Config) *Cluster {
+	if cfg.Nodes <= 0 {
+		panic("dsm: Config.Nodes must be positive")
+	}
+	var net hockney.Model
+	switch cfg.Network {
+	case "", "fastethernet", "fe":
+		net = hockney.FastEthernet()
+	case "gigabit", "gbe":
+		net = hockney.Gigabit()
+	default:
+		panic(fmt.Sprintf("dsm: unknown network %q", cfg.Network))
+	}
+	params := core.DefaultParams(net.Alpha)
+	if cfg.Lambda != 0 {
+		params.Lambda = cfg.Lambda
+	}
+	if cfg.TInit != 0 {
+		params.TInit = cfg.TInit
+	}
+	polName := cfg.Policy
+	if polName == "" {
+		polName = "AT"
+	}
+	pol, err := migration.Parse(polName, params)
+	if err != nil {
+		panic("dsm: " + err.Error())
+	}
+	locName := cfg.Locator
+	if locName == "" {
+		locName = "fwdptr"
+	}
+	loc, err := locator.Parse(locName)
+	if err != nil {
+		panic("dsm: " + err.Error())
+	}
+	g := gos.New(gos.Config{
+		Nodes:        cfg.Nodes,
+		Net:          net,
+		Policy:       pol,
+		Locator:      loc,
+		Params:       params,
+		Piggyback:    !cfg.NoPiggyback,
+		DebugWire:    cfg.DebugWire,
+		Trace:        cfg.Trace,
+		PathCompress: cfg.PathCompress,
+	})
+	return &Cluster{g: g, cfg: cfg}
+}
+
+// Nodes reports the cluster size.
+func (c *Cluster) Nodes() int { return c.g.Config().Nodes }
+
+// PolicyName reports the active migration policy.
+func (c *Cluster) PolicyName() string { return c.g.Config().Policy.Name() }
+
+// NewObject declares one shared object of words 64-bit words, homed at
+// (i.e. "created by", §5) node home, and returns its id.
+func (c *Cluster) NewObject(name string, words int, home NodeID) ObjectID {
+	_ = name // names are documentation; ids are dense ints
+	return c.g.AddObject(words, home)
+}
+
+// NewLock declares a distributed lock managed by node home.
+func (c *Cluster) NewLock(home NodeID) Lock { return c.g.AddLock(home) }
+
+// NewBarrier declares a barrier of parties threads managed by node home.
+func (c *Cluster) NewBarrier(home NodeID, parties int) Barrier {
+	return c.g.AddBarrier(home, parties)
+}
+
+// Init seeds an object's home copy before the run at no simulated cost
+// (pre-existing input data).
+func (c *Cluster) Init(obj ObjectID, fn func(words []uint64)) { c.g.InitObject(obj, fn) }
+
+// HomeOf reports an object's current home (useful after a run, to see
+// where migration placed it).
+func (c *Cluster) HomeOf(obj ObjectID) NodeID { return c.g.HomeOf(obj) }
+
+// Data returns the authoritative (home-copy) contents of obj after a run.
+func (c *Cluster) Data(obj ObjectID) []uint64 { return c.g.ObjectData(obj) }
+
+// Run executes fn on `threads` threads placed round-robin over the nodes
+// (thread i on node i mod Nodes — the paper runs one thread per node) and
+// returns the metrics.
+func (c *Cluster) Run(threads int, fn func(*Thread)) (Metrics, error) {
+	var ws []Worker
+	for i := 0; i < threads; i++ {
+		ws = append(ws, Worker{
+			Node: NodeID(i % c.Nodes()),
+			Name: fmt.Sprintf("t%d", i),
+			Fn:   fn,
+		})
+	}
+	return c.g.Run(ws)
+}
+
+// RunWorkers executes explicitly placed workers (e.g. the synthetic
+// benchmark's "threads on all nodes other than the start node", §5.2).
+func (c *Cluster) RunWorkers(ws []Worker) (Metrics, error) {
+	return c.g.Run(ws)
+}
+
+// CheckInvariants validates global protocol invariants after a run:
+// exactly one home per object, terminating forwarding chains, no dirty
+// cached copies. Intended for tests and debugging.
+func (c *Cluster) CheckInvariants() error { return c.g.CheckInvariants() }
+
+// NewTrace returns an empty protocol-event trace to attach to
+// Config.Trace.
+func NewTrace() *Trace { return &trace.Trace{} }
+
+// AnalyzeTrace classifies every traced object's access pattern
+// (single-writer lasting/transient, multiple-writer, read-mostly).
+func AnalyzeTrace(t *Trace) []TraceProfile { return trace.Analyze(t) }
+
+// TraceReport renders the classification as a table.
+func TraceReport(profiles []TraceProfile) string { return trace.Report(profiles) }

@@ -1,0 +1,98 @@
+// ASP example: all-pairs shortest paths with parallel Floyd–Warshall on
+// the DSM, comparing the adaptive home-migration protocol against no
+// migration — the paper's Fig. 2 "ASP" panel in miniature, built directly
+// on the public API. Run with:
+//
+//	go run ./examples/asp [-n 128] [-nodes 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	dsm "repro"
+)
+
+const inf = int64(1) << 40
+
+func main() {
+	n := flag.Int("n", 128, "graph size")
+	nodes := flag.Int("nodes", 8, "cluster nodes")
+	flag.Parse()
+
+	for _, policy := range []string{"NoHM", "AT"} {
+		m, checksum := run(*n, *nodes, policy)
+		fmt.Printf("%-5s time=%8.3fs  msgs=%7d  traffic=%9dB  migrations=%4d  checksum=%d\n",
+			policy, m.ExecTime.Seconds(), m.TotalMsgs(false), m.TotalBytes(false),
+			m.Migrations, checksum)
+	}
+}
+
+// run executes one ASP instance and returns metrics plus a result
+// checksum (identical across policies — the protocol must not change the
+// answer).
+func run(n, nodes int, policy string) (dsm.Metrics, int64) {
+	c := dsm.New(dsm.Config{Nodes: nodes, Policy: policy})
+
+	// The distance matrix: one row object per vertex, homes round-robin
+	// (deliberately misaligned with the writers, as in the paper).
+	dist := c.NewArray("dist", n, n, dsm.RoundRobin)
+	seed := uint64(1)
+	rnd := func() uint64 {
+		seed ^= seed >> 12
+		seed ^= seed << 25
+		seed ^= seed >> 27
+		return seed * 0x2545F4914F6CDD1D
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		dist.InitRow(i, func(w []uint64) {
+			for j := range w {
+				switch {
+				case i == j:
+					w[j] = 0
+				case rnd()%4 == 0:
+					w[j] = uint64(1 + rnd()%100)
+				default:
+					w[j] = uint64(inf)
+				}
+			}
+		})
+	}
+	bar := c.NewBarrier(0, nodes)
+
+	metrics, err := c.Run(nodes, func(t *dsm.Thread) {
+		lo := t.ID() * n / nodes
+		hi := (t.ID() + 1) * n / nodes
+		for k := 0; k < n; k++ {
+			rowK := dist.RowView(t, k) // one fault-in per iteration
+			for i := lo; i < hi; i++ {
+				row := dist.RowWriteView(t, i) // single writer: migrates here
+				dik := int64(row[k])
+				if dik < inf {
+					for j := 0; j < n; j++ {
+						if v := dik + int64(rowK[j]); v < int64(row[j]) {
+							row[j] = uint64(v)
+						}
+					}
+				}
+				t.Compute(dsm.Time(n) * 500 * dsm.Nanosecond)
+			}
+			t.Barrier(bar)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var sum int64
+	for i := 0; i < n; i++ {
+		for _, v := range dist.DataInt64(i) {
+			if v < inf {
+				sum += v
+			}
+		}
+	}
+	return metrics, sum
+}

@@ -1,0 +1,77 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§5): Fig. 2 (application execution time vs processors, HM
+// vs NoHM), Fig. 3 (AT vs FT2 improvement vs problem size), Fig. 5
+// (synthetic benchmark: normalized execution time and message breakdown
+// vs single-writer repetition), the §5.2 headline statistics, and the
+// ablations DESIGN.md calls out (locator mechanism, λ, T_init, related-
+// work policies, piggybacking).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/apps"
+
+	dsm "repro"
+)
+
+// Sizes selects the problem sizes for the application experiments.
+type Sizes struct {
+	ASPN               int
+	SORN, SORIters     int
+	NbodyN, NbodySteps int
+	TSPCities          int
+}
+
+// DefaultSizes are scaled-down problem sizes that keep the full figure
+// sweep in CI time while preserving the paper's qualitative shapes (the
+// scaling is documented per experiment in EXPERIMENTS.md).
+func DefaultSizes() Sizes {
+	return Sizes{ASPN: 128, SORN: 256, SORIters: 12, NbodyN: 256, NbodySteps: 6, TSPCities: 9}
+}
+
+// FullSizes are the paper's §5.1 sizes: ASP 1024, SOR 2048², Nbody 2048,
+// TSP 12.
+func FullSizes() Sizes {
+	return Sizes{ASPN: 1024, SORN: 2048, SORIters: 20, NbodyN: 2048, NbodySteps: 8, TSPCities: 12}
+}
+
+// runApp dispatches one application run.
+func runApp(app string, s Sizes, o apps.Options) (apps.Result, error) {
+	switch app {
+	case "ASP":
+		return apps.RunASP(s.ASPN, o)
+	case "SOR":
+		return apps.RunSOR(s.SORN, s.SORIters, o)
+	case "Nbody":
+		return apps.RunNBody(s.NbodyN, s.NbodySteps, o)
+	case "TSP":
+		return apps.RunTSP(s.TSPCities, o)
+	default:
+		return apps.Result{}, fmt.Errorf("bench: unknown app %q", app)
+	}
+}
+
+// Apps is the paper's application set in presentation order.
+var Apps = []string{"ASP", "SOR", "Nbody", "TSP"}
+
+// tabw builds the standard table writer.
+func tabw(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+// pct formats a relative improvement of got over base in percent
+// (positive = got is better/lower).
+func pct(base, got float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (base - got) / base
+}
+
+// metricsTriple extracts the three quantities Fig. 3 compares.
+func metricsTriple(m dsm.Metrics) (secs float64, msgs, bytes int64) {
+	return m.ExecTime.Seconds(), m.TotalMsgs(false), m.TotalBytes(false)
+}

@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/apps"
+
+	dsm "repro"
+)
+
+// Fig2Row is one point of Fig. 2: an application's execution time at a
+// processor count, with home migration disabled (NoHM) and enabled (HM,
+// the adaptive-threshold protocol).
+type Fig2Row struct {
+	App   string
+	Procs int
+	NoHM  dsm.Time
+	HM    dsm.Time
+	// Msgs for the curious (the paper plots time only in Fig. 2).
+	NoHMMsgs, HMMsgs int64
+}
+
+// Fig2 reproduces Figure 2: execution time against the number of
+// processors for ASP, SOR, Nbody and TSP, with the home migration
+// protocol disabled and enabled (§5.1). One thread runs per node, as in
+// the paper.
+func Fig2(s Sizes, procs []int, progress func(string)) ([]Fig2Row, error) {
+	if len(procs) == 0 {
+		procs = []int{2, 4, 8, 16}
+	}
+	var rows []Fig2Row
+	for _, app := range Apps {
+		for _, p := range procs {
+			row := Fig2Row{App: app, Procs: p}
+			for _, pol := range []string{"NoHM", "AT"} {
+				if progress != nil {
+					progress(fmt.Sprintf("fig2 %s p=%d %s", app, p, pol))
+				}
+				res, err := runApp(app, s, apps.Options{Nodes: p, Policy: pol})
+				if err != nil {
+					return nil, fmt.Errorf("fig2 %s p=%d %s: %w", app, p, pol, err)
+				}
+				if pol == "NoHM" {
+					row.NoHM = res.Metrics.ExecTime
+					row.NoHMMsgs = res.Metrics.TotalMsgs(false)
+				} else {
+					row.HM = res.Metrics.ExecTime
+					row.HMMsgs = res.Metrics.TotalMsgs(false)
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// PrintFig2 renders the four panels of Fig. 2 as tables.
+func PrintFig2(w io.Writer, s Sizes, rows []Fig2Row) {
+	fmt.Fprintf(w, "Figure 2 — execution time vs processors (NoHM vs HM/AT)\n")
+	fmt.Fprintf(w, "sizes: ASP n=%d, SOR %dx%d/%d iters, Nbody n=%d/%d steps, TSP %d cities\n\n",
+		s.ASPN, s.SORN, s.SORN, s.SORIters, s.NbodyN, s.NbodySteps, s.TSPCities)
+	tw := tabw(w)
+	fmt.Fprintf(tw, "app\tprocs\tNoHM (s)\tHM (s)\tspeedup\tNoHM msgs\tHM msgs\n")
+	for _, r := range rows {
+		speedup := float64(r.NoHM) / float64(r.HM)
+		fmt.Fprintf(tw, "%s\t%d\t%.3f\t%.3f\t%.2fx\t%d\t%d\n",
+			r.App, r.Procs, r.NoHM.Seconds(), r.HM.Seconds(), speedup, r.NoHMMsgs, r.HMMsgs)
+	}
+	tw.Flush()
+}

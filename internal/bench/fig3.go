@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/apps"
+)
+
+// Fig3Row is one point of Fig. 3: the improvement of the adaptive
+// threshold (AT) over the fixed threshold FT2 — the threshold the
+// authors' previous system used — in execution time, message number and
+// network traffic, at one problem size on eight nodes.
+type Fig3Row struct {
+	App        string
+	Size       int
+	TimePct    float64 // reduced execution time, %
+	MsgPct     float64 // reduced message number, %
+	TrafficPct float64 // reduced network traffic, %
+}
+
+// Fig3 reproduces Figure 3: AT's improvement over FT2 against problem
+// size for ASP and SOR, on eight cluster nodes (§5.1). The paper scales
+// the ASP graph and the SOR matrix over {128, 256, 512, 1024}.
+func Fig3(sizesASP, sizesSOR []int, sorIters, nodes int, progress func(string)) ([]Fig3Row, error) {
+	if len(sizesASP) == 0 {
+		sizesASP = []int{128, 256, 512, 1024}
+	}
+	if len(sizesSOR) == 0 {
+		sizesSOR = []int{128, 256, 512, 1024}
+	}
+	if nodes == 0 {
+		nodes = 8
+	}
+	if sorIters == 0 {
+		sorIters = 12
+	}
+	var rows []Fig3Row
+	run := func(app string, size int) (Fig3Row, error) {
+		row := Fig3Row{App: app, Size: size}
+		var base, at [3]float64
+		for i, pol := range []string{"FT2", "AT"} {
+			if progress != nil {
+				progress(fmt.Sprintf("fig3 %s n=%d %s", app, size, pol))
+			}
+			s := Sizes{ASPN: size, SORN: size, SORIters: sorIters}
+			res, err := runApp(app, s, apps.Options{Nodes: nodes, Policy: pol})
+			if err != nil {
+				return row, fmt.Errorf("fig3 %s n=%d %s: %w", app, size, pol, err)
+			}
+			secs, msgs, bytes := metricsTriple(res.Metrics)
+			vals := [3]float64{secs, float64(msgs), float64(bytes)}
+			if i == 0 {
+				base = vals
+			} else {
+				at = vals
+			}
+		}
+		row.TimePct = pct(base[0], at[0])
+		row.MsgPct = pct(base[1], at[1])
+		row.TrafficPct = pct(base[2], at[2])
+		return row, nil
+	}
+	for _, size := range sizesASP {
+		row, err := run("ASP", size)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	for _, size := range sizesSOR {
+		row, err := run("SOR", size)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintFig3 renders both panels of Fig. 3.
+func PrintFig3(w io.Writer, rows []Fig3Row) {
+	fmt.Fprintf(w, "Figure 3 — improvement of AT over FT2 vs problem size (8 nodes)\n\n")
+	tw := tabw(w)
+	fmt.Fprintf(tw, "app\tsize\texec time\tmessage number\tnetwork traffic\n")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%+.1f%%\t%+.1f%%\t%+.1f%%\n",
+			r.App, r.Size, r.TimePct, r.MsgPct, r.TrafficPct)
+	}
+	tw.Flush()
+}

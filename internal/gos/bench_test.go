@@ -1,0 +1,97 @@
+package gos
+
+import (
+	"testing"
+
+	"repro/internal/locator"
+	"repro/internal/memory"
+	"repro/internal/migration"
+)
+
+// Micro-benchmarks of the simulated protocol's building blocks. ns/op is
+// simulator wall-clock cost (how fast experiments run), not virtual time.
+
+func BenchmarkFaultRoundTrip(b *testing.B) {
+	c := New(testConfig(2, migration.NoHM{}, locator.ForwardingPointer))
+	obj := c.AddObject(64, 0)
+	l := c.AddLock(1)
+	b.ResetTimer()
+	_, err := c.Run([]Worker{{Node: 1, Name: "w", Fn: func(th *Thread) {
+		for i := 0; i < b.N; i++ {
+			th.Acquire(l) // local lock: invalidates the cached copy
+			_ = th.Read(obj, 0)
+			th.Release(l)
+		}
+	}}})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkLockRoundTrip(b *testing.B) {
+	c := New(testConfig(2, migration.NoHM{}, locator.ForwardingPointer))
+	l := c.AddLock(0)
+	b.ResetTimer()
+	_, err := c.Run([]Worker{{Node: 1, Name: "w", Fn: func(th *Thread) {
+		for i := 0; i < b.N; i++ {
+			th.Acquire(l)
+			th.Release(l)
+		}
+	}}})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkWriteFaultAndDiffFlush(b *testing.B) {
+	c := New(testConfig(2, migration.NoHM{}, locator.ForwardingPointer))
+	obj := c.AddObject(512, 0)
+	l := c.AddLock(1)
+	b.ResetTimer()
+	_, err := c.Run([]Worker{{Node: 1, Name: "w", Fn: func(th *Thread) {
+		for i := 0; i < b.N; i++ {
+			th.Acquire(l)
+			th.Write(obj, i%512, uint64(i+1))
+			th.Release(l) // twin + diff + ack round trip
+		}
+	}}})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkLocalAccess(b *testing.B) {
+	// The software access check on a warm cached object — the per-access
+	// cost every shared read pays in the fast path.
+	c := New(testConfig(1, migration.NoHM{}, locator.ForwardingPointer))
+	obj := c.AddObject(64, 0)
+	b.ResetTimer()
+	var sink uint64
+	_, err := c.Run([]Worker{{Node: 0, Name: "w", Fn: func(th *Thread) {
+		for i := 0; i < b.N; i++ {
+			sink += th.Read(obj, i%64)
+		}
+	}}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = sink
+}
+
+func BenchmarkBarrierEpisode(b *testing.B) {
+	const nodes = 8
+	c := New(testConfig(nodes, migration.NoHM{}, locator.ForwardingPointer))
+	bar := c.AddBarrier(0, nodes)
+	b.ResetTimer()
+	var ws []Worker
+	for i := 0; i < nodes; i++ {
+		ws = append(ws, Worker{Node: memory.NodeID(i), Name: "w", Fn: func(th *Thread) {
+			for i := 0; i < b.N; i++ {
+				th.Barrier(bar)
+			}
+		}})
+	}
+	if _, err := c.Run(ws); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,371 @@
+// Package gos implements the Global Object Space: the home-based,
+// object-granularity software DSM of the paper (§3), running on the
+// simulated cluster. Each node runs a protocol daemon serving object
+// fault-ins, diff propagation, lock/barrier management and home
+// migration; application threads access shared objects through software
+// access checks exactly as the distributed JVM's JIT-inlined checks do.
+package gos
+
+import (
+	"fmt"
+
+	"repro/internal/cnet"
+	"repro/internal/core"
+	"repro/internal/hockney"
+	"repro/internal/locator"
+	"repro/internal/memory"
+	"repro/internal/migration"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/syncmgr"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// LockID names a distributed lock.
+type LockID uint32
+
+// BarrierID names a distributed barrier.
+type BarrierID uint32
+
+// Config parameterizes one DSM run.
+type Config struct {
+	// Nodes is the cluster size.
+	Nodes int
+	// Net is the interconnect cost model (default: Fast Ethernet class).
+	Net hockney.Model
+	// Policy decides home migration (default: the adaptive protocol).
+	Policy migration.Policy
+	// Locator is the home-location mechanism (default forwarding pointer,
+	// the paper's choice, §3.3).
+	Locator locator.Kind
+	// Params are the adaptive-threshold constants (λ, T_init, α).
+	Params core.Params
+	// Piggyback enables the §5.2 optimization: diffs destined to the
+	// lock's (or barrier's) home node ride on the release message. Only
+	// effective under the forwarding-pointer locator.
+	Piggyback bool
+	// DebugWire round-trips every message through the codec.
+	DebugWire bool
+
+	// MsgProcCost is the daemon's per-message software overhead.
+	MsgProcCost sim.Time
+	// SendCost is the sender-side per-message software overhead.
+	SendCost sim.Time
+	// FaultCost is the cost of one trapped software access check.
+	FaultCost sim.Time
+	// RetryDelay is the requester back-off after an obsolete-home miss
+	// under the broadcast locator (§3.2: "waiting for sometime before
+	// repeating the fault-in again").
+	RetryDelay sim.Time
+	// Jitter is the deterministic per-message delivery perturbation
+	// (see cnet.Config.Jitter). Zero disables it; DefaultConfig sets a
+	// small value to avoid artificial lock-step arrival symmetry.
+	Jitter sim.Time
+	// Trace, when non-nil, records every migration-relevant protocol
+	// event (remote writes, home reads/writes, fault-in requests with
+	// redirection accumulation) for offline analysis and policy replay
+	// (internal/trace).
+	Trace *trace.Trace
+	// PathCompress enables forwarding-chain compression (an extension
+	// beyond the paper, §6 future work): after a redirected fault-in the
+	// requester notifies its stale entry point of the true home, so
+	// later requesters pay at most one hop through that node. Costs one
+	// extra message per redirected fault; only meaningful under the
+	// forwarding-pointer locator.
+	PathCompress bool
+}
+
+// DefaultConfig returns the paper's setup: AT policy over forwarding
+// pointers on a Fast-Ethernet-class network.
+func DefaultConfig(nodes int) Config {
+	net := hockney.FastEthernet()
+	return Config{
+		Nodes:       nodes,
+		Net:         net,
+		Policy:      migration.Adaptive{P: core.DefaultParams(net.Alpha)},
+		Locator:     locator.ForwardingPointer,
+		Params:      core.DefaultParams(net.Alpha),
+		Piggyback:   true,
+		MsgProcCost: 2 * sim.Microsecond,
+		SendCost:    1 * sim.Microsecond,
+		FaultCost:   300 * sim.Nanosecond,
+		RetryDelay:  100 * sim.Microsecond,
+		Jitter:      4 * sim.Microsecond,
+	}
+}
+
+// Worker is one application thread to run.
+type Worker struct {
+	Node memory.NodeID
+	Name string
+	Fn   func(*Thread)
+}
+
+// Cluster is a configured DSM instance. Build it with New, declare shared
+// objects, locks and barriers, then call Run.
+type Cluster struct {
+	cfg      Config
+	env      *sim.Env
+	net      *cnet.Network
+	Counters stats.Counters
+	nodes    []*Node
+
+	objWords []int
+	objHome0 []memory.NodeID
+
+	lockHome   []memory.NodeID
+	barHome    []memory.NodeID
+	barParties []int
+
+	started bool
+	endTime sim.Time
+}
+
+// New builds a cluster per cfg, filling zero-valued costs with defaults.
+func New(cfg Config) *Cluster {
+	def := DefaultConfig(cfg.Nodes)
+	if cfg.Nodes <= 0 {
+		panic("gos: cluster needs at least one node")
+	}
+	if cfg.Net == (hockney.Model{}) {
+		cfg.Net = def.Net
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = def.Policy
+	}
+	if cfg.Params.Alpha == nil {
+		cfg.Params = core.DefaultParams(cfg.Net.Alpha)
+	}
+	if cfg.MsgProcCost == 0 {
+		cfg.MsgProcCost = def.MsgProcCost
+	}
+	if cfg.SendCost == 0 {
+		cfg.SendCost = def.SendCost
+	}
+	if cfg.FaultCost == 0 {
+		cfg.FaultCost = def.FaultCost
+	}
+	if cfg.RetryDelay == 0 {
+		cfg.RetryDelay = def.RetryDelay
+	}
+	if cfg.Jitter == 0 {
+		cfg.Jitter = def.Jitter
+	}
+	c := &Cluster{cfg: cfg, env: sim.NewEnv()}
+	c.net = cnet.New(c.env, cnet.Config{Model: cfg.Net, Jitter: cfg.Jitter, DebugCheck: cfg.DebugWire}, cfg.Nodes, &c.Counters)
+	for i := 0; i < cfg.Nodes; i++ {
+		c.nodes = append(c.nodes, newNode(c, memory.NodeID(i)))
+	}
+	return c
+}
+
+// Config returns the effective configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Env exposes the simulation environment (read-only use: clock, stats).
+func (c *Cluster) Env() *sim.Env { return c.env }
+
+// AddObject declares a shared object of words 64-bit words homed at home.
+// Must be called before Run. The home node's copy is authoritative from
+// the start ("when an object is created, the creation node becomes its
+// default home node", §5).
+func (c *Cluster) AddObject(words int, home memory.NodeID) memory.ObjectID {
+	c.mustNotBeStarted()
+	if home < 0 || int(home) >= c.cfg.Nodes {
+		panic(fmt.Sprintf("gos: object home %d out of range", home))
+	}
+	id := memory.ObjectID(len(c.objWords))
+	c.objWords = append(c.objWords, words)
+	c.objHome0 = append(c.objHome0, home)
+	for _, n := range c.nodes {
+		n.growObjects(len(c.objWords))
+		n.loc.SetInitialHome(id, home)
+	}
+	hn := c.nodes[home]
+	o := memory.NewObject(id, words)
+	o.State = memory.ReadOnly
+	hn.cache[id] = o
+	hn.isHome[id] = true
+	hn.homeSt[id] = core.NewState(c.cfg.Params, 8*words)
+	hn.homeList = append(hn.homeList, id)
+	// The manager locator's designated node learns the initial home.
+	c.nodes[locator.ManagerOf(id, c.cfg.Nodes)].mgrHome[id] = home
+	return id
+}
+
+// InitObject populates an object's home copy before the run, free of
+// charge (models data that exists before the timed region, e.g. the input
+// graph of ASP).
+func (c *Cluster) InitObject(id memory.ObjectID, fn func(words []uint64)) {
+	c.mustNotBeStarted()
+	home := c.objHome0[id]
+	fn(c.nodes[home].cache[id].Data)
+}
+
+// AddLock declares a distributed lock managed by node home.
+func (c *Cluster) AddLock(home memory.NodeID) LockID {
+	c.mustNotBeStarted()
+	id := LockID(len(c.lockHome))
+	c.lockHome = append(c.lockHome, home)
+	c.nodes[home].locks[uint32(id)] = syncmgr.NewLock()
+	return id
+}
+
+// AddBarrier declares a barrier of parties threads managed by node home.
+func (c *Cluster) AddBarrier(home memory.NodeID, parties int) BarrierID {
+	c.mustNotBeStarted()
+	id := BarrierID(len(c.barHome))
+	c.barHome = append(c.barHome, home)
+	c.barParties = append(c.barParties, parties)
+	c.nodes[home].bars[uint32(id)] = syncmgr.NewBarrier(parties)
+	return id
+}
+
+// NumObjects reports the number of declared shared objects.
+func (c *Cluster) NumObjects() int { return len(c.objWords) }
+
+// HomeOf reports the current home of obj (post-run inspection).
+func (c *Cluster) HomeOf(obj memory.ObjectID) memory.NodeID {
+	for _, n := range c.nodes {
+		if n.isHome[obj] {
+			return n.id
+		}
+	}
+	return memory.NoNode
+}
+
+// ObjectData returns the authoritative (home) copy of obj's data.
+func (c *Cluster) ObjectData(obj memory.ObjectID) []uint64 {
+	h := c.HomeOf(obj)
+	if h == memory.NoNode {
+		panic(fmt.Sprintf("gos: object %d has no home", obj))
+	}
+	return c.nodes[h].cache[obj].Data
+}
+
+// Run executes the workers to completion and returns the run metrics.
+func (c *Cluster) Run(workers []Worker) (stats.Metrics, error) {
+	c.mustNotBeStarted()
+	c.started = true
+	for _, n := range c.nodes {
+		n.spawnDaemon()
+	}
+	doneQ := c.env.NewQueue("done")
+	for i, w := range workers {
+		if w.Node < 0 || int(w.Node) >= c.cfg.Nodes {
+			panic(fmt.Sprintf("gos: worker %d on invalid node %d", i, w.Node))
+		}
+		n := c.nodes[w.Node]
+		t := &Thread{
+			c: c, node: n, id: i, slot: int32(len(n.threads)),
+			name:  w.Name,
+			reply: c.env.NewQueue(fmt.Sprintf("reply-%s", w.Name)),
+		}
+		n.threads = append(n.threads, t)
+		fn := w.Fn
+		t.proc = c.env.Spawn(w.Name, func(p *sim.Proc) {
+			fn(t)
+			t.flushCompute()
+			doneQ.Send(t.id)
+		})
+	}
+	c.env.Spawn("master", func(p *sim.Proc) {
+		for range workers {
+			doneQ.Recv(p)
+		}
+		c.endTime = p.Now()
+		// Quiesce: fire-and-forget traffic (lock releases with piggybacked
+		// diffs, manager updates, broadcasts) may still be in flight or
+		// being processed. Drain it before stopping the daemons so the
+		// final shared-memory state is complete. Cleanup time is not part
+		// of ExecTime, which was captured at the last thread's finish.
+		for !c.quiesced() {
+			p.Sleep(5 * sim.Microsecond)
+		}
+		for _, n := range c.nodes {
+			n.inbox.Send(quitMsg{})
+		}
+	})
+	err := c.env.Run()
+	m := stats.Metrics{ExecTime: c.endTime, Counters: c.Counters}
+	return m, err
+}
+
+func (c *Cluster) mustNotBeStarted() {
+	if c.started {
+		panic("gos: cluster already running")
+	}
+}
+
+// CheckInvariants validates global protocol invariants after a run:
+// every object has exactly one home; every forwarding chain terminates at
+// that home without cycles; no dirty (unflushed) cached copies remain;
+// and every node's hint chain resolves. It returns the first violation.
+func (c *Cluster) CheckInvariants() error {
+	for obj := 0; obj < len(c.objWords); obj++ {
+		id := memory.ObjectID(obj)
+		homes := 0
+		var home memory.NodeID
+		for _, n := range c.nodes {
+			if n.isHome[id] {
+				homes++
+				home = n.id
+				if n.homeSt[id] == nil {
+					return fmt.Errorf("gos: object %d home on node %d lacks migration state", obj, n.id)
+				}
+				if n.cache[id] == nil {
+					return fmt.Errorf("gos: object %d home on node %d lacks data", obj, n.id)
+				}
+			}
+		}
+		if homes != 1 {
+			return fmt.Errorf("gos: object %d has %d homes", obj, homes)
+		}
+		for _, n := range c.nodes {
+			if o := n.cache[id]; o != nil && o.Dirty {
+				return fmt.Errorf("gos: object %d dirty on node %d after quiesce", obj, n.id)
+			}
+			// Chase the forwarding chain from this node's belief.
+			cur := n.loc.Hint(id)
+			if cur == memory.NoNode {
+				cur = c.objHome0[id]
+			}
+			for hops := 0; cur != home; hops++ {
+				if hops > c.cfg.Nodes {
+					return fmt.Errorf("gos: object %d: forwarding cycle from node %d", obj, n.id)
+				}
+				next := c.nodes[cur].loc.Forward(id)
+				if next == memory.NoNode {
+					if c.cfg.Locator == locator.ForwardingPointer {
+						return fmt.Errorf("gos: object %d: dead-end chain from node %d at node %d", obj, n.id, cur)
+					}
+					break // manager/broadcast locators recover via miss
+				}
+				cur = next
+			}
+		}
+	}
+	return nil
+}
+
+// quiesced reports whether no protocol activity remains anywhere.
+func (c *Cluster) quiesced() bool {
+	if c.net.InFlight() > 0 {
+		return false
+	}
+	for _, n := range c.nodes {
+		if n.busy || n.inbox.Len() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// send transmits a protocol message, recording it under cat.
+func (c *Cluster) send(msg wire.Msg, cat stats.Category) {
+	c.net.Send(msg, cat)
+}
+
+// quitMsg tells a daemon to exit after the workload completes.
+type quitMsg struct{}

@@ -1,0 +1,209 @@
+package gos
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/locator"
+	"repro/internal/memory"
+	"repro/internal/migration"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// migrateOnlyTo migrates the home exclusively to one target node — a
+// test policy for constructing precise migration timings.
+type migrateOnlyTo struct{ target memory.NodeID }
+
+func (migrateOnlyTo) Name() string        { return "migrateOnlyTo" }
+func (migrateOnlyTo) BarrierDriven() bool { return false }
+func (m migrateOnlyTo) ShouldMigrate(_ *core.State, req memory.NodeID, _ int) bool {
+	return req == m.target
+}
+
+// TestStalePiggybackForwarded exercises the subtlest protocol corner:
+// a release piggybacks a diff to the lock manager believing it is the
+// object's home, but the home migrated away while the writer held its
+// dirty copy. The manager's daemon must forward the diff along the
+// forwarding pointer and defer the next lock grant until the forwarded
+// diff is acknowledged (LRC release visibility).
+func TestStalePiggybackForwarded(t *testing.T) {
+	// Object and lock both live on node 2. Writer A (node 1) faults the
+	// object and sits on its dirty copy; reader B (node 3) then faults it
+	// and steals the home to node 3 (test policy). A's release now
+	// piggybacks to node 2, which is no longer home.
+	c := New(testConfig(4, migrateOnlyTo{target: 3}, locator.ForwardingPointer))
+	obj := c.AddObject(4, 2)
+	l := c.AddLock(2)
+	l2 := c.AddLock(2)
+	m := mustRun(t, c, []Worker{
+		{Node: 1, Name: "A", Fn: func(th *Thread) {
+			th.Acquire(l)
+			th.Write(obj, 0, 77) // fault from node 2, twin, write
+			th.Compute(10 * sim.Millisecond)
+			th.Release(l) // piggyback to node 2 — stale!
+			// Re-acquiring proves the gated grant eventually fires.
+			th.Acquire(l)
+			if got := th.Read(obj, 0); got != 77 {
+				t.Errorf("A lost its own write: %d", got)
+			}
+			th.Release(l)
+		}},
+		{Node: 3, Name: "B", Fn: func(th *Thread) {
+			th.Compute(5 * sim.Millisecond)
+			// Unsynchronized read mid-interval: JUMP migrates the home
+			// here. (Value is racy by design; only the migration matters.)
+			th.Acquire(l2)
+			_ = th.Read(obj, 0)
+			th.Release(l2)
+			th.Compute(20 * sim.Millisecond)
+			th.Acquire(l)
+			if got := th.Read(obj, 0); got != 77 {
+				t.Errorf("B missed A's release: %d", got)
+			}
+			th.Release(l)
+		}},
+	})
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if m.PiggybackDiffs != 1 {
+		t.Fatalf("piggybacked diffs = %d, want 1 (the stale one)", m.PiggybackDiffs)
+	}
+	// The stale piggyback traveled onward as a standalone diff message
+	// with a daemon-routed ack.
+	if m.Msgs[stats.Diff] < 1 || m.Msgs[stats.DiffAck] < 1 {
+		t.Fatalf("forwarded diff not observed: diff=%d ack=%d",
+			m.Msgs[stats.Diff], m.Msgs[stats.DiffAck])
+	}
+	if got := c.ObjectData(obj)[0]; got != 77 {
+		t.Fatalf("final value = %d, want 77", got)
+	}
+}
+
+// TestBroadcastRetryPath forces the broadcast locator's miss-and-retry
+// recovery (§3.2: "waiting for sometime before repeating the fault-in
+// again"): a requester with a stale hint reaches the old home before the
+// HomeBcast reaches the requester.
+func TestBroadcastRetryPath(t *testing.T) {
+	c := New(testConfig(3, migration.JUMP{}, locator.Broadcast))
+	obj := c.AddObject(4, 0)
+	l := c.AddLock(0)
+	m := mustRun(t, c, []Worker{
+		{Node: 1, Name: "thief", Fn: func(th *Thread) {
+			th.Acquire(l)
+			th.Write(obj, 0, 9) // JUMP: home migrates to node 1, bcast follows
+			th.Release(l)
+		}},
+		{Node: 2, Name: "racer", Fn: func(th *Thread) {
+			// Time the fault to land at node 0 after the migration but
+			// potentially before the broadcast reaches node 2.
+			th.Compute(180 * sim.Microsecond)
+			if got := th.Read(obj, 0); got != 0 && got != 9 {
+				t.Errorf("racer read %d", got)
+			}
+			// Synchronized re-read must see the release.
+			th.Acquire(l)
+			if got := th.Read(obj, 0); got != 9 {
+				t.Errorf("post-acquire read %d, want 9", got)
+			}
+			th.Release(l)
+		}},
+	})
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Msgs[stats.HomeBcast] == 0 {
+		t.Fatal("no broadcast sent")
+	}
+	// The retry may or may not fire depending on exact timing; what must
+	// hold is correctness above plus at most a handful of misses.
+	if m.Msgs[stats.HomeMiss] > 4 {
+		t.Fatalf("excessive home misses: %d", m.Msgs[stats.HomeMiss])
+	}
+}
+
+// staleDiffScenario makes writer A's diff race with a home migration: A
+// faults and dirties the object while its home is node 2, reader B then
+// steals the home (test policy), and A's release must route its diff to
+// the new home through the configured locator's recovery path.
+func staleDiffScenario(t *testing.T, loc locator.Kind, hold sim.Time) stats.Metrics {
+	t.Helper()
+	c := New(testConfig(4, migrateOnlyTo{target: 3}, loc))
+	obj := c.AddObject(4, 2)
+	l := c.AddLock(1) // lock home differs from object home: no piggyback
+	l2 := c.AddLock(1)
+	m := mustRun(t, c, []Worker{
+		{Node: 1, Name: "A", Fn: func(th *Thread) {
+			th.Acquire(l)
+			th.Write(obj, 0, 55)
+			th.Compute(hold)
+			th.Release(l) // diff to node 2 — home already moved to node 3
+		}},
+		{Node: 3, Name: "B", Fn: func(th *Thread) {
+			th.Compute(5 * sim.Millisecond)
+			th.Acquire(l2)
+			_ = th.Read(obj, 0) // steals the home
+			th.Release(l2)
+			th.Compute(20 * sim.Millisecond)
+			th.Acquire(l)
+			if got := th.Read(obj, 0); got != 55 {
+				t.Errorf("%v: B read %d, want 55", loc, got)
+			}
+			th.Release(l)
+		}},
+	})
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ObjectData(obj)[0]; got != 55 {
+		t.Fatalf("%v: final value %d, want 55", loc, got)
+	}
+	return m
+}
+
+func TestStaleDiffManagerLocator(t *testing.T) {
+	// The diff hits the obsolete home, gets a HomeMiss, queries the
+	// manager and is re-sent to the true home (§3.2's old home → manager
+	// → new home sequence, on the diff path).
+	m := staleDiffScenario(t, locator.Manager, 10*sim.Millisecond)
+	if m.Msgs[stats.HomeMiss] == 0 {
+		t.Fatal("no home miss observed")
+	}
+	if m.Msgs[stats.MgrMsg] == 0 {
+		t.Fatal("manager never consulted")
+	}
+	if m.Msgs[stats.Diff] < 2 {
+		t.Fatalf("diff not re-sent: %d diff messages", m.Msgs[stats.Diff])
+	}
+}
+
+func TestStaleDiffBroadcastLocator(t *testing.T) {
+	// Under broadcast the writer backs off and retries; by then the
+	// HomeBcast has updated its hint. The hold time pins A's release
+	// into the deterministic window after the migration but before the
+	// broadcast reaches node 1 (found by probing; the simulation is
+	// exactly reproducible, so the window is stable).
+	m := staleDiffScenario(t, locator.Broadcast, 5200*sim.Microsecond)
+	if m.Msgs[stats.HomeBcast] == 0 {
+		t.Fatal("no broadcast observed")
+	}
+	if m.Msgs[stats.HomeMiss] == 0 {
+		t.Fatal("no home miss observed")
+	}
+	if m.Retries == 0 {
+		t.Fatal("no retry performed")
+	}
+}
+
+func TestStaleDiffForwardingLocator(t *testing.T) {
+	// Under forwarding pointers the diff is silently forwarded along the
+	// chain — no misses at all.
+	m := staleDiffScenario(t, locator.ForwardingPointer, 10*sim.Millisecond)
+	if m.Msgs[stats.HomeMiss] != 0 {
+		t.Fatalf("forwarding locator missed %d times", m.Msgs[stats.HomeMiss])
+	}
+	if m.Msgs[stats.Diff] < 2 {
+		t.Fatalf("diff not forwarded: %d diff messages", m.Msgs[stats.Diff])
+	}
+}

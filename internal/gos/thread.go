@@ -1,0 +1,463 @@
+package gos
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/locator"
+	"repro/internal/memory"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/syncmgr"
+	"repro/internal/trace"
+	"repro/internal/twindiff"
+	"repro/internal/wire"
+)
+
+// Thread is one application thread running on a cluster node. All shared
+// accesses go through the thread: Read/Write are the software access
+// checks; Acquire/Release/Barrier drive the consistency protocol.
+type Thread struct {
+	c     *Cluster
+	node  *Node
+	id    int
+	slot  int32
+	name  string
+	proc  *sim.Proc
+	reply *sim.Queue
+
+	pending sim.Time // accumulated local compute, materialized lazily
+	seq     uint32
+}
+
+// retryDiff is an internal timer token: re-send the diff for obj after a
+// broadcast-locator back-off.
+type retryDiff struct{ obj memory.ObjectID }
+
+// ID returns the global thread index.
+func (t *Thread) ID() int { return t.id }
+
+// Node returns the cluster node this thread runs on.
+func (t *Thread) Node() memory.NodeID { return t.node.id }
+
+// Name returns the thread's name.
+func (t *Thread) Name() string { return t.name }
+
+// Now returns the current virtual time.
+func (t *Thread) Now() sim.Time { return t.proc.Now() }
+
+// Compute models d of local computation. It is lazily accumulated and
+// materialized at the next protocol action, so tight loops stay cheap.
+func (t *Thread) Compute(d sim.Time) {
+	if d > 0 {
+		t.pending += d
+	}
+}
+
+// flushCompute materializes accumulated compute time before an
+// interaction, so message timestamps reflect the work done before them.
+func (t *Thread) flushCompute() {
+	if t.pending > 0 {
+		d := t.pending
+		t.pending = 0
+		t.proc.Sleep(d)
+	}
+}
+
+// Read returns word idx of obj, faulting in a copy if needed.
+func (t *Thread) Read(obj memory.ObjectID, idx int) uint64 {
+	return t.objForRead(obj).Data[idx]
+}
+
+// Write stores v into word idx of obj, twinning a cached copy on its
+// first write of the interval.
+func (t *Thread) Write(obj memory.ObjectID, idx int, v uint64) {
+	t.objForWrite(obj).Data[idx] = v
+}
+
+// ReadView returns the object's local data for bulk read-only access
+// (e.g. scanning a whole matrix row). The caller must not mutate it and
+// must not hold it across synchronization operations.
+func (t *Thread) ReadView(obj memory.ObjectID) []uint64 {
+	return t.objForRead(obj).Data
+}
+
+// WriteView faults the object for writing and returns its data for bulk
+// mutation within the current interval.
+func (t *Thread) WriteView(obj memory.ObjectID) []uint64 {
+	return t.objForWrite(obj).Data
+}
+
+// objForRead implements the read-side access check.
+func (t *Thread) objForRead(obj memory.ObjectID) *memory.Object {
+	n := t.node
+	if n.isHome[obj] {
+		o := n.cache[obj]
+		if o.State == memory.Invalid {
+			// Trapped home read (§3.3): record and continue locally.
+			t.c.Counters.HomeReads++
+			if tr := t.c.cfg.Trace; tr != nil {
+				tr.Record(trace.Event{Obj: obj, Kind: trace.HomeRead, Node: n.id})
+			}
+			o.State = memory.ReadOnly
+			t.Compute(t.c.cfg.FaultCost)
+		}
+		return o
+	}
+	if o := n.cache[obj]; o != nil && o.State != memory.Invalid {
+		return o
+	}
+	return t.fault(obj)
+}
+
+// objForWrite implements the write-side access check.
+func (t *Thread) objForWrite(obj memory.ObjectID) *memory.Object {
+	for {
+		n := t.node
+		if n.isHome[obj] {
+			o := n.cache[obj]
+			if o.State != memory.ReadWrite {
+				// Trapped home write: the positive-feedback observation.
+				st := n.homeSt[obj]
+				if st.HomeWrite(t.c.cfg.Params) {
+					t.c.Counters.ExclHomeWrites++
+				}
+				t.c.Counters.HomeWrites++
+				if tr := t.c.cfg.Trace; tr != nil {
+					tr.Record(trace.Event{Obj: obj, Kind: trace.HomeWrite, Node: n.id})
+				}
+				n.noteMyWrite(obj)
+				o.State = memory.ReadWrite
+				t.Compute(t.c.cfg.FaultCost)
+			}
+			return o
+		}
+		o := n.cache[obj]
+		if o == nil || o.State == memory.Invalid {
+			t.fault(obj)
+			continue // the fault may have migrated the home to us
+		}
+		if o.State == memory.ReadOnly {
+			o.Twin = twindiff.Twin(o.Data)
+			o.Dirty = true
+			o.State = memory.ReadWrite
+			n.dirtyList = append(n.dirtyList, obj)
+			n.noteMyWrite(obj)
+			t.c.Counters.TwinsCreated++
+			t.Compute(t.c.cfg.FaultCost)
+		}
+		return o
+	}
+}
+
+// fault brings a fresh copy of obj to this node, chasing the home through
+// the configured location mechanism, and returns the installed copy.
+func (t *Thread) fault(obj memory.ObjectID) *memory.Object {
+	n := t.node
+	t.Compute(t.c.cfg.SendCost)
+	t.flushCompute()
+	for {
+		if n.isHome[obj] {
+			return n.cache[obj]
+		}
+		h := n.loc.Hint(obj)
+		if h == n.id || h == memory.NoNode {
+			// Defensive: a stale self-hint after demotion falls back to
+			// the well-known initial home.
+			h = t.c.objHome0[obj]
+		}
+		t.seq++
+		t.c.send(wire.Msg{
+			Kind: wire.ObjReq, From: n.id, To: h, Obj: obj,
+			ReplyNode: n.id, ReplySlot: t.slot, Seq: t.seq,
+		}, stats.ObjReq)
+		msg := t.recvMsg()
+		switch msg.Kind {
+		case wire.ObjReply:
+			if t.c.cfg.PathCompress && msg.Hops > 0 && h != msg.Home && h != n.id {
+				// Path compression: teach the stale entry point the true
+				// home so future chains through it collapse to one hop.
+				t.c.send(wire.Msg{
+					Kind: wire.PtrUpdate, From: n.id, To: h, Obj: obj, Home: msg.Home,
+				}, stats.HomeBcast)
+			}
+			return t.install(msg)
+		case wire.HomeMiss:
+			if msg.Home != memory.NoNode && msg.Home != n.id {
+				n.loc.Learn(obj, msg.Home)
+			}
+			switch t.c.cfg.Locator {
+			case locator.Manager:
+				t.queryManager(obj)
+			case locator.Broadcast:
+				t.c.Counters.Retries++
+				t.proc.Sleep(t.c.cfg.RetryDelay)
+			default:
+				panic("gos: home miss under forwarding-pointer locator")
+			}
+		default:
+			panic(fmt.Sprintf("gos: thread %s: unexpected %v during fault", t.name, msg.Kind))
+		}
+	}
+}
+
+// install places a fault-in reply into the local cache (and takes over
+// the home when the reply migrates it).
+func (t *Thread) install(msg wire.Msg) *memory.Object {
+	n := t.node
+	obj := msg.Obj
+	o := &memory.Object{ID: obj, Data: msg.Data, State: memory.ReadOnly}
+	wasCached := n.cache[obj] != nil
+	n.cache[obj] = o
+	n.loc.Learn(obj, msg.Home)
+	if msg.Migrate {
+		rec := msg.Rec
+		n.promote(obj, &rec)
+		n.notifyNewHome(obj)
+		return o
+	}
+	if !wasCached {
+		n.cachedList = append(n.cachedList, obj)
+	}
+	return o
+}
+
+// notifyNewHome performs the locator-specific announcement after this
+// node became an object's home.
+func (n *Node) notifyNewHome(obj memory.ObjectID) {
+	switch n.c.cfg.Locator {
+	case locator.Manager:
+		mgr := locator.ManagerOf(obj, n.c.cfg.Nodes)
+		if mgr == n.id {
+			n.mgrHome[obj] = n.id
+			return
+		}
+		n.c.send(wire.Msg{
+			Kind: wire.MgrUpdate, From: n.id, To: mgr, Obj: obj, Home: n.id,
+		}, stats.MgrMsg)
+	case locator.Broadcast:
+		n.c.net.Broadcast(wire.Msg{
+			Kind: wire.HomeBcast, From: n.id, Obj: obj, Home: n.id,
+		}, stats.HomeBcast)
+	}
+}
+
+// queryManager resolves the current home through the manager node (§3.2:
+// old home, manager, new home in sequence). Runs synchronously: no other
+// messages can be outstanding for this thread during a fault.
+func (t *Thread) queryManager(obj memory.ObjectID) {
+	n := t.node
+	mgr := locator.ManagerOf(obj, t.c.cfg.Nodes)
+	if mgr == n.id {
+		n.loc.Learn(obj, n.mgrHome[obj])
+		return
+	}
+	t.c.send(wire.Msg{
+		Kind: wire.MgrQuery, From: n.id, To: mgr, Obj: obj,
+		ReplyNode: n.id, ReplySlot: t.slot,
+	}, stats.MgrMsg)
+	msg := t.recvMsg()
+	if msg.Kind != wire.MgrReply {
+		panic(fmt.Sprintf("gos: thread %s: unexpected %v during manager query", t.name, msg.Kind))
+	}
+	n.loc.Learn(obj, msg.Home)
+}
+
+// recvMsg blocks for the next protocol message addressed to this thread.
+func (t *Thread) recvMsg() wire.Msg {
+	for {
+		raw := t.reply.Recv(t.proc)
+		if msg, ok := raw.(wire.Msg); ok {
+			return msg
+		}
+		panic(fmt.Sprintf("gos: thread %s: stray token %T", t.name, raw))
+	}
+}
+
+// Acquire obtains the distributed lock, then applies acquire-side
+// consistency (invalidate cached copies; arm home-access monitoring).
+func (t *Thread) Acquire(l LockID) {
+	t.flushCompute()
+	n := t.node
+	home := t.c.lockHome[l]
+	w := syncmgr.Waiter{Node: n.id, Slot: t.slot}
+	if home == n.id {
+		if !n.locks[uint32(l)].Acquire(w) {
+			t.awaitGrant(l)
+		}
+	} else {
+		t.c.send(wire.Msg{
+			Kind: wire.LockReq, From: n.id, To: home, Lock: uint32(l),
+			ReplyNode: n.id, ReplySlot: t.slot,
+		}, stats.LockMsg)
+		t.awaitGrant(l)
+	}
+	n.beginInterval()
+}
+
+func (t *Thread) awaitGrant(l LockID) {
+	msg := t.recvMsg()
+	if msg.Kind != wire.LockGrant || msg.Lock != uint32(l) {
+		panic(fmt.Sprintf("gos: thread %s: expected grant of lock %d, got %v", t.name, l, msg.Kind))
+	}
+}
+
+// Release flushes this node's dirty objects to their homes (eagerly
+// creating diffs, §3.1), ends the home-monitoring interval and frees the
+// lock. Diffs homed at the lock manager piggyback on the release (§5.2).
+func (t *Thread) Release(l LockID) {
+	t.flushCompute()
+	n := t.node
+	home := t.c.lockHome[l]
+	piggy := t.flushDirty(home)
+	n.endInterval()
+	if home == n.id {
+		lk := n.locks[uint32(l)]
+		if next, ok := lk.Release(); ok {
+			n.grantLock(uint32(l), next)
+		}
+		return
+	}
+	t.c.send(wire.Msg{
+		Kind: wire.LockRel, From: n.id, To: home, Lock: uint32(l),
+		ReplyNode: n.id, ReplySlot: t.slot, Diffs: piggy,
+	}, stats.LockMsg)
+}
+
+// Barrier performs release-side flushing, arrives at the barrier manager
+// (carrying piggybacked diffs and Jiajia write reports), waits for the
+// go, then applies acquire-side consistency.
+func (t *Thread) Barrier(b BarrierID) {
+	t.flushCompute()
+	n := t.node
+	home := t.c.barHome[b]
+	piggy := t.flushDirty(home)
+	n.endInterval()
+	reports := n.jiajiaReports()
+	n.barWait[uint32(b)] = append(n.barWait[uint32(b)], t.slot)
+	w := syncmgr.Waiter{Node: n.id, Slot: t.slot}
+	if home == n.id {
+		n.barrierArrive(uint32(b), w, piggy, reports)
+	} else {
+		t.c.send(wire.Msg{
+			Kind: wire.BarrierArrive, From: n.id, To: home, Barrier: uint32(b),
+			ReplyNode: n.id, ReplySlot: t.slot, Diffs: piggy, Reports: reports,
+		}, stats.BarrierMsg)
+	}
+	msg := t.recvMsg()
+	if msg.Kind != wire.BarrierGo || msg.Barrier != uint32(b) {
+		panic(fmt.Sprintf("gos: thread %s: expected barrier go, got %v", t.name, msg.Kind))
+	}
+	n.beginInterval()
+}
+
+// flushDirty propagates every dirty cached object's diff to its home and
+// waits for all acknowledgments (release visibility). Diffs homed at
+// syncHome are returned for piggybacking instead (forwarding-pointer
+// locator only — under manager/broadcast a stale piggyback could not be
+// re-routed by the daemon).
+func (t *Thread) flushDirty(syncHome memory.NodeID) []wire.ObjDiff {
+	n := t.node
+	if len(n.dirtyList) == 0 {
+		return nil
+	}
+	sort.Slice(n.dirtyList, func(i, j int) bool { return n.dirtyList[i] < n.dirtyList[j] })
+	canPiggy := t.c.cfg.Piggyback && t.c.cfg.Locator == locator.ForwardingPointer &&
+		syncHome != n.id
+	var piggy []wire.ObjDiff
+	outstanding := make(map[memory.ObjectID]twindiff.Diff)
+	for _, obj := range n.dirtyList {
+		o := n.cache[obj]
+		if o == nil || !o.Dirty {
+			continue
+		}
+		if n.isHome[obj] {
+			panic(fmt.Sprintf("gos: home copy of %d is dirty on node %d", obj, n.id))
+		}
+		d := twindiff.Compute(o.Twin, o.Data)
+		o.Twin = nil
+		o.Dirty = false
+		o.State = memory.ReadOnly
+		t.c.Counters.DiffsComputed++
+		if d.Empty() {
+			continue
+		}
+		t.c.Counters.DiffWords += int64(d.WordCount())
+		if canPiggy && n.loc.Hint(obj) == syncHome {
+			piggy = append(piggy, wire.ObjDiff{Obj: obj, D: d})
+			t.c.Counters.PiggybackDiffs++
+			continue
+		}
+		t.sendDiff(obj, d)
+		outstanding[obj] = d
+	}
+	n.dirtyList = n.dirtyList[:0]
+
+	pendingQuery := make(map[memory.ObjectID]bool)
+	for len(outstanding) > 0 {
+		switch msg := t.reply.Recv(t.proc).(type) {
+		case retryDiff:
+			if d, ok := outstanding[msg.obj]; ok {
+				t.sendDiff(msg.obj, d)
+			}
+		case wire.Msg:
+			switch msg.Kind {
+			case wire.DiffAck:
+				delete(outstanding, msg.Obj)
+			case wire.HomeMiss:
+				if msg.Home != memory.NoNode && msg.Home != n.id {
+					n.loc.Learn(msg.Obj, msg.Home)
+				}
+				switch t.c.cfg.Locator {
+				case locator.Manager:
+					if !pendingQuery[msg.Obj] {
+						pendingQuery[msg.Obj] = true
+						mgr := locator.ManagerOf(msg.Obj, t.c.cfg.Nodes)
+						if mgr == n.id {
+							n.loc.Learn(msg.Obj, n.mgrHome[msg.Obj])
+							pendingQuery[msg.Obj] = false
+							t.sendDiff(msg.Obj, outstanding[msg.Obj])
+						} else {
+							t.c.send(wire.Msg{
+								Kind: wire.MgrQuery, From: n.id, To: mgr, Obj: msg.Obj,
+								ReplyNode: n.id, ReplySlot: t.slot,
+							}, stats.MgrMsg)
+						}
+					}
+				case locator.Broadcast:
+					t.c.Counters.Retries++
+					obj := msg.Obj
+					t.c.env.At(t.c.cfg.RetryDelay, func() { t.reply.Send(retryDiff{obj: obj}) })
+				default:
+					panic("gos: diff home miss under forwarding-pointer locator")
+				}
+			case wire.MgrReply:
+				n.loc.Learn(msg.Obj, msg.Home)
+				pendingQuery[msg.Obj] = false
+				if d, ok := outstanding[msg.Obj]; ok {
+					t.sendDiff(msg.Obj, d)
+				}
+			default:
+				panic(fmt.Sprintf("gos: thread %s: unexpected %v during flush", t.name, msg.Kind))
+			}
+		default:
+			panic(fmt.Sprintf("gos: thread %s: stray %T during flush", t.name, msg))
+		}
+	}
+	return piggy
+}
+
+func (t *Thread) sendDiff(obj memory.ObjectID, d twindiff.Diff) {
+	n := t.node
+	to := n.loc.Hint(obj)
+	if to == n.id || to == memory.NoNode {
+		to = t.c.objHome0[obj]
+	}
+	if to == n.id {
+		panic(fmt.Sprintf("gos: diff for %d addressed to self on node %d", obj, n.id))
+	}
+	t.c.send(wire.Msg{
+		Kind: wire.DiffMsg, From: n.id, To: to, Obj: obj, Diff: d,
+		Home: n.id, ReplyNode: n.id, ReplySlot: t.slot,
+	}, stats.Diff)
+}

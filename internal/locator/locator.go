@@ -1,0 +1,117 @@
+// Package locator implements the home-location notification mechanisms of
+// §3.2: forwarding pointers (the paper's choice for the migration
+// protocol), a designated home manager, and broadcast. It provides the
+// per-node location tables; the message flows live in the GOS runtime.
+package locator
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/memory"
+)
+
+// Kind selects the home-location notification mechanism.
+type Kind uint8
+
+const (
+	// ForwardingPointer leaves a pointer at the former home (§3.2). A
+	// request visiting an obsolete home is redirected hop by hop —
+	// redirection accumulation — until it reaches the current home. This
+	// is what the paper's protocol uses (§3.3).
+	ForwardingPointer Kind = iota
+	// Manager posts every migration to a designated per-object manager
+	// node; a home miss costs old home → manager → new home (§3.2).
+	Manager
+	// Broadcast announces the new home to all nodes on migration; a
+	// requester hitting an obsolete home waits and retries (§3.2).
+	Broadcast
+)
+
+func (k Kind) String() string {
+	switch k {
+	case ForwardingPointer:
+		return "fwdptr"
+	case Manager:
+		return "manager"
+	case Broadcast:
+		return "broadcast"
+	default:
+		return fmt.Sprintf("locator(%d)", uint8(k))
+	}
+}
+
+// Parse returns the Kind named by s.
+func Parse(s string) (Kind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "fwdptr", "forwarding", "forwardingpointer", "fp":
+		return ForwardingPointer, nil
+	case "manager", "mgr":
+		return Manager, nil
+	case "broadcast", "bcast":
+		return Broadcast, nil
+	default:
+		return 0, fmt.Errorf("locator: unknown kind %q", s)
+	}
+}
+
+// Table is one node's view of object home locations: a best-known home
+// hint per object plus, under the forwarding-pointer mechanism, the
+// pointer left behind when this node stops being an object's home.
+type Table struct {
+	hint []memory.NodeID // best-known home; updated by replies/broadcasts
+	fwd  []memory.NodeID // forwarding pointer (NoNode = none)
+}
+
+// NewTable creates a table for n objects, all hints set to NoNode until
+// SetInitialHome is called per object.
+func NewTable(n int) *Table {
+	t := &Table{}
+	t.Grow(n)
+	return t
+}
+
+// Grow extends the table to cover n objects.
+func (t *Table) Grow(n int) {
+	for len(t.hint) < n {
+		t.hint = append(t.hint, memory.NoNode)
+		t.fwd = append(t.fwd, memory.NoNode)
+	}
+}
+
+// Len reports the number of objects covered.
+func (t *Table) Len() int { return len(t.hint) }
+
+// SetInitialHome records the well-known initial home assignment (§3.2:
+// "all units are initially assigned a home node by a well known hash
+// function" — or, in the GOS, the creation node).
+func (t *Table) SetInitialHome(obj memory.ObjectID, home memory.NodeID) {
+	t.hint[obj] = home
+}
+
+// Hint returns this node's best-known home for obj.
+func (t *Table) Hint(obj memory.ObjectID) memory.NodeID { return t.hint[obj] }
+
+// Learn updates the hint after a reply or broadcast names the true home.
+func (t *Table) Learn(obj memory.ObjectID, home memory.NodeID) {
+	t.hint[obj] = home
+}
+
+// SetForward leaves a forwarding pointer at this (former home) node.
+func (t *Table) SetForward(obj memory.ObjectID, next memory.NodeID) {
+	t.fwd[obj] = next
+}
+
+// ClearForward removes the pointer (the node became home again).
+func (t *Table) ClearForward(obj memory.ObjectID) {
+	t.fwd[obj] = memory.NoNode
+}
+
+// Forward returns the forwarding pointer for obj, or NoNode.
+func (t *Table) Forward(obj memory.ObjectID) memory.NodeID { return t.fwd[obj] }
+
+// ManagerOf returns the designated manager node for obj among n nodes:
+// the well-known hash of §3.2.
+func ManagerOf(obj memory.ObjectID, nodes int) memory.NodeID {
+	return memory.NodeID(int(obj) % nodes)
+}

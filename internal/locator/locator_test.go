@@ -1,0 +1,144 @@
+package locator
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/memory"
+)
+
+func TestParse(t *testing.T) {
+	cases := map[string]Kind{
+		"fwdptr": ForwardingPointer, "FP": ForwardingPointer,
+		"forwarding": ForwardingPointer,
+		"manager":    Manager, "MGR": Manager,
+		"broadcast": Broadcast, "bcast": Broadcast,
+	}
+	for in, want := range cases {
+		got, err := Parse(in)
+		if err != nil || got != want {
+			t.Fatalf("Parse(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := Parse("nope"); err == nil {
+		t.Fatal("Parse accepted garbage")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if ForwardingPointer.String() != "fwdptr" || Manager.String() != "manager" ||
+		Broadcast.String() != "broadcast" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Fatal("out-of-range kind prints empty")
+	}
+}
+
+func TestTableLifecycle(t *testing.T) {
+	tab := NewTable(3)
+	if tab.Len() != 3 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	if tab.Hint(0) != memory.NoNode {
+		t.Fatal("fresh hint not NoNode")
+	}
+	tab.SetInitialHome(0, 2)
+	if tab.Hint(0) != 2 {
+		t.Fatal("SetInitialHome did not stick")
+	}
+	tab.Learn(0, 5)
+	if tab.Hint(0) != 5 {
+		t.Fatal("Learn did not update hint")
+	}
+	if tab.Forward(0) != memory.NoNode {
+		t.Fatal("fresh forward not NoNode")
+	}
+	tab.SetForward(0, 7)
+	if tab.Forward(0) != 7 {
+		t.Fatal("SetForward did not stick")
+	}
+	tab.ClearForward(0)
+	if tab.Forward(0) != memory.NoNode {
+		t.Fatal("ClearForward did not clear")
+	}
+}
+
+func TestGrowPreservesAndExtends(t *testing.T) {
+	tab := NewTable(1)
+	tab.SetInitialHome(0, 3)
+	tab.Grow(4)
+	if tab.Len() != 4 {
+		t.Fatalf("Len = %d after grow", tab.Len())
+	}
+	if tab.Hint(0) != 3 {
+		t.Fatal("grow lost existing hints")
+	}
+	if tab.Hint(3) != memory.NoNode {
+		t.Fatal("grown entries not initialized")
+	}
+	tab.Grow(2) // shrinking request is a no-op
+	if tab.Len() != 4 {
+		t.Fatal("grow shrank the table")
+	}
+}
+
+func TestManagerOfDeterministicAndInRange(t *testing.T) {
+	f := func(obj uint32, nodes uint8) bool {
+		n := int(nodes%15) + 1
+		m := ManagerOf(memory.ObjectID(obj), n)
+		return m >= 0 && int(m) < n && m == ManagerOf(memory.ObjectID(obj), n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: chasing forwarding pointers across a chain of tables always
+// terminates at the current home — the §3.2 guarantee that "it can always
+// be redirected to the current home". We simulate a migration history and
+// verify every node's chase converges with hop count ≤ number of
+// migrations since that node's hint was valid.
+func TestForwardChainConvergesProperty(t *testing.T) {
+	f := func(moves []uint8, nodesRaw uint8) bool {
+		n := int(nodesRaw%6) + 2
+		tabs := make([]*Table, n)
+		for i := range tabs {
+			tabs[i] = NewTable(1)
+			tabs[i].SetInitialHome(0, 0)
+		}
+		home := memory.NodeID(0)
+		migrations := 0
+		for _, mv := range moves {
+			next := memory.NodeID(int(mv) % n)
+			if next == home {
+				continue
+			}
+			// Former home leaves a pointer; new home clears its own.
+			tabs[home].SetForward(0, next)
+			tabs[next].ClearForward(0)
+			home = next
+			migrations++
+		}
+		// Every node chases from its (stale) hint.
+		for i := 0; i < n; i++ {
+			cur := tabs[i].Hint(0)
+			hops := 0
+			for cur != home {
+				nxt := tabs[cur].Forward(0)
+				if nxt == memory.NoNode {
+					return false // dead end before reaching home
+				}
+				cur = nxt
+				hops++
+				if hops > migrations+1 {
+					return false // cycle
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,126 @@
+// Package migration defines the home-migration policy interface and every
+// policy evaluated or discussed by the paper: the adaptive-threshold
+// protocol (AT, §4), fixed thresholds (FT-k, §3.3 / prior work [7]), no
+// migration (NoHM), and the related-work baselines JUMP's migrating-home
+// [6], Jackal's lazy flushing [15] and Jiajia's barrier-time migration
+// [9] (§2).
+//
+// All policies share the per-object core.State bookkeeping; a policy is a
+// pure decision strategy, so runs under any policy still report the full
+// feedback counters (C, R, E) for analysis.
+package migration
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/memory"
+)
+
+// Policy decides, at an object's home node, whether a fault-in request
+// should carry home ownership to the requester.
+type Policy interface {
+	// Name is a short identifier ("AT", "FT2", "NoHM", ...).
+	Name() string
+	// ShouldMigrate is consulted when node requester (≠ home) faults in
+	// the object. sharers is the number of other nodes currently holding
+	// cached copies (used by Jackal's exclusive-owner rule).
+	ShouldMigrate(st *core.State, requester memory.NodeID, sharers int) bool
+	// BarrierDriven reports that migration decisions are made by the
+	// barrier manager (Jiajia) rather than at fault-in time.
+	BarrierDriven() bool
+}
+
+// NoHM never migrates: the baseline of Fig. 2 ("NoHM") and Fig. 5 ("NM").
+type NoHM struct{}
+
+func (NoHM) Name() string                                       { return "NoHM" }
+func (NoHM) ShouldMigrate(*core.State, memory.NodeID, int) bool { return false }
+func (NoHM) BarrierDriven() bool                                { return false }
+
+// Fixed is the fixed-threshold protocol of the authors' previous work [7]
+// (§3.3): migrate to the writer once its consecutive remote writes reach
+// T. FT1 and FT2 in Fig. 5 are Fixed{1} and Fixed{2}.
+type Fixed struct{ T int }
+
+func (f Fixed) Name() string { return fmt.Sprintf("FT%d", f.T) }
+func (f Fixed) ShouldMigrate(st *core.State, req memory.NodeID, _ int) bool {
+	return req == st.LastWriter && st.C >= f.T
+}
+func (Fixed) BarrierDriven() bool { return false }
+
+// Adaptive is the paper's contribution (§4): the per-object threshold of
+// Eq. (2)–(3), continuously tuned by runtime feedback.
+type Adaptive struct{ P core.Params }
+
+func (Adaptive) Name() string { return "AT" }
+func (a Adaptive) ShouldMigrate(st *core.State, req memory.NodeID, _ int) bool {
+	return req == st.LastWriter && st.C > 0 && float64(st.C) >= st.Threshold(a.P)
+}
+func (Adaptive) BarrierDriven() bool { return false }
+
+// JUMP is the migrating-home protocol of [6] (§2): the requesting process
+// always becomes the new home, ignoring the access pattern.
+type JUMP struct{}
+
+func (JUMP) Name() string                                                { return "JUMP" }
+func (JUMP) ShouldMigrate(st *core.State, req memory.NodeID, _ int) bool { return true }
+func (JUMP) BarrierDriven() bool                                         { return false }
+
+// Jackal models the lazy-flushing optimization of [15] (§2): a requester
+// becomes the exclusive owner when no other node shares the object, and
+// the number of ownership transitions is capped (five in Jackal).
+type Jackal struct{ Max int }
+
+func (j Jackal) Name() string { return fmt.Sprintf("Jackal%d", j.Max) }
+func (j Jackal) ShouldMigrate(st *core.State, req memory.NodeID, sharers int) bool {
+	return sharers == 0 && st.Epoch < j.Max
+}
+func (Jackal) BarrierDriven() bool { return false }
+
+// Jiajia models the barrier-time home migration of [9] (§2): the barrier
+// manager detects objects written by exactly one process between two
+// barriers and reassigns their homes in the barrier-release broadcast.
+// Fault-in requests never migrate.
+type Jiajia struct{}
+
+func (Jiajia) Name() string                                       { return "Jiajia" }
+func (Jiajia) ShouldMigrate(*core.State, memory.NodeID, int) bool { return false }
+func (Jiajia) BarrierDriven() bool                                { return true }
+
+// Parse returns the policy named by s: "NoHM"/"NM", "FT<k>", "AT",
+// "JUMP", "Jackal[<k>]", "Jiajia". The AT params must be supplied because
+// α depends on the network model.
+func Parse(s string, atParams core.Params) (Policy, error) {
+	u := strings.ToUpper(strings.TrimSpace(s))
+	switch {
+	case u == "NOHM" || u == "NM" || u == "NONE":
+		return NoHM{}, nil
+	case u == "AT" || u == "ADAPTIVE":
+		return Adaptive{P: atParams}, nil
+	case u == "JUMP":
+		return JUMP{}, nil
+	case u == "JIAJIA":
+		return Jiajia{}, nil
+	case strings.HasPrefix(u, "JACKAL"):
+		k := 5
+		if rest := u[len("JACKAL"):]; rest != "" {
+			v, err := strconv.Atoi(rest)
+			if err != nil || v < 1 {
+				return nil, fmt.Errorf("migration: bad Jackal cap %q", s)
+			}
+			k = v
+		}
+		return Jackal{Max: k}, nil
+	case strings.HasPrefix(u, "FT"):
+		v, err := strconv.Atoi(u[2:])
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("migration: bad fixed threshold %q", s)
+		}
+		return Fixed{T: v}, nil
+	default:
+		return nil, fmt.Errorf("migration: unknown policy %q", s)
+	}
+}

@@ -1,0 +1,339 @@
+// Package sim implements a deterministic, process-oriented discrete-event
+// simulation kernel. It is the substrate on which the simulated cluster
+// runs: every cluster node daemon and every application thread is a Proc
+// scheduled in virtual time.
+//
+// Determinism: all execution is serialized through a single event queue
+// ordered by (time, sequence number). Procs are goroutines, but exactly one
+// runs at any instant; control is handed back and forth through unbuffered
+// channels. Two runs with the same inputs produce identical event orders,
+// identical virtual times and identical statistics.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime/debug"
+	"sort"
+)
+
+// Time is virtual time in nanoseconds since the start of the simulation.
+type Time int64
+
+// Convenient virtual-time units.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros reports t as a floating-point number of microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fµs", t.Micros())
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// event is a scheduled callback. seq breaks ties so that events scheduled
+// earlier fire earlier, giving FIFO semantics at equal timestamps.
+type event struct {
+	t   Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	*h = old[:n-1]
+	return
+}
+
+// Env is a simulation environment: a virtual clock plus an event queue.
+// It is not safe for concurrent use from multiple OS threads; all access
+// happens from the single running Proc or from event callbacks.
+type Env struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	parked  chan struct{}
+	procs   []*Proc
+	nlive   int
+	failure *PanicError
+	running bool
+	stats   EnvStats
+}
+
+// EnvStats reports kernel-level counters, useful for performance analysis
+// of the simulation itself.
+type EnvStats struct {
+	Events      uint64 // events fired
+	Activations uint64 // proc context switches
+	Spawned     int    // procs ever spawned
+}
+
+// NewEnv returns an empty environment with the clock at zero.
+func NewEnv() *Env {
+	return &Env{parked: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// Stats returns kernel counters accumulated so far.
+func (e *Env) Stats() EnvStats { return e.stats }
+
+// At schedules fn to run at virtual time now+d. Negative delays are
+// clamped to zero. fn runs in event context: it must not block.
+func (e *Env) At(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.schedule(e.now+d, fn)
+}
+
+func (e *Env) schedule(t Time, fn func()) {
+	e.seq++
+	heap.Push(&e.events, event{t: t, seq: e.seq, fn: fn})
+}
+
+// killPanic is the sentinel thrown into procs during Shutdown.
+type killPanic struct{}
+
+// PanicError wraps a panic raised inside a Proc, with the proc name and a
+// captured stack trace.
+type PanicError struct {
+	Proc  string
+	Value any
+	Stack string
+}
+
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("sim: proc %q panicked: %v\n%s", p.Proc, p.Value, p.Stack)
+}
+
+// DeadlockError is returned by Run when the event queue drains while procs
+// remain parked: nothing can ever wake them.
+type DeadlockError struct {
+	Parked []string // "name (state)" for each stuck proc
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock, %d procs parked forever: %v", len(d.Parked), d.Parked)
+}
+
+// Proc is a simulated process. Procs run one at a time; they block only
+// through the kernel (Sleep, Queue.Recv), never through OS primitives.
+type Proc struct {
+	Name   string
+	id     int
+	env    *Env
+	resume chan struct{}
+	kill   bool
+	done   bool
+	state  string
+}
+
+// Env returns the environment this proc belongs to.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// Spawn creates a proc running fn, activated at the current virtual time
+// (after already-scheduled events at this time).
+func (e *Env) Spawn(name string, fn func(*Proc)) *Proc {
+	p := &Proc{Name: name, id: len(e.procs), env: e, resume: make(chan struct{}), state: "new"}
+	e.procs = append(e.procs, p)
+	e.nlive++
+	e.stats.Spawned++
+	go p.main(fn)
+	e.schedule(e.now, func() { e.activate(p) })
+	return p
+}
+
+func (p *Proc) main(fn func(*Proc)) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isKill := r.(killPanic); !isKill && p.env.failure == nil {
+				p.env.failure = &PanicError{Proc: p.Name, Value: r, Stack: string(debug.Stack())}
+			}
+		}
+		p.done = true
+		p.state = "done"
+		p.env.nlive--
+		p.env.parked <- struct{}{}
+	}()
+	<-p.resume
+	if p.kill {
+		panic(killPanic{})
+	}
+	p.state = "running"
+	fn(p)
+}
+
+// activate hands control to p and waits until it parks or finishes.
+// Must only be called from event context (the kernel loop).
+func (e *Env) activate(p *Proc) {
+	if p.done {
+		return
+	}
+	e.stats.Activations++
+	p.resume <- struct{}{}
+	<-e.parked
+}
+
+// park suspends the calling proc until its next activation.
+func (p *Proc) park(why string) {
+	p.state = why
+	p.env.parked <- struct{}{}
+	<-p.resume
+	if p.kill {
+		panic(killPanic{})
+	}
+	p.state = "running"
+}
+
+// Sleep advances this proc's progress by d of virtual time, letting other
+// events fire in between.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	e := p.env
+	e.schedule(e.now+d, func() { e.activate(p) })
+	p.park("sleep")
+}
+
+// Yield reschedules the proc at the current time, behind pending events.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Run executes events until the queue drains. It returns nil on a clean
+// finish (all procs done), a *DeadlockError if procs remain parked, or a
+// *PanicError if any proc panicked.
+func (e *Env) Run() error {
+	if e.running {
+		panic("sim: Env.Run re-entered")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.t
+		e.stats.Events++
+		ev.fn()
+		if e.failure != nil {
+			f := e.failure
+			e.shutdown()
+			return f
+		}
+	}
+	if e.nlive > 0 {
+		var parked []string
+		for _, p := range e.procs {
+			if !p.done {
+				parked = append(parked, fmt.Sprintf("%s (%s)", p.Name, p.state))
+			}
+		}
+		sort.Strings(parked)
+		e.shutdown()
+		return &DeadlockError{Parked: parked}
+	}
+	e.shutdown()
+	return nil
+}
+
+// shutdown kills every live proc so their goroutines exit.
+func (e *Env) shutdown() {
+	for _, p := range e.procs {
+		if p.done {
+			continue
+		}
+		p.kill = true
+		p.resume <- struct{}{}
+		<-e.parked
+	}
+}
+
+// Queue is a FIFO message queue between procs with blocking receive.
+// Sends never block. Queues are typically single-consumer (each thread and
+// each node daemon owns one); multi-consumer use is safe but receipt order
+// across consumers follows activation order, not arrival order.
+type Queue struct {
+	env     *Env
+	name    string
+	items   []any
+	waiters []*Proc
+}
+
+// NewQueue creates a queue named for diagnostics.
+func (e *Env) NewQueue(name string) *Queue {
+	return &Queue{env: e, name: name}
+}
+
+// Len reports the number of buffered items.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Send enqueues v and wakes any parked receivers. Callable from proc or
+// event context.
+func (q *Queue) Send(v any) {
+	q.items = append(q.items, v)
+	if len(q.waiters) == 0 {
+		return
+	}
+	ws := q.waiters
+	q.waiters = nil
+	for _, w := range ws {
+		w := w
+		q.env.schedule(q.env.now, func() { q.env.activate(w) })
+	}
+}
+
+// Recv blocks p until an item is available and returns it.
+func (q *Queue) Recv(p *Proc) any {
+	for len(q.items) == 0 {
+		q.waiters = append(q.waiters, p)
+		p.park("recv " + q.name)
+	}
+	v := q.items[0]
+	copy(q.items, q.items[1:])
+	q.items = q.items[:len(q.items)-1]
+	return v
+}
+
+// TryRecv returns (item, true) if one is buffered, else (nil, false),
+// without blocking.
+func (q *Queue) TryRecv() (any, bool) {
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	v := q.items[0]
+	copy(q.items, q.items[1:])
+	q.items = q.items[:len(q.items)-1]
+	return v, true
+}

@@ -1,0 +1,412 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	e := NewEnv()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+}
+
+func TestSleepAdvancesTime(t *testing.T) {
+	e := NewEnv()
+	var at Time
+	e.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(5 * Microsecond)
+		at = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 5*Microsecond {
+		t.Fatalf("woke at %v, want 5µs", at)
+	}
+}
+
+func TestNegativeSleepClampsToZero(t *testing.T) {
+	e := NewEnv()
+	e.Spawn("p", func(p *Proc) {
+		p.Sleep(-3)
+		if p.Now() != 0 {
+			t.Errorf("time went backwards: %v", p.Now())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventOrderingByTime(t *testing.T) {
+	e := NewEnv()
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(order) != "[1 2 3]" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestEventFIFOAtEqualTime(t *testing.T) {
+	e := NewEnv()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(7, func() { order = append(order, i) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestInterleavedSleepers(t *testing.T) {
+	e := NewEnv()
+	var trace []string
+	mk := func(name string, period Time, n int) {
+		e.Spawn(name, func(p *Proc) {
+			for i := 0; i < n; i++ {
+				p.Sleep(period)
+				trace = append(trace, fmt.Sprintf("%s@%d", name, p.Now()))
+			}
+		})
+	}
+	mk("a", 10, 3)
+	mk("b", 15, 2)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// At the t=30 tie, b's wakeup was scheduled at t=15, before a's at
+	// t=20, so b fires first: ties resolve in schedule order.
+	want := "a@10 b@15 a@20 b@30 a@30"
+	if got := strings.Join(trace, " "); got != want {
+		t.Fatalf("trace = %q, want %q", got, want)
+	}
+}
+
+func TestQueueSendRecv(t *testing.T) {
+	e := NewEnv()
+	q := e.NewQueue("q")
+	var got []int
+	e.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, q.Recv(p).(int))
+		}
+	})
+	e.Spawn("producer", func(p *Proc) {
+		for i := 1; i <= 3; i++ {
+			p.Sleep(Time(i))
+			q.Send(i * 10)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != "[10 20 30]" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestQueueBuffersWhenNoWaiter(t *testing.T) {
+	e := NewEnv()
+	q := e.NewQueue("q")
+	q.Send("x")
+	q.Send("y")
+	var got []string
+	e.Spawn("c", func(p *Proc) {
+		got = append(got, q.Recv(p).(string), q.Recv(p).(string))
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != "[x y]" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestQueueTryRecv(t *testing.T) {
+	e := NewEnv()
+	q := e.NewQueue("q")
+	if _, ok := q.TryRecv(); ok {
+		t.Fatal("TryRecv on empty queue returned ok")
+	}
+	q.Send(1)
+	v, ok := q.TryRecv()
+	if !ok || v.(int) != 1 {
+		t.Fatalf("TryRecv = %v, %v", v, ok)
+	}
+}
+
+func TestQueueMultipleWaitersNoLostWakeup(t *testing.T) {
+	// Two consumers, two items sent in one burst: both must be delivered.
+	e := NewEnv()
+	q := e.NewQueue("q")
+	var got []int
+	for i := 0; i < 2; i++ {
+		e.Spawn(fmt.Sprintf("c%d", i), func(p *Proc) {
+			got = append(got, q.Recv(p).(int))
+		})
+	}
+	e.Spawn("prod", func(p *Proc) {
+		p.Sleep(1)
+		q.Send(1)
+		q.Send(2)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0]+got[1] != 3 {
+		t.Fatalf("got %v, want both items delivered", got)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := NewEnv()
+	q := e.NewQueue("never")
+	e.Spawn("stuck", func(p *Proc) { q.Recv(p) })
+	err := e.Run()
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+	if len(dl.Parked) != 1 || !strings.Contains(dl.Parked[0], "stuck") {
+		t.Fatalf("parked = %v", dl.Parked)
+	}
+}
+
+func TestPanicPropagation(t *testing.T) {
+	e := NewEnv()
+	e.Spawn("boom", func(p *Proc) {
+		p.Sleep(1)
+		panic("kaboom")
+	})
+	e.Spawn("bystander", func(p *Proc) { p.Sleep(1000) })
+	err := e.Run()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want PanicError", err)
+	}
+	if pe.Proc != "boom" || pe.Value != "kaboom" {
+		t.Fatalf("PanicError = %+v", pe)
+	}
+}
+
+func TestSpawnFromProc(t *testing.T) {
+	e := NewEnv()
+	var childRan bool
+	e.Spawn("parent", func(p *Proc) {
+		p.Sleep(10)
+		p.Env().Spawn("child", func(c *Proc) {
+			c.Sleep(5)
+			childRan = true
+			if c.Now() != 15 {
+				t.Errorf("child time = %v, want 15", c.Now())
+			}
+		})
+		p.Sleep(100)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !childRan {
+		t.Fatal("child never ran")
+	}
+}
+
+func TestAtCallbackTime(t *testing.T) {
+	e := NewEnv()
+	var at Time
+	e.At(42*Microsecond, func() { at = e.Now() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 42*Microsecond {
+		t.Fatalf("fired at %v", at)
+	}
+}
+
+func TestYieldRunsBehindPendingEvents(t *testing.T) {
+	e := NewEnv()
+	var order []string
+	e.Spawn("a", func(p *Proc) {
+		e.At(0, func() { order = append(order, "event") })
+		p.Yield()
+		order = append(order, "a-after-yield")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(order, ",") != "event,a-after-yield" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+// runPingPong runs a fixed message-passing workload and returns a trace
+// fingerprint, used to assert determinism.
+func runPingPong(rounds int) (string, Time) {
+	e := NewEnv()
+	a2b := e.NewQueue("a2b")
+	b2a := e.NewQueue("b2a")
+	var sb strings.Builder
+	e.Spawn("a", func(p *Proc) {
+		for i := 0; i < rounds; i++ {
+			p.Sleep(3)
+			a2b.Send(i)
+			v := b2a.Recv(p).(int)
+			fmt.Fprintf(&sb, "a%d@%d ", v, p.Now())
+		}
+	})
+	e.Spawn("b", func(p *Proc) {
+		for i := 0; i < rounds; i++ {
+			v := a2b.Recv(p).(int)
+			p.Sleep(7)
+			b2a.Send(v * 2)
+		}
+	})
+	if err := e.Run(); err != nil {
+		panic(err)
+	}
+	return sb.String(), e.Now()
+}
+
+func TestDeterminism(t *testing.T) {
+	s1, t1 := runPingPong(50)
+	s2, t2 := runPingPong(50)
+	if s1 != s2 || t1 != t2 {
+		t.Fatalf("nondeterministic: %q@%v vs %q@%v", s1, t1, s2, t2)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{5, "5ns"},
+		{3 * Microsecond, "3.000µs"},
+		{2500 * Microsecond, "2.500ms"},
+		{3 * Second, "3.000s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestTimeSeconds(t *testing.T) {
+	if s := (1500 * Millisecond).Seconds(); s != 1.5 {
+		t.Fatalf("Seconds = %v", s)
+	}
+	if us := (2 * Microsecond).Micros(); us != 2 {
+		t.Fatalf("Micros = %v", us)
+	}
+}
+
+// Property: for any set of non-negative delays, a proc sleeping them in
+// sequence ends at exactly their sum.
+func TestSleepSumProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEnv()
+		var sum, end Time
+		e.Spawn("p", func(p *Proc) {
+			for _, d := range delays {
+				p.Sleep(Time(d))
+				sum += Time(d)
+			}
+			end = p.Now()
+		})
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return end == sum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: queue preserves FIFO order for a single consumer.
+func TestQueueFIFOProperty(t *testing.T) {
+	f := func(vals []int32) bool {
+		e := NewEnv()
+		q := e.NewQueue("q")
+		var got []int32
+		e.Spawn("c", func(p *Proc) {
+			for range vals {
+				got = append(got, q.Recv(p).(int32))
+			}
+		})
+		e.Spawn("prod", func(p *Proc) {
+			for _, v := range vals {
+				p.Sleep(1)
+				q.Send(v)
+			}
+		})
+		if err := e.Run(); err != nil {
+			return false
+		}
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnvStats(t *testing.T) {
+	e := NewEnv()
+	e.Spawn("p", func(p *Proc) { p.Sleep(1); p.Sleep(1) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Spawned != 1 {
+		t.Fatalf("Spawned = %d", st.Spawned)
+	}
+	if st.Events < 3 {
+		t.Fatalf("Events = %d, want >= 3", st.Events)
+	}
+	if st.Activations < 3 {
+		t.Fatalf("Activations = %d, want >= 3", st.Activations)
+	}
+}
+
+func BenchmarkContextSwitch(b *testing.B) {
+	e := NewEnv()
+	e.Spawn("spinner", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(1)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkQueueRoundTrip(b *testing.B) {
+	s, _ := runPingPong(b.N)
+	_ = s
+}

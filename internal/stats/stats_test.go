@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestRecordAccumulates(t *testing.T) {
+	var c Counters
+	c.Record(Diff, 100)
+	c.Record(Diff, 50)
+	c.Record(ObjReq, 24)
+	if c.Msgs[Diff] != 2 || c.Bytes[Diff] != 150 {
+		t.Fatalf("diff = %d msgs %d bytes", c.Msgs[Diff], c.Bytes[Diff])
+	}
+	if c.Msgs[ObjReq] != 1 || c.Bytes[ObjReq] != 24 {
+		t.Fatalf("objreq = %d msgs %d bytes", c.Msgs[ObjReq], c.Bytes[ObjReq])
+	}
+}
+
+func TestTotalExcludesSync(t *testing.T) {
+	var c Counters
+	c.Record(LockMsg, 10)
+	c.Record(BarrierMsg, 10)
+	c.Record(Diff, 10)
+	if got := c.TotalMsgs(true); got != 3 {
+		t.Fatalf("TotalMsgs(true) = %d", got)
+	}
+	if got := c.TotalMsgs(false); got != 1 {
+		t.Fatalf("TotalMsgs(false) = %d", got)
+	}
+	if got := c.TotalBytes(false); got != 10 {
+		t.Fatalf("TotalBytes(false) = %d", got)
+	}
+}
+
+func TestBreakdownAttributesRequests(t *testing.T) {
+	// 5 fault-ins: 3 plain, 2 with migration. Each has one request.
+	var c Counters
+	for i := 0; i < 5; i++ {
+		c.Record(ObjReq, 24)
+	}
+	for i := 0; i < 3; i++ {
+		c.Record(ObjReply, 512)
+	}
+	for i := 0; i < 2; i++ {
+		c.Record(MigReply, 520)
+	}
+	c.Record(Diff, 64)
+	c.Record(Redir, 24)
+	b := c.Breakdown()
+	if b.Obj != 6 { // 3 requests + 3 plain replies
+		t.Errorf("Obj = %d, want 6", b.Obj)
+	}
+	if b.Mig != 4 { // 2 requests + 2 migrating replies
+		t.Errorf("Mig = %d, want 4", b.Mig)
+	}
+	if b.Diff != 1 || b.Redir != 1 {
+		t.Errorf("Diff/Redir = %d/%d", b.Diff, b.Redir)
+	}
+	if b.Total() != 12 {
+		t.Errorf("Total = %d", b.Total())
+	}
+}
+
+func TestEliminationPct(t *testing.T) {
+	var base, run Counters
+	// Baseline: 10 fault-ins (req+reply) + 10 diffs = 30 messages.
+	for i := 0; i < 10; i++ {
+		base.Record(ObjReq, 24)
+		base.Record(ObjReply, 512)
+		base.Record(Diff, 64)
+	}
+	// Run: 2 fault-ins + 2 diffs = 6 messages. Eliminated 80%.
+	for i := 0; i < 2; i++ {
+		run.Record(ObjReq, 24)
+		run.Record(ObjReply, 512)
+		run.Record(Diff, 64)
+	}
+	if got := EliminationPct(&base, &run); got != 80 {
+		t.Fatalf("EliminationPct = %v, want 80", got)
+	}
+}
+
+func TestEliminationPctZeroBaseline(t *testing.T) {
+	var base, run Counters
+	if got := EliminationPct(&base, &run); got != 0 {
+		t.Fatalf("EliminationPct on empty baseline = %v", got)
+	}
+}
+
+func TestAddMergesEverything(t *testing.T) {
+	var a, b Counters
+	a.Record(Diff, 10)
+	a.Migrations = 2
+	a.RedirectHops = 3
+	a.TwinsCreated = 4
+	b.Record(Diff, 5)
+	b.Record(LockMsg, 7)
+	b.Migrations = 1
+	b.ExclHomeWrites = 9
+	a.Add(&b)
+	if a.Msgs[Diff] != 2 || a.Bytes[Diff] != 15 {
+		t.Fatalf("diff merge wrong: %d/%d", a.Msgs[Diff], a.Bytes[Diff])
+	}
+	if a.Msgs[LockMsg] != 1 || a.Migrations != 3 || a.ExclHomeWrites != 9 || a.TwinsCreated != 4 {
+		t.Fatalf("merge wrong: %+v", a)
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	if ObjReq.String() != "objreq" || Diff.String() != "diff" {
+		t.Fatal("category names wrong")
+	}
+	if !strings.Contains(Category(200).String(), "200") {
+		t.Fatal("out-of-range category should print numerically")
+	}
+}
+
+func TestSummaryMentionsKeyFields(t *testing.T) {
+	m := Metrics{ExecTime: 3 * sim.Second}
+	m.Record(Diff, 100)
+	s := m.Summary()
+	for _, want := range []string{"exec time", "messages", "breakdown", "diff"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// Property: Add is commutative on message counts.
+func TestAddCommutativeProperty(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		var a1, b1, a2, b2 Counters
+		for _, x := range xs {
+			a1.Record(Category(x%uint8(NumCategories)), int(x))
+			a2.Record(Category(x%uint8(NumCategories)), int(x))
+		}
+		for _, y := range ys {
+			b1.Record(Category(y%uint8(NumCategories)), int(y))
+			b2.Record(Category(y%uint8(NumCategories)), int(y))
+		}
+		a1.Add(&b1) // a1 = A + B
+		b2.Add(&a2) // b2 = B + A
+		return a1 == b2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: breakdown buckets are non-negative and total ≤ non-sync total
+// whenever replies don't outnumber requests.
+func TestBreakdownNonNegativeProperty(t *testing.T) {
+	f := func(faults uint8, migs uint8, diffs, redirs uint8) bool {
+		m := int64(migs) % (int64(faults) + 1) // migrations ⊆ fault-ins
+		var c Counters
+		for i := int64(0); i < int64(faults); i++ {
+			c.Record(ObjReq, 24)
+		}
+		for i := int64(0); i < int64(faults)-m; i++ {
+			c.Record(ObjReply, 128)
+		}
+		for i := int64(0); i < m; i++ {
+			c.Record(MigReply, 136)
+		}
+		for i := 0; i < int(diffs); i++ {
+			c.Record(Diff, 64)
+		}
+		for i := 0; i < int(redirs); i++ {
+			c.Record(Redir, 24)
+		}
+		b := c.Breakdown()
+		return b.Obj >= 0 && b.Mig >= 0 && b.Total() == c.TotalMsgs(false)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,294 @@
+// Package trace records and analyzes per-object access-pattern traces —
+// the tooling the paper's §6 future work ("we will research on other
+// heuristics") requires: given a protocol-event trace, it classifies each
+// object's write pattern (single-writer lasting/transient, multiple-
+// writer, read-mostly) and can replay a trace against any migration
+// policy offline, without re-running the application.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/memory"
+	"repro/internal/migration"
+)
+
+// EventKind classifies protocol events relevant to migration decisions.
+type EventKind uint8
+
+const (
+	// RemoteWrite is a diff applied at the home (writer in Node).
+	RemoteWrite EventKind = iota
+	// HomeWrite is a trapped write at the home copy.
+	HomeWrite
+	// HomeRead is a trapped read at the home copy.
+	HomeRead
+	// Request is a fault-in request (requester in Node, Hops carries
+	// redirection accumulation).
+	Request
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case RemoteWrite:
+		return "remote-write"
+	case HomeWrite:
+		return "home-write"
+	case HomeRead:
+		return "home-read"
+	case Request:
+		return "request"
+	default:
+		return fmt.Sprintf("event(%d)", uint8(k))
+	}
+}
+
+// Event is one protocol observation for an object.
+type Event struct {
+	Obj  memory.ObjectID
+	Kind EventKind
+	Node memory.NodeID // writer or requester
+	Hops int           // redirection accumulation for Request events
+	Size int           // diff bytes for RemoteWrite
+}
+
+// Trace is an ordered event log.
+type Trace struct {
+	Events []Event
+}
+
+// Record appends an event.
+func (t *Trace) Record(e Event) { t.Events = append(t.Events, e) }
+
+// Len reports the number of recorded events.
+func (t *Trace) Len() int { return len(t.Events) }
+
+// Pattern is the classification of one object's write behavior.
+type Pattern uint8
+
+const (
+	// ReadMostly: no writes observed.
+	ReadMostly Pattern = iota
+	// SingleWriterLasting: one writer with long consecutive runs.
+	SingleWriterLasting
+	// SingleWriterTransient: writers change frequently.
+	SingleWriterTransient
+	// MultipleWriter: concurrent writers within intervals (interleaved).
+	MultipleWriter
+)
+
+func (p Pattern) String() string {
+	switch p {
+	case ReadMostly:
+		return "read-mostly"
+	case SingleWriterLasting:
+		return "single-writer-lasting"
+	case SingleWriterTransient:
+		return "single-writer-transient"
+	case MultipleWriter:
+		return "multiple-writer"
+	default:
+		return fmt.Sprintf("pattern(%d)", uint8(p))
+	}
+}
+
+// Profile summarizes one object's behavior over a trace.
+type Profile struct {
+	Obj       memory.ObjectID
+	Pattern   Pattern
+	Writes    int     // total write observations
+	Writers   int     // distinct writers (home writes count the home)
+	MaxRun    int     // longest same-writer consecutive run
+	MeanRun   float64 // average run length
+	Requests  int
+	RedirHops int
+}
+
+// lastingRunThreshold separates lasting from transient single-writer
+// behavior, mirroring the paper's observation that the benefit starts
+// paying off around run length 8 (§5.2, Fig. 5).
+const lastingRunThreshold = 8
+
+// Analyze classifies every object appearing in the trace.
+func Analyze(t *Trace) []Profile {
+	type acc struct {
+		writers   map[memory.NodeID]bool
+		runs      []int
+		curWriter memory.NodeID
+		curRun    int
+		writes    int
+		requests  int
+		hops      int
+	}
+	m := map[memory.ObjectID]*acc{}
+	get := func(obj memory.ObjectID) *acc {
+		a := m[obj]
+		if a == nil {
+			a = &acc{writers: map[memory.NodeID]bool{}, curWriter: memory.NoNode}
+			m[obj] = a
+		}
+		return a
+	}
+	endRun := func(a *acc) {
+		if a.curRun > 0 {
+			a.runs = append(a.runs, a.curRun)
+			a.curRun = 0
+			a.curWriter = memory.NoNode
+		}
+	}
+	for _, e := range t.Events {
+		a := get(e.Obj)
+		switch e.Kind {
+		case RemoteWrite, HomeWrite:
+			a.writes++
+			a.writers[e.Node] = true
+			if e.Node == a.curWriter {
+				a.curRun++
+			} else {
+				endRun(a)
+				a.curWriter = e.Node
+				a.curRun = 1
+			}
+		case Request:
+			a.requests++
+			a.hops += e.Hops
+		}
+	}
+	var out []Profile
+	for obj, a := range m {
+		endRun(a)
+		p := Profile{Obj: obj, Writes: a.writes, Writers: len(a.writers),
+			Requests: a.requests, RedirHops: a.hops}
+		total := 0
+		for _, r := range a.runs {
+			total += r
+			if r > p.MaxRun {
+				p.MaxRun = r
+			}
+		}
+		if len(a.runs) > 0 {
+			p.MeanRun = float64(total) / float64(len(a.runs))
+		}
+		switch {
+		case a.writes == 0:
+			p.Pattern = ReadMostly
+		case len(a.writers) == 1 || p.MeanRun >= lastingRunThreshold:
+			p.Pattern = SingleWriterLasting
+		case p.MeanRun >= 2:
+			p.Pattern = SingleWriterTransient
+		default:
+			p.Pattern = MultipleWriter
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Obj < out[j].Obj })
+	return out
+}
+
+// ReplayResult is the outcome of replaying a trace under a policy.
+type ReplayResult struct {
+	Policy     string
+	Migrations int
+	// RedirCost approximates redirection messages: each post-migration
+	// request from a node holding a stale hint pays the chain length.
+	RedirCost int
+}
+
+// Replay runs the migration decision machinery over a recorded trace
+// without the cluster — the offline what-if tool for §6's "other
+// heuristics" research. Hints are modeled per requesting node; forwarding
+// chains grow at the old home exactly as in the live protocol.
+func Replay(t *Trace, pol migration.Policy, params core.Params, objBytes func(memory.ObjectID) int) ReplayResult {
+	res := ReplayResult{Policy: pol.Name()}
+	type objState struct {
+		st    *core.State
+		home  memory.NodeID
+		hint  map[memory.NodeID]memory.NodeID // per-node belief
+		chain map[memory.NodeID]memory.NodeID // forwarding pointers
+	}
+	objs := map[memory.ObjectID]*objState{}
+	get := func(obj memory.ObjectID) *objState {
+		o := objs[obj]
+		if o == nil {
+			size := 64
+			if objBytes != nil {
+				size = objBytes(obj)
+			}
+			o = &objState{
+				st:    core.NewState(params, size),
+				home:  0,
+				hint:  map[memory.NodeID]memory.NodeID{},
+				chain: map[memory.NodeID]memory.NodeID{},
+			}
+			objs[obj] = o
+		}
+		return o
+	}
+	for _, e := range t.Events {
+		o := get(e.Obj)
+		switch e.Kind {
+		case RemoteWrite:
+			if e.Node == o.home {
+				o.st.HomeWrite(params)
+			} else {
+				o.st.RemoteWrite(e.Node, e.Size)
+			}
+		case HomeWrite:
+			o.st.HomeWrite(params)
+		case HomeRead:
+			// monitored but no feedback effect
+		case Request:
+			if e.Node == o.home {
+				continue
+			}
+			// Chase the chain from the requester's belief.
+			believed, ok := o.hint[e.Node]
+			if !ok {
+				believed = 0
+			}
+			hops := 0
+			for believed != o.home {
+				next, ok := o.chain[believed]
+				if !ok {
+					break
+				}
+				believed = next
+				hops++
+			}
+			if hops > 0 {
+				o.st.Redirected(hops)
+				res.RedirCost += hops
+			}
+			o.hint[e.Node] = o.home
+			if pol.ShouldMigrate(o.st, e.Node, 0) {
+				rec := o.st.Migrate(params)
+				o.chain[o.home] = e.Node
+				delete(o.chain, e.Node)
+				o.home = e.Node
+				o.hint[e.Node] = e.Node
+				size := 64
+				if objBytes != nil {
+					size = objBytes(e.Obj)
+				}
+				o.st = core.FromRecord(params, size, rec)
+				res.Migrations++
+			}
+		}
+	}
+	return res
+}
+
+// Report renders profiles as a table.
+func Report(profiles []Profile) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-8s %-24s %7s %7s %7s %8s %8s %6s\n",
+		"object", "pattern", "writes", "writers", "maxrun", "meanrun", "requests", "hops")
+	for _, p := range profiles {
+		fmt.Fprintf(&sb, "%-8d %-24s %7d %7d %7d %8.2f %8d %6d\n",
+			p.Obj, p.Pattern, p.Writes, p.Writers, p.MaxRun, p.MeanRun, p.Requests, p.RedirHops)
+	}
+	return sb.String()
+}

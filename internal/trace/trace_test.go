@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/memory"
+	"repro/internal/migration"
+)
+
+func params() core.Params {
+	return core.Params{Lambda: 1, TInit: 1, Alpha: func(o, d int) float64 { return 1.2 }}
+}
+
+func writeBurst(t *Trace, obj memory.ObjectID, writer memory.NodeID, n int) {
+	for i := 0; i < n; i++ {
+		t.Record(Event{Obj: obj, Kind: Request, Node: writer})
+		t.Record(Event{Obj: obj, Kind: RemoteWrite, Node: writer, Size: 64})
+	}
+}
+
+func TestAnalyzeReadMostly(t *testing.T) {
+	var tr Trace
+	tr.Record(Event{Obj: 1, Kind: Request, Node: 2})
+	tr.Record(Event{Obj: 1, Kind: HomeRead, Node: 0})
+	ps := Analyze(&tr)
+	if len(ps) != 1 || ps[0].Pattern != ReadMostly {
+		t.Fatalf("profiles = %+v", ps)
+	}
+	if ps[0].Requests != 1 {
+		t.Fatalf("requests = %d", ps[0].Requests)
+	}
+}
+
+func TestAnalyzeSingleWriterLasting(t *testing.T) {
+	var tr Trace
+	writeBurst(&tr, 5, 3, 20)
+	ps := Analyze(&tr)
+	if ps[0].Pattern != SingleWriterLasting {
+		t.Fatalf("pattern = %v", ps[0].Pattern)
+	}
+	if ps[0].MaxRun != 20 || ps[0].Writers != 1 {
+		t.Fatalf("profile = %+v", ps[0])
+	}
+}
+
+func TestAnalyzeTransientSingleWriter(t *testing.T) {
+	var tr Trace
+	for turn := 0; turn < 10; turn++ {
+		writeBurst(&tr, 5, memory.NodeID(1+turn%3), 3)
+	}
+	ps := Analyze(&tr)
+	if ps[0].Pattern != SingleWriterTransient {
+		t.Fatalf("pattern = %v (profile %+v)", ps[0].Pattern, ps[0])
+	}
+	if ps[0].Writers != 3 {
+		t.Fatalf("writers = %d", ps[0].Writers)
+	}
+}
+
+func TestAnalyzeMultipleWriter(t *testing.T) {
+	var tr Trace
+	for i := 0; i < 20; i++ {
+		tr.Record(Event{Obj: 9, Kind: RemoteWrite, Node: memory.NodeID(1 + i%2), Size: 8})
+	}
+	ps := Analyze(&tr)
+	if ps[0].Pattern != MultipleWriter {
+		t.Fatalf("pattern = %v", ps[0].Pattern)
+	}
+	if ps[0].MeanRun != 1 {
+		t.Fatalf("mean run = %v", ps[0].MeanRun)
+	}
+}
+
+func TestAnalyzeMultipleObjectsSorted(t *testing.T) {
+	var tr Trace
+	writeBurst(&tr, 7, 1, 2)
+	writeBurst(&tr, 3, 1, 2)
+	ps := Analyze(&tr)
+	if len(ps) != 2 || ps[0].Obj != 3 || ps[1].Obj != 7 {
+		t.Fatalf("profiles = %+v", ps)
+	}
+}
+
+func TestReplayLastingMigratesOnce(t *testing.T) {
+	var tr Trace
+	writeBurst(&tr, 1, 4, 15)
+	res := Replay(&tr, migration.Adaptive{P: params()}, params(), nil)
+	if res.Migrations != 1 {
+		t.Fatalf("migrations = %d, want 1", res.Migrations)
+	}
+	if res.RedirCost != 0 {
+		t.Fatalf("redir cost = %d, want 0 (single requester)", res.RedirCost)
+	}
+}
+
+func TestReplayTransientAdaptiveVsFixed(t *testing.T) {
+	// Rotating writers (runs of 2): FT1 migrates every turn and pays
+	// chains; AT stops.
+	var tr Trace
+	for turn := 0; turn < 30; turn++ {
+		writeBurst(&tr, 1, memory.NodeID(1+turn%3), 2)
+	}
+	ft := Replay(&tr, migration.Fixed{T: 1}, params(), nil)
+	at := Replay(&tr, migration.Adaptive{P: params()}, params(), nil)
+	if at.Migrations >= ft.Migrations {
+		t.Fatalf("AT migrations %d !< FT1 %d", at.Migrations, ft.Migrations)
+	}
+	if at.RedirCost >= ft.RedirCost {
+		t.Fatalf("AT redir %d !< FT1 %d", at.RedirCost, ft.RedirCost)
+	}
+}
+
+func TestReplayNoHMNeverMigrates(t *testing.T) {
+	var tr Trace
+	writeBurst(&tr, 1, 2, 50)
+	res := Replay(&tr, migration.NoHM{}, params(), nil)
+	if res.Migrations != 0 {
+		t.Fatalf("NoHM migrated %d times", res.Migrations)
+	}
+}
+
+func TestReplayUsesObjectSize(t *testing.T) {
+	var tr Trace
+	writeBurst(&tr, 1, 2, 10)
+	called := false
+	Replay(&tr, migration.Adaptive{P: params()}, params(), func(memory.ObjectID) int {
+		called = true
+		return 256
+	})
+	if !called {
+		t.Fatal("objBytes never consulted")
+	}
+}
+
+func TestReportRenders(t *testing.T) {
+	var tr Trace
+	writeBurst(&tr, 1, 2, 10)
+	out := Report(Analyze(&tr))
+	if !strings.Contains(out, "single-writer-lasting") {
+		t.Fatalf("report:\n%s", out)
+	}
+}
+
+func TestEventKindAndPatternStrings(t *testing.T) {
+	if RemoteWrite.String() == "" || Request.String() == "" || EventKind(99).String() == "" {
+		t.Fatal("event kind strings")
+	}
+	if ReadMostly.String() == "" || Pattern(99).String() == "" {
+		t.Fatal("pattern strings")
+	}
+}

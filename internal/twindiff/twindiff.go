@@ -1,0 +1,188 @@
+// Package twindiff implements the twin-and-diff technique of TreadMarks
+// [Keleher et al. 1994] as used by the home-based protocol (paper §1, §3.1):
+// before a cached copy is first written, a twin (snapshot) is taken; at
+// release time the diff — the set of words that changed relative to the
+// twin — is computed and propagated to the object's home, where it is
+// applied to the home copy. Word granularity (8 bytes) matches the
+// object-based GOS, whose coherence unit is a Java object whose fields are
+// word-sized.
+package twindiff
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Run is a maximal contiguous range of modified words.
+type Run struct {
+	Start uint32   // first modified word index
+	Words []uint64 // new values
+}
+
+// Diff is an ordered, non-overlapping set of modified-word runs.
+type Diff struct {
+	Runs []Run
+}
+
+// Twin returns a private snapshot of data (the "twin" of §3.1).
+func Twin(data []uint64) []uint64 {
+	t := make([]uint64, len(data))
+	copy(t, data)
+	return t
+}
+
+// Compute returns the diff transforming twin into cur. Both slices must
+// have equal length; Compute panics otherwise, because a length mismatch
+// means the caller twinned a different object.
+func Compute(twin, cur []uint64) Diff {
+	if len(twin) != len(cur) {
+		panic(fmt.Sprintf("twindiff: twin len %d != cur len %d", len(twin), len(cur)))
+	}
+	var d Diff
+	i := 0
+	for i < len(cur) {
+		if twin[i] == cur[i] {
+			i++
+			continue
+		}
+		j := i
+		for j < len(cur) && twin[j] != cur[j] {
+			j++
+		}
+		run := Run{Start: uint32(i), Words: make([]uint64, j-i)}
+		copy(run.Words, cur[i:j])
+		d.Runs = append(d.Runs, run)
+		i = j
+	}
+	return d
+}
+
+// Apply writes the diff's runs into dst (the home copy). Out-of-range runs
+// panic: they indicate a protocol bug, not a recoverable condition.
+func (d Diff) Apply(dst []uint64) {
+	for _, r := range d.Runs {
+		if int(r.Start)+len(r.Words) > len(dst) {
+			panic(fmt.Sprintf("twindiff: run [%d,%d) exceeds object of %d words",
+				r.Start, int(r.Start)+len(r.Words), len(dst)))
+		}
+		copy(dst[r.Start:], r.Words)
+	}
+}
+
+// Empty reports whether the diff carries no modifications.
+func (d Diff) Empty() bool { return len(d.Runs) == 0 }
+
+// WordCount returns the number of modified words carried.
+func (d Diff) WordCount() int {
+	n := 0
+	for _, r := range d.Runs {
+		n += len(r.Words)
+	}
+	return n
+}
+
+// WireSize returns the encoded size in bytes: a 4-byte run count, then per
+// run a 4-byte start, 4-byte length and 8 bytes per word. This is the size
+// charged to the network model for diff propagation.
+func (d Diff) WireSize() int {
+	n := 4
+	for _, r := range d.Runs {
+		n += 8 + 8*len(r.Words)
+	}
+	return n
+}
+
+// Merge returns the diff equivalent to applying a, then b. Overlapping
+// words take b's values. Used by the home when coalescing diffs from the
+// same interval, and by property tests asserting apply-order equivalence.
+func Merge(a, b Diff) Diff {
+	// Materialize over a sparse map view; diffs are small relative to
+	// objects so a map keeps this simple and obviously correct.
+	words := make(map[uint32]uint64)
+	var order []uint32
+	put := func(d Diff) {
+		for _, r := range d.Runs {
+			for k, w := range r.Words {
+				idx := r.Start + uint32(k)
+				if _, seen := words[idx]; !seen {
+					order = append(order, idx)
+				}
+				words[idx] = w
+			}
+		}
+	}
+	put(a)
+	put(b)
+	if len(order) == 0 {
+		return Diff{}
+	}
+	// Rebuild runs in ascending index order.
+	sortU32(order)
+	var out Diff
+	i := 0
+	for i < len(order) {
+		j := i
+		for j+1 < len(order) && order[j+1] == order[j]+1 {
+			j++
+		}
+		run := Run{Start: order[i], Words: make([]uint64, j-i+1)}
+		for k := i; k <= j; k++ {
+			run.Words[k-i] = words[order[k]]
+		}
+		out.Runs = append(out.Runs, run)
+		i = j + 1
+	}
+	return out
+}
+
+func sortU32(s []uint32) {
+	// insertion sort: run lists are short and this avoids pulling in sort
+	// for a hot path type.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Encode appends the wire form of d to buf and returns the result.
+func (d Diff) Encode(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(d.Runs)))
+	for _, r := range d.Runs {
+		buf = binary.LittleEndian.AppendUint32(buf, r.Start)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Words)))
+		for _, w := range r.Words {
+			buf = binary.LittleEndian.AppendUint64(buf, w)
+		}
+	}
+	return buf
+}
+
+// Decode parses a diff from buf, returning the diff and the number of
+// bytes consumed.
+func Decode(buf []byte) (Diff, int, error) {
+	if len(buf) < 4 {
+		return Diff{}, 0, fmt.Errorf("twindiff: truncated header")
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	off := 4
+	var d Diff
+	for i := 0; i < n; i++ {
+		if len(buf) < off+8 {
+			return Diff{}, 0, fmt.Errorf("twindiff: truncated run %d header", i)
+		}
+		start := binary.LittleEndian.Uint32(buf[off:])
+		cnt := int(binary.LittleEndian.Uint32(buf[off+4:]))
+		off += 8
+		if len(buf) < off+8*cnt {
+			return Diff{}, 0, fmt.Errorf("twindiff: truncated run %d body", i)
+		}
+		words := make([]uint64, cnt)
+		for k := 0; k < cnt; k++ {
+			words[k] = binary.LittleEndian.Uint64(buf[off:])
+			off += 8
+		}
+		d.Runs = append(d.Runs, Run{Start: start, Words: words})
+	}
+	return d, off, nil
+}

@@ -1,0 +1,218 @@
+package wire
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/memory"
+	"repro/internal/twindiff"
+)
+
+func sampleMsg() Msg {
+	return Msg{
+		Kind:      ObjReply,
+		From:      3,
+		To:        1,
+		Obj:       42,
+		ReplyNode: 1,
+		ReplySlot: 7,
+		Hops:      2,
+		Lock:      5,
+		Barrier:   9,
+		Home:      3,
+		Migrate:   true,
+		HasRec:    true,
+		Seq:       1001,
+		Data:      []uint64{10, 20, 30},
+		Diff:      twindiff.Diff{Runs: []twindiff.Run{{Start: 1, Words: []uint64{99}}}},
+		Diffs: []ObjDiff{
+			{Obj: 7, D: twindiff.Diff{Runs: []twindiff.Run{{Start: 0, Words: []uint64{1, 2}}}}},
+			{Obj: 8, D: twindiff.Diff{}},
+		},
+		Rec:     core.Record{TBase: 2.5, Epoch: 3, AvgDiff: 77.5, DiffObs: 12},
+		Assigns: []HomeAssign{{Obj: 4, Home: 2}},
+		Reports: []WriteReport{{Obj: 4, Writer: 6}, {Obj: 5, Writer: 0}},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := sampleMsg()
+	buf := m.Encode(nil)
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, m)
+	}
+}
+
+func TestWireSizeMatchesEncoding(t *testing.T) {
+	m := sampleMsg()
+	if got, want := len(m.Encode(nil)), m.WireSize(); got != want {
+		t.Fatalf("encoded %d bytes, WireSize = %d", got, want)
+	}
+}
+
+func TestMinimalMessageSize(t *testing.T) {
+	// A bare request (no payload sections) should stay small: header +
+	// four empty section counts + empty diff header.
+	m := Msg{Kind: ObjReq, From: 0, To: 1, Obj: 9}
+	if got := m.WireSize(); got != 32+4+4+4+4+4 {
+		t.Fatalf("minimal WireSize = %d", got)
+	}
+	dec, err := Decode(m.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Kind != ObjReq || dec.Obj != 9 {
+		t.Fatalf("decoded %+v", dec)
+	}
+}
+
+func TestNegativeNodeIDsSurvive(t *testing.T) {
+	m := Msg{Kind: HomeMiss, From: memory.NoNode, To: 2, Home: memory.NoNode}
+	dec, err := Decode(m.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.From != memory.NoNode || dec.Home != memory.NoNode {
+		t.Fatalf("NoNode mangled: %+v", dec)
+	}
+}
+
+func TestDecodeRejectsUnknownKind(t *testing.T) {
+	m := Msg{Kind: ObjReq}
+	buf := m.Encode(nil)
+	buf[0] = 200
+	if _, err := Decode(buf); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	buf := sampleMsg().Encode(nil)
+	for cut := 0; cut < len(buf); cut += 3 {
+		if _, err := Decode(buf[:cut]); err == nil {
+			t.Fatalf("truncated to %d/%d accepted", cut, len(buf))
+		}
+	}
+}
+
+func TestDecodeRejectsTrailingGarbage(t *testing.T) {
+	buf := sampleMsg().Encode(nil)
+	buf = append(buf, 0xFF)
+	if _, err := Decode(buf); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if ObjReq.String() != "ObjReq" || HomeMiss.String() != "HomeMiss" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("out-of-range kind prints empty")
+	}
+}
+
+// randMsg builds a random message for fuzz-style round-trip testing.
+func randMsg(rng *rand.Rand) Msg {
+	m := Msg{
+		Kind:      Kind(rng.Intn(int(numKinds))),
+		From:      memory.NodeID(rng.Intn(16)),
+		To:        memory.NodeID(rng.Intn(16)),
+		Obj:       memory.ObjectID(rng.Uint32()),
+		ReplyNode: memory.NodeID(rng.Intn(16)),
+		ReplySlot: int32(rng.Intn(64)),
+		Hops:      uint16(rng.Intn(8)),
+		Lock:      rng.Uint32(),
+		Barrier:   rng.Uint32(),
+		Home:      memory.NodeID(rng.Intn(16)),
+		Migrate:   rng.Intn(2) == 0,
+		Seq:       rng.Uint32(),
+	}
+	if rng.Intn(2) == 0 {
+		m.Data = make([]uint64, rng.Intn(16))
+		for i := range m.Data {
+			m.Data[i] = rng.Uint64()
+		}
+		if len(m.Data) == 0 {
+			m.Data = nil
+		}
+	}
+	if rng.Intn(2) == 0 {
+		base := make([]uint64, 32)
+		cur := twindiff.Twin(base)
+		for i := 0; i < rng.Intn(10); i++ {
+			cur[rng.Intn(32)] = rng.Uint64()
+		}
+		m.Diff = twindiff.Compute(base, cur)
+	}
+	for i := 0; i < rng.Intn(3); i++ {
+		base := make([]uint64, 8)
+		cur := twindiff.Twin(base)
+		cur[rng.Intn(8)] = rng.Uint64()
+		m.Diffs = append(m.Diffs, ObjDiff{
+			Obj: memory.ObjectID(rng.Uint32()),
+			D:   twindiff.Compute(base, cur),
+		})
+	}
+	if rng.Intn(2) == 0 {
+		m.HasRec = true
+		m.Rec = core.Record{
+			TBase:   rng.Float64() * 10,
+			Epoch:   int32(rng.Intn(100)),
+			AvgDiff: rng.Float64() * 1000,
+			DiffObs: int32(rng.Intn(1000)),
+		}
+	}
+	for i := 0; i < rng.Intn(4); i++ {
+		m.Assigns = append(m.Assigns, HomeAssign{
+			Obj: memory.ObjectID(rng.Uint32()), Home: memory.NodeID(rng.Intn(16))})
+	}
+	for i := 0; i < rng.Intn(4); i++ {
+		m.Reports = append(m.Reports, WriteReport{
+			Obj: memory.ObjectID(rng.Uint32()), Writer: memory.NodeID(rng.Intn(16))})
+	}
+	return m
+}
+
+func TestRandomRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		m := randMsg(rng)
+		buf := m.Encode(nil)
+		if len(buf) != m.WireSize() {
+			t.Fatalf("iter %d: encode len %d != WireSize %d", i, len(buf), m.WireSize())
+		}
+		got, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("iter %d: round trip mismatch\n got %+v\nwant %+v", i, got, m)
+		}
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	m := sampleMsg()
+	buf := make([]byte, 0, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = m.Encode(buf[:0])
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	buf := sampleMsg().Encode(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
