@@ -33,11 +33,21 @@ func main() {
 	all := flag.Bool("all", false, "regenerate every figure and ablation")
 	full := flag.Bool("full", false, "use the paper's full problem sizes (slow) instead of scaled defaults")
 	quiet := flag.Bool("q", false, "suppress progress output")
+	benchJSON := flag.String("benchjson", "", "run the kernel/hot-path microbenchmarks and write a machine-readable report to this file (\"-\" for stdout), e.g. BENCH_kernel.json")
 	flag.Parse()
 
 	if *all {
 		figs = multiFlag{"2", "3", "5a", "5b"}
 		ablates = multiFlag{"locator", "lambda", "tinit", "related", "piggyback", "pathcompress"}
+	}
+	if *benchJSON != "" {
+		if err := bench.WriteKernelBenchJSON(*benchJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "dsmbench:", err)
+			os.Exit(1)
+		}
+		if len(figs) == 0 && len(ablates) == 0 {
+			return
+		}
 	}
 	if len(figs) == 0 && len(ablates) == 0 {
 		flag.Usage()

@@ -1,0 +1,44 @@
+package dsm_test
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/bench"
+)
+
+// TestFig2SmallestConfigDeterministic is the golden-stats regression for
+// the simulation kernel: Figure 2's smallest configuration (the ASP
+// benchmark on 2 processors) run twice must produce byte-identical
+// metrics — the same virtual execution time, the same final quiesce time,
+// the same protocol counters, and the same kernel event/activation
+// counts. Any scheduling, queueing or allocation-reuse change that
+// perturbs event order shows up here immediately.
+func TestFig2SmallestConfigDeterministic(t *testing.T) {
+	for _, pol := range []string{"NoHM", "AT"} {
+		s := bench.DefaultSizes()
+		run := func() apps.Result {
+			res, err := apps.RunASP(s.ASPN, apps.Options{Nodes: 2, Policy: pol})
+			if err != nil {
+				t.Fatalf("%s: %v", pol, err)
+			}
+			return res
+		}
+		m1, m2 := run().Metrics, run().Metrics
+		if m1.ExecTime != m2.ExecTime {
+			t.Errorf("%s: ExecTime %v vs %v", pol, m1.ExecTime, m2.ExecTime)
+		}
+		if m1.FinalTime != m2.FinalTime {
+			t.Errorf("%s: FinalTime %v vs %v", pol, m1.FinalTime, m2.FinalTime)
+		}
+		if m1.Kernel != m2.Kernel {
+			t.Errorf("%s: kernel stats %+v vs %+v", pol, m1.Kernel, m2.Kernel)
+		}
+		if m1.Counters != m2.Counters {
+			t.Errorf("%s: protocol counters diverge:\n%+v\nvs\n%+v", pol, m1.Counters, m2.Counters)
+		}
+		if m1.Kernel.Events == 0 || m1.TotalMsgs(true) == 0 {
+			t.Errorf("%s: implausibly empty run: %+v", pol, m1.Kernel)
+		}
+	}
+}

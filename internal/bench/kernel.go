@@ -1,0 +1,178 @@
+// Kernel and hot-path microbenchmarks, runnable outside `go test` so
+// cmd/dsmbench can emit a machine-readable BENCH_kernel.json and the perf
+// trajectory of the simulator is tracked across PRs.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/gos"
+	"repro/internal/memory"
+	"repro/internal/sim"
+	"repro/internal/twindiff"
+)
+
+// KernelBench is one microbenchmark measurement.
+type KernelBench struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// KernelBenchReport is the BENCH_kernel.json schema.
+type KernelBenchReport struct {
+	GoVersion string        `json:"go_version"`
+	GOARCH    string        `json:"goarch"`
+	Benches   []KernelBench `json:"benches"`
+}
+
+// RunKernelBenchmarks measures the simulator's hot paths: kernel
+// ping-pong (proc switching), queue drain (ring buffer), twin/diff
+// compute+merge, a gos barrier episode, and one small end-to-end Fig. 2
+// cell. Steady-state allocs/op of the pure-kernel benches should be zero.
+func RunKernelBenchmarks() []KernelBench {
+	var out []KernelBench
+	add := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		out = append(out, KernelBench{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+
+	add("kernel_ping_pong", func(b *testing.B) {
+		b.ReportAllocs()
+		e := sim.NewEnv()
+		a2b := e.NewQueue("a2b")
+		b2a := e.NewQueue("b2a")
+		token := struct{}{}
+		e.Spawn("a", func(p *sim.Proc) {
+			for i := 0; i < b.N; i++ {
+				p.Sleep(3)
+				a2b.Send(token)
+				b2a.Recv(p)
+			}
+		})
+		e.Spawn("b", func(p *sim.Proc) {
+			for i := 0; i < b.N; i++ {
+				a2b.Recv(p)
+				p.Sleep(7)
+				b2a.Send(token)
+			}
+		})
+		b.ResetTimer()
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	})
+
+	add("queue_drain", func(b *testing.B) {
+		b.ReportAllocs()
+		e := sim.NewEnv()
+		q := e.NewQueue("drain")
+		for i := 0; i < b.N; i++ {
+			q.Send(i)
+		}
+		b.ResetTimer()
+		e.Spawn("consumer", func(p *sim.Proc) {
+			for i := 0; i < b.N; i++ {
+				q.Recv(p)
+			}
+		})
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	})
+
+	add("twindiff_compute_merge", func(b *testing.B) {
+		b.ReportAllocs()
+		const words = 512
+		var pool twindiff.Pool
+		cur := make([]uint64, words)
+		for i := range cur {
+			cur[i] = uint64(i * 3)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tw := twindiff.TwinInto(&pool, cur)
+			for k := 0; k < 16; k++ {
+				cur[10+k] = uint64(i + k)
+				cur[200+k] = uint64(i ^ k)
+			}
+			d1 := twindiff.ComputeInto(&pool, tw, cur)
+			pool.PutWords(tw)
+			tw2 := twindiff.TwinInto(&pool, cur)
+			for k := 0; k < 8; k++ {
+				cur[20+k] = uint64(i + 7*k)
+			}
+			d2 := twindiff.ComputeInto(&pool, tw2, cur)
+			pool.PutWords(tw2)
+			twindiff.Merge(d1, d2)
+			pool.PutDiff(d1)
+			pool.PutDiff(d2)
+		}
+	})
+
+	add("gos_barrier_episode", func(b *testing.B) {
+		const nodes = 8
+		c := gos.New(gos.Config{Nodes: nodes, DebugWire: true})
+		bar := c.AddBarrier(0, nodes)
+		var ws []gos.Worker
+		for i := 0; i < nodes; i++ {
+			ws = append(ws, gos.Worker{Node: memory.NodeID(i), Name: "w", Fn: func(th *gos.Thread) {
+				for i := 0; i < b.N; i++ {
+					th.Barrier(bar)
+				}
+			}})
+		}
+		b.ResetTimer()
+		if _, err := c.Run(ws); err != nil {
+			b.Fatal(err)
+		}
+	})
+
+	add("fig2_asp_p2_at", func(b *testing.B) {
+		b.ReportAllocs()
+		s := DefaultSizes()
+		for i := 0; i < b.N; i++ {
+			if _, err := apps.RunASP(s.ASPN, apps.Options{Nodes: 2, Policy: "AT"}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	return out
+}
+
+// WriteKernelBenchJSON runs the kernel benchmarks and writes the report
+// to path (stdout when path is "-").
+func WriteKernelBenchJSON(path string) error {
+	rep := KernelBenchReport{
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		Benches:   RunKernelBenchmarks(),
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return fmt.Errorf("bench: writing %s: %w", path, err)
+	}
+	return nil
+}

@@ -34,6 +34,11 @@ type Config struct {
 
 // Network connects n node daemons. Inbox(i) is the delivery queue of node
 // i's protocol daemon; all sends are asynchronous with Hockney latency.
+//
+// Messages travel through queues as *wire.Msg drawn from a freelist:
+// boxing a pointer into the queue's `any` slot is allocation-free, whereas
+// boxing the fat Msg struct would heap-allocate a copy per hop. Receivers
+// must copy the struct out and return the box with FreeMsg.
 type Network struct {
 	env      *sim.Env
 	cfg      Config
@@ -44,6 +49,8 @@ type Network struct {
 	// lastArrival enforces FIFO per (src,dst) pair, as TCP would: a large
 	// message cannot be overtaken by a smaller one sent later.
 	lastArrival [][]sim.Time
+	msgPool     []*wire.Msg
+	scratch     []byte // reused encode buffer for DebugCheck verification
 }
 
 // New builds a network of n nodes recording into counters.
@@ -58,6 +65,29 @@ func New(env *sim.Env, cfg Config, n int, counters *stats.Counters) *Network {
 
 // Nodes reports the cluster size.
 func (n *Network) Nodes() int { return len(n.inboxes) }
+
+// AllocMsg returns a message box holding a copy of msg, drawn from the
+// freelist. Use it when enqueueing a message on any sim queue; the
+// receiver returns the box with FreeMsg.
+func (n *Network) AllocMsg(msg wire.Msg) *wire.Msg {
+	if k := len(n.msgPool); k > 0 {
+		m := n.msgPool[k-1]
+		n.msgPool[k-1] = nil
+		n.msgPool = n.msgPool[:k-1]
+		*m = msg
+		return m
+	}
+	m := new(wire.Msg)
+	*m = msg
+	return m
+}
+
+// FreeMsg returns a message box to the freelist. The caller must have
+// copied out any fields it still needs; the box is reused on the next
+// AllocMsg (the slices it referenced are not touched, only the struct).
+func (n *Network) FreeMsg(m *wire.Msg) {
+	n.msgPool = append(n.msgPool, m)
+}
 
 // Inbox returns node id's delivery queue.
 func (n *Network) Inbox(id memory.NodeID) *sim.Queue { return n.inboxes[id] }
@@ -85,11 +115,10 @@ func (n *Network) Send(msg wire.Msg, cat stats.Category) {
 		arrival = last // FIFO per pair
 	}
 	n.lastArrival[msg.From][msg.To] = arrival
-	inbox := n.inboxes[msg.To]
-	n.env.At(arrival-n.env.Now(), func() {
-		n.inflight--
-		inbox.Send(msg)
-	})
+	// Allocation-free delivery: the kernel enqueues a pooled message box
+	// on the inbox at arrival time and decrements the in-flight counter;
+	// no closure and no struct boxing.
+	n.env.DeliverAt(arrival-n.env.Now(), n.inboxes[msg.To], n.AllocMsg(msg), &n.inflight)
 }
 
 // InFlight reports messages sent but not yet delivered to an inbox.
@@ -129,7 +158,8 @@ func (n *Network) Broadcast(msg wire.Msg, cat stats.Category) {
 func (n *Network) Sent() uint64 { return n.sent }
 
 func (n *Network) verify(msg wire.Msg, size int) {
-	buf := msg.Encode(nil)
+	buf := msg.Encode(n.scratch[:0])
+	n.scratch = buf
 	if len(buf) != size {
 		panic(fmt.Sprintf("cnet: WireSize %d != encoded %d for %v", size, len(buf), msg.Kind))
 	}

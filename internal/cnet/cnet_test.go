@@ -22,7 +22,7 @@ func TestDeliveryWithLatency(t *testing.T) {
 	msg := wire.Msg{Kind: wire.ObjReq, From: 0, To: 1, Obj: 7}
 	var arrived sim.Time
 	env.Spawn("recv", func(p *sim.Proc) {
-		m := nw.Inbox(1).Recv(p).(wire.Msg)
+		m := (*nw.Inbox(1).Recv(p).(*wire.Msg))
 		arrived = p.Now()
 		if m.Obj != 7 {
 			t.Errorf("payload mangled: %+v", m)
@@ -50,7 +50,7 @@ func TestFIFOPerPairEvenWithMixedSizes(t *testing.T) {
 	var order []wire.Kind
 	env.Spawn("recv", func(p *sim.Proc) {
 		for i := 0; i < 2; i++ {
-			order = append(order, nw.Inbox(1).Recv(p).(wire.Msg).Kind)
+			order = append(order, (*nw.Inbox(1).Recv(p).(*wire.Msg)).Kind)
 		}
 	})
 	env.Spawn("send", func(p *sim.Proc) {
@@ -135,7 +135,7 @@ func TestBroadcastReachesAllButSender(t *testing.T) {
 	for i := 1; i < 4; i++ {
 		i := i
 		env.Spawn("recv", func(p *sim.Proc) {
-			m := nw.Inbox(memory.NodeID(i)).Recv(p).(wire.Msg)
+			m := (*nw.Inbox(memory.NodeID(i)).Recv(p).(*wire.Msg))
 			if int(m.To) != i {
 				t.Errorf("node %d got message addressed to %d", i, m.To)
 			}
@@ -162,7 +162,7 @@ func TestFIFOPerPair(t *testing.T) {
 	var seqs []uint32
 	env.Spawn("recv", func(p *sim.Proc) {
 		for i := 0; i < 5; i++ {
-			seqs = append(seqs, nw.Inbox(1).Recv(p).(wire.Msg).Seq)
+			seqs = append(seqs, (*nw.Inbox(1).Recv(p).(*wire.Msg)).Seq)
 		}
 	})
 	env.Spawn("send", func(p *sim.Proc) {

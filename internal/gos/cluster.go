@@ -288,7 +288,12 @@ func (c *Cluster) Run(workers []Worker) (stats.Metrics, error) {
 		}
 	})
 	err := c.env.Run()
-	m := stats.Metrics{ExecTime: c.endTime, Counters: c.Counters}
+	m := stats.Metrics{
+		ExecTime:  c.endTime,
+		FinalTime: c.env.Now(),
+		Kernel:    c.env.Stats(),
+		Counters:  c.Counters,
+	}
 	return m, err
 }
 
@@ -365,6 +370,13 @@ func (c *Cluster) quiesced() bool {
 // send transmits a protocol message, recording it under cat.
 func (c *Cluster) send(msg wire.Msg, cat stats.Category) {
 	c.net.Send(msg, cat)
+}
+
+// deliver enqueues a protocol message on a local queue (same-node
+// daemon→thread handoff, which bypasses the network) through the pooled
+// message-box path, avoiding a per-send struct boxing allocation.
+func (c *Cluster) deliver(q *sim.Queue, msg wire.Msg) {
+	q.Send(c.net.AllocMsg(msg))
 }
 
 // quitMsg tells a daemon to exit after the workload completes.

@@ -2,7 +2,7 @@ package gos
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/core"
 	"repro/internal/locator"
@@ -37,6 +37,10 @@ type Node struct {
 	bars     map[uint32]*syncmgr.Barrier
 	jjWriter map[uint32]map[memory.ObjectID][]memory.NodeID
 	barWait  map[uint32][]int32 // local thread slots parked per barrier
+
+	// pool recycles twin buffers, diff run storage and invalidated cached
+	// copies' data so the steady-state write/flush cycle is allocation-free.
+	pool twindiff.Pool
 
 	threads []*Thread
 	inbox   *sim.Queue
@@ -74,11 +78,16 @@ func (n *Node) spawnDaemon() {
 func (n *Node) daemon(p *sim.Proc) {
 	for {
 		raw := n.inbox.Recv(p)
-		if _, quit := raw.(quitMsg); quit {
-			return
+		pm, ok := raw.(*wire.Msg)
+		if !ok {
+			if _, quit := raw.(quitMsg); quit {
+				return
+			}
+			panic(fmt.Sprintf("gos: daemon %d: stray token %T", n.id, raw))
 		}
 		n.busy = true
-		msg := raw.(wire.Msg)
+		msg := *pm
+		n.c.net.FreeMsg(pm)
 		p.Sleep(n.c.cfg.MsgProcCost)
 		n.handle(msg)
 		n.busy = false
@@ -140,7 +149,7 @@ func (n *Node) handle(msg wire.Msg) {
 
 // toThread routes a thread-addressed message to its reply queue.
 func (n *Node) toThread(msg wire.Msg) {
-	n.threads[msg.ReplySlot].reply.Send(msg)
+	n.c.deliver(n.threads[msg.ReplySlot].reply, msg)
 }
 
 // handleObjReq serves a fault-in at the object's (believed) home.
@@ -182,8 +191,7 @@ func (n *Node) serveFault(msg wire.Msg) {
 	}
 
 	o := n.cache[obj]
-	data := make([]uint64, len(o.Data))
-	copy(data, o.Data)
+	data := twindiff.TwinInto(&n.pool, o.Data)
 	reply := wire.Msg{
 		Kind: wire.ObjReply, From: n.id, To: requester, Obj: obj,
 		ReplyNode: requester, ReplySlot: msg.ReplySlot, Seq: msg.Seq,
@@ -304,7 +312,15 @@ func (n *Node) applyRemoteDiff(obj memory.ObjectID, d twindiff.Diff, writer memo
 	}
 	// After a write by writer, every other cached copy is stale under LRC;
 	// approximate the copyset as {writer} (it certainly has a current copy).
-	n.copyset[obj] = map[memory.NodeID]bool{writer: true}
+	// Reuse the existing map rather than allocating one per diff receipt.
+	set := n.copyset[obj]
+	if set == nil {
+		set = make(map[memory.NodeID]bool, 1)
+		n.copyset[obj] = set
+	} else {
+		clear(set)
+	}
+	set[writer] = true
 }
 
 // noteMyWrite records a first-write-of-interval for Jiajia's barrier-time
@@ -382,7 +398,7 @@ func (n *Node) handleDaemonDiffAck(msg wire.Msg) {
 func (n *Node) grantLock(lock uint32, w syncmgr.Waiter) {
 	msg := wire.Msg{Kind: wire.LockGrant, From: n.id, To: w.Node, Lock: lock, ReplySlot: w.Slot}
 	if w.Node == n.id {
-		n.threads[w.Slot].reply.Send(msg)
+		n.c.deliver(n.threads[w.Slot].reply, msg)
 		return
 	}
 	n.c.send(msg, stats.LockMsg)
@@ -425,7 +441,7 @@ func (n *Node) barrierRelease(bid uint32) {
 				ids = append(ids, obj)
 			}
 		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		slices.Sort(ids)
 		for _, obj := range ids {
 			assigns = append(assigns, wire.HomeAssign{Obj: obj, Home: ws[obj][0]})
 		}
@@ -450,9 +466,9 @@ func (n *Node) applyBarrierGo(msg wire.Msg) {
 		n.applyAssign(a)
 	}
 	slots := n.barWait[msg.Barrier]
-	n.barWait[msg.Barrier] = nil
+	n.barWait[msg.Barrier] = slots[:0] // keep the backing array for the next episode
 	for _, s := range slots {
-		n.threads[s].reply.Send(msg)
+		n.c.deliver(n.threads[s].reply, msg)
 	}
 }
 
@@ -513,6 +529,9 @@ func (n *Node) beginInterval() {
 			kept = append(kept, obj) // unflushed writes survive acquires
 			continue
 		}
+		// The dropped copy's data (installed from a fault-in reply) feeds
+		// the pool; the next twin, diff or served fault reuses it.
+		n.pool.PutWords(o.Data)
 		n.cache[obj] = nil
 		n.c.Counters.InvalidatedObjs++
 	}

@@ -2,7 +2,7 @@ package gos
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/locator"
 	"repro/internal/memory"
@@ -28,6 +28,11 @@ type Thread struct {
 
 	pending sim.Time // accumulated local compute, materialized lazily
 	seq     uint32
+
+	// outstanding/pendingQuery are flushDirty's working state, kept on the
+	// thread so the maps are allocated once and reused across flushes.
+	outstanding  map[memory.ObjectID]twindiff.Diff
+	pendingQuery map[memory.ObjectID]bool
 }
 
 // retryDiff is an internal timer token: re-send the diff for obj after a
@@ -138,7 +143,7 @@ func (t *Thread) objForWrite(obj memory.ObjectID) *memory.Object {
 			continue // the fault may have migrated the home to us
 		}
 		if o.State == memory.ReadOnly {
-			o.Twin = twindiff.Twin(o.Data)
+			o.Twin = twindiff.TwinInto(&n.pool, o.Data)
 			o.Dirty = true
 			o.State = memory.ReadWrite
 			n.dirtyList = append(n.dirtyList, obj)
@@ -265,13 +270,13 @@ func (t *Thread) queryManager(obj memory.ObjectID) {
 
 // recvMsg blocks for the next protocol message addressed to this thread.
 func (t *Thread) recvMsg() wire.Msg {
-	for {
-		raw := t.reply.Recv(t.proc)
-		if msg, ok := raw.(wire.Msg); ok {
-			return msg
-		}
-		panic(fmt.Sprintf("gos: thread %s: stray token %T", t.name, raw))
+	raw := t.reply.Recv(t.proc)
+	if pm, ok := raw.(*wire.Msg); ok {
+		msg := *pm
+		t.c.net.FreeMsg(pm)
+		return msg
 	}
+	panic(fmt.Sprintf("gos: thread %s: stray token %T", t.name, raw))
 }
 
 // Acquire obtains the distributed lock, then applies acquire-side
@@ -361,11 +366,15 @@ func (t *Thread) flushDirty(syncHome memory.NodeID) []wire.ObjDiff {
 	if len(n.dirtyList) == 0 {
 		return nil
 	}
-	sort.Slice(n.dirtyList, func(i, j int) bool { return n.dirtyList[i] < n.dirtyList[j] })
+	slices.Sort(n.dirtyList)
 	canPiggy := t.c.cfg.Piggyback && t.c.cfg.Locator == locator.ForwardingPointer &&
 		syncHome != n.id
 	var piggy []wire.ObjDiff
-	outstanding := make(map[memory.ObjectID]twindiff.Diff)
+	if t.outstanding == nil {
+		t.outstanding = make(map[memory.ObjectID]twindiff.Diff)
+		t.pendingQuery = make(map[memory.ObjectID]bool)
+	}
+	outstanding := t.outstanding
 	for _, obj := range n.dirtyList {
 		o := n.cache[obj]
 		if o == nil || !o.Dirty {
@@ -374,7 +383,8 @@ func (t *Thread) flushDirty(syncHome memory.NodeID) []wire.ObjDiff {
 		if n.isHome[obj] {
 			panic(fmt.Sprintf("gos: home copy of %d is dirty on node %d", obj, n.id))
 		}
-		d := twindiff.Compute(o.Twin, o.Data)
+		d := twindiff.ComputeInto(&n.pool, o.Twin, o.Data)
+		n.pool.PutWords(o.Twin) // the twin's job is done; recycle it
 		o.Twin = nil
 		o.Dirty = false
 		o.State = memory.ReadOnly
@@ -393,16 +403,23 @@ func (t *Thread) flushDirty(syncHome memory.NodeID) []wire.ObjDiff {
 	}
 	n.dirtyList = n.dirtyList[:0]
 
-	pendingQuery := make(map[memory.ObjectID]bool)
+	pendingQuery := t.pendingQuery
 	for len(outstanding) > 0 {
-		switch msg := t.reply.Recv(t.proc).(type) {
+		switch raw := t.reply.Recv(t.proc).(type) {
 		case retryDiff:
-			if d, ok := outstanding[msg.obj]; ok {
-				t.sendDiff(msg.obj, d)
+			if d, ok := outstanding[raw.obj]; ok {
+				t.sendDiff(raw.obj, d)
 			}
-		case wire.Msg:
+		case *wire.Msg:
+			msg := *raw
+			t.c.net.FreeMsg(raw)
 			switch msg.Kind {
 			case wire.DiffAck:
+				// The ack means the home applied the diff; nothing holds
+				// its buffers any more, so they can be recycled.
+				if d, ok := outstanding[msg.Obj]; ok {
+					n.pool.PutDiff(d)
+				}
 				delete(outstanding, msg.Obj)
 			case wire.HomeMiss:
 				if msg.Home != memory.NoNode && msg.Home != n.id {
@@ -441,7 +458,7 @@ func (t *Thread) flushDirty(syncHome memory.NodeID) []wire.ObjDiff {
 				panic(fmt.Sprintf("gos: thread %s: unexpected %v during flush", t.name, msg.Kind))
 			}
 		default:
-			panic(fmt.Sprintf("gos: thread %s: stray %T during flush", t.name, msg))
+			panic(fmt.Sprintf("gos: thread %s: stray %T during flush", t.name, raw))
 		}
 	}
 	return piggy

@@ -1,0 +1,82 @@
+package sim
+
+import "testing"
+
+// Kernel microbenchmarks. The hot path must be allocation-free in steady
+// state: ReportAllocs keeps that property visible in every run, and
+// cmd/dsmbench -benchjson tracks it across PRs.
+
+// BenchmarkKernelPingPong measures the full proc-switch cycle: two procs
+// exchanging messages through queues, with a sleep on each side — the
+// daemon/thread interaction pattern of the DSM protocol. Steady state
+// must be allocation-free.
+func BenchmarkKernelPingPong(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEnv()
+	a2b := e.NewQueue("a2b")
+	b2a := e.NewQueue("b2a")
+	token := struct{}{}
+	e.Spawn("a", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(3)
+			a2b.Send(token)
+			b2a.Recv(p)
+		}
+	})
+	e.Spawn("b", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			a2b.Recv(p)
+			p.Sleep(7)
+			b2a.Send(token)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkQueueDrain measures receiving a deep backlog. The ring buffer
+// makes this O(n); the previous shift-on-receive slice was O(n²).
+func BenchmarkQueueDrain(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEnv()
+	q := e.NewQueue("drain")
+	for i := 0; i < b.N; i++ {
+		q.Send(i)
+	}
+	b.ResetTimer()
+	e.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			q.Recv(p)
+		}
+	})
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkEventSchedule measures raw schedule+fire throughput of the
+// 4-ary event heap with a pending population of 1024 events.
+func BenchmarkEventSchedule(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEnv()
+	var fired int
+	fn := func() { fired++ }
+	for i := 0; i < 1024; i++ {
+		e.At(Time(i)<<20, fn)
+	}
+	b.ResetTimer()
+	e.Spawn("scheduler", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			e.At(Time(i%1000), fn)
+			if len(e.events) > 4096 {
+				p.Sleep(1 << 10) // let some fire so the heap stays bounded
+			}
+		}
+	})
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	_ = fired
+}

@@ -8,10 +8,15 @@
 // runs at any instant; control is handed back and forth through unbuffered
 // channels. Two runs with the same inputs produce identical event orders,
 // identical virtual times and identical statistics.
+//
+// Performance: the kernel is allocation-free in steady state. Events are a
+// tagged union (activate-proc / deliver-to-queue / generic-fn) stored by
+// value in a 4-ary min-heap, so Sleep, queue wakeups and message
+// deliveries schedule without touching the heap allocator; queues are ring
+// buffers with O(1) receive and single-waiter wakeup.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"runtime/debug"
 	"sort"
@@ -47,46 +52,58 @@ func (t Time) String() string {
 	}
 }
 
-// event is a scheduled callback. seq breaks ties so that events scheduled
-// earlier fire earlier, giving FIFO semantics at equal timestamps.
+// eventKind discriminates the scheduled-event union.
+type eventKind uint8
+
+const (
+	// evFn runs an arbitrary callback (cold paths: retries, test hooks).
+	evFn eventKind = iota
+	// evActivate resumes a parked proc (Sleep wakeups, queue wakeups,
+	// spawn activation) without allocating a closure.
+	evActivate
+	// evDeliver enqueues a payload on a queue at delivery time — the
+	// simulated-network hot path.
+	evDeliver
+)
+
+// event is a scheduled occurrence. seq breaks ties so that events
+// scheduled earlier fire earlier, giving FIFO semantics at equal
+// timestamps. Exactly one of fn/proc/q is meaningful, per kind.
 type event struct {
-	t   Time
-	seq uint64
-	fn  func()
+	t    Time
+	seq  uint64
+	kind eventKind
+	proc *Proc  // evActivate target
+	q    *Queue // evDeliver target
+	msg  any    // evDeliver payload
+	// inflight, when non-nil, is decremented at delivery (evDeliver);
+	// it lets the network model track undelivered messages without a
+	// per-message closure.
+	inflight *int
+	fn       func() // evFn callback
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+func (ev *event) before(other *event) bool {
+	if ev.t != other.t {
+		return ev.t < other.t
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() (popped any) {
-	old := *h
-	n := len(old)
-	popped = old[n-1]
-	*h = old[:n-1]
-	return
+	return ev.seq < other.seq
 }
 
 // Env is a simulation environment: a virtual clock plus an event queue.
 // It is not safe for concurrent use from multiple OS threads; all access
 // happens from the single running Proc or from event callbacks.
 type Env struct {
-	now     Time
-	seq     uint64
-	events  eventHeap
-	parked  chan struct{}
-	procs   []*Proc
-	nlive   int
-	failure *PanicError
-	running bool
-	stats   EnvStats
+	now      Time
+	seq      uint64
+	events   []event // 4-ary min-heap ordered by (t, seq)
+	parked   chan struct{}
+	procs    []*Proc
+	nlive    int
+	failure  *PanicError
+	running  bool
+	draining bool // shutdown in progress: finished procs report directly
+	stats    EnvStats
 }
 
 // EnvStats reports kernel-level counters, useful for performance analysis
@@ -114,12 +131,109 @@ func (e *Env) At(d Time, fn func()) {
 	if d < 0 {
 		d = 0
 	}
-	e.schedule(e.now+d, fn)
+	e.push(event{t: e.now + d, kind: evFn, fn: fn})
 }
 
-func (e *Env) schedule(t Time, fn func()) {
+// DeliverAt schedules v to be enqueued on q at now+d (clamped to now).
+// If inflight is non-nil it is decremented when the delivery fires. This
+// is the allocation-free path for simulated message delivery: no closure
+// is created, and v is enqueued as-is.
+func (e *Env) DeliverAt(d Time, q *Queue, v any, inflight *int) {
+	if d < 0 {
+		d = 0
+	}
+	e.push(event{t: e.now + d, kind: evDeliver, q: q, msg: v, inflight: inflight})
+}
+
+// activateAt schedules proc p to resume at time t.
+func (e *Env) activateAt(t Time, p *Proc) {
+	e.push(event{t: t, kind: evActivate, proc: p})
+}
+
+// push inserts ev into the 4-ary heap, assigning its sequence number.
+// A hand-rolled heap over []event avoids the per-push interface boxing of
+// container/heap (one allocation per scheduled event) and trades depth for
+// width: 4-ary halves the levels touched by the frequent sift-ups.
+func (e *Env) push(ev event) {
 	e.seq++
-	heap.Push(&e.events, event{t: t, seq: e.seq, fn: fn})
+	ev.seq = e.seq
+	h := append(e.events, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !h[i].before(&h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	e.events = h
+}
+
+// pop removes and returns the earliest event.
+func (e *Env) pop() event {
+	h := e.events
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = event{} // release msg/fn/proc references held in the vacated slot
+	h = h[:n]
+	e.events = h
+	if n > 0 {
+		// Sift the hole down from the root, then drop last in.
+		i := 0
+		for {
+			first := 4*i + 1
+			if first >= n {
+				break
+			}
+			min := first
+			end := first + 4
+			if end > n {
+				end = n
+			}
+			for j := first + 1; j < end; j++ {
+				if h[j].before(&h[min]) {
+					min = j
+				}
+			}
+			if !h[min].before(&last) {
+				break
+			}
+			h[i] = h[min]
+			i = min
+		}
+		h[i] = last
+	}
+	return top
+}
+
+// fire executes one event in kernel context.
+func (e *Env) fire(ev *event) {
+	switch ev.kind {
+	case evActivate:
+		e.activate(ev.proc)
+	case evDeliver:
+		if ev.inflight != nil {
+			*ev.inflight--
+		}
+		ev.q.Send(ev.msg)
+	default:
+		e.runFn(ev.fn)
+	}
+}
+
+// runFn runs an evFn callback, converting a panic into the run's failure.
+// Callbacks are dispatched from whichever goroutine holds the baton, so
+// without this a panic would unwind through (and be blamed on) an
+// unrelated proc.
+func (e *Env) runFn(fn func()) {
+	defer func() {
+		if r := recover(); r != nil && e.failure == nil {
+			e.failure = &PanicError{Proc: "(event callback)", Value: r, Stack: string(debug.Stack())}
+		}
+	}()
+	fn()
 }
 
 // killPanic is the sentinel thrown into procs during Shutdown.
@@ -173,7 +287,7 @@ func (e *Env) Spawn(name string, fn func(*Proc)) *Proc {
 	e.nlive++
 	e.stats.Spawned++
 	go p.main(fn)
-	e.schedule(e.now, func() { e.activate(p) })
+	e.activateAt(e.now, p)
 	return p
 }
 
@@ -186,8 +300,14 @@ func (p *Proc) main(fn func(*Proc)) {
 		}
 		p.done = true
 		p.state = "done"
-		p.env.nlive--
-		p.env.parked <- struct{}{}
+		e := p.env
+		e.nlive--
+		if e.draining {
+			// Shutdown is collecting procs directly; don't dispatch.
+			e.parked <- struct{}{}
+			return
+		}
+		e.handoff()
 	}()
 	<-p.resume
 	if p.kill {
@@ -197,8 +317,9 @@ func (p *Proc) main(fn func(*Proc)) {
 	fn(p)
 }
 
-// activate hands control to p and waits until it parks or finishes.
-// Must only be called from event context (the kernel loop).
+// activate hands control to p and waits until the baton returns to the
+// kernel (queue drained, or a failure). Must only be called from the
+// kernel loop.
 func (e *Env) activate(p *Proc) {
 	if p.done {
 		return
@@ -209,14 +330,89 @@ func (e *Env) activate(p *Proc) {
 }
 
 // park suspends the calling proc until its next activation.
+//
+// Baton-passing scheduler: instead of bouncing control through the kernel
+// loop on every switch (proc → kernel → next proc: four channel
+// operations), the parking proc dispatches events itself, in exactly the
+// order the kernel would, and hands the baton directly to the next proc
+// to run — or keeps it, when the next activation is its own. The kernel
+// loop only regains control when the queue drains or a failure needs
+// shutting down. Event order, virtual times and kernel counters are
+// byte-for-byte identical to central dispatch; only the goroutine
+// handoffs are halved. Exactly one goroutine executes simulation code at
+// any instant, so all kernel state stays single-threaded.
 func (p *Proc) park(why string) {
+	e := p.env
 	p.state = why
-	p.env.parked <- struct{}{}
+	for {
+		if e.failure != nil || len(e.events) == 0 {
+			// Nothing we can dispatch: return the baton to the kernel
+			// and wait for our next activation.
+			e.parked <- struct{}{}
+			break
+		}
+		ev := e.pop()
+		e.now = ev.t
+		e.stats.Events++
+		switch ev.kind {
+		case evActivate:
+			q := ev.proc
+			if q.done {
+				continue
+			}
+			e.stats.Activations++
+			if q == p {
+				p.state = "running"
+				return // our own wakeup: keep running, no handoff at all
+			}
+			q.resume <- struct{}{}
+		case evDeliver:
+			if ev.inflight != nil {
+				*ev.inflight--
+			}
+			ev.q.Send(ev.msg)
+			continue
+		default:
+			e.runFn(ev.fn)
+			continue
+		}
+		break
+	}
 	<-p.resume
 	if p.kill {
 		panic(killPanic{})
 	}
 	p.state = "running"
+}
+
+// handoff dispatches events from a finished proc's goroutine until the
+// baton passes to another proc or returns to the kernel.
+func (e *Env) handoff() {
+	for {
+		if e.failure != nil || len(e.events) == 0 {
+			e.parked <- struct{}{}
+			return
+		}
+		ev := e.pop()
+		e.now = ev.t
+		e.stats.Events++
+		switch ev.kind {
+		case evActivate:
+			if ev.proc.done {
+				continue
+			}
+			e.stats.Activations++
+			ev.proc.resume <- struct{}{}
+			return
+		case evDeliver:
+			if ev.inflight != nil {
+				*ev.inflight--
+			}
+			ev.q.Send(ev.msg)
+		default:
+			e.runFn(ev.fn)
+		}
+	}
 }
 
 // Sleep advances this proc's progress by d of virtual time, letting other
@@ -226,7 +422,7 @@ func (p *Proc) Sleep(d Time) {
 		d = 0
 	}
 	e := p.env
-	e.schedule(e.now+d, func() { e.activate(p) })
+	e.activateAt(e.now+d, p)
 	p.park("sleep")
 }
 
@@ -243,10 +439,10 @@ func (e *Env) Run() error {
 	e.running = true
 	defer func() { e.running = false }()
 	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(event)
+		ev := e.pop()
 		e.now = ev.t
 		e.stats.Events++
-		ev.fn()
+		e.fire(&ev)
 		if e.failure != nil {
 			f := e.failure
 			e.shutdown()
@@ -270,6 +466,8 @@ func (e *Env) Run() error {
 
 // shutdown kills every live proc so their goroutines exit.
 func (e *Env) shutdown() {
+	e.draining = true
+	defer func() { e.draining = false }()
 	for _, p := range e.procs {
 		if p.done {
 			continue
@@ -284,56 +482,86 @@ func (e *Env) shutdown() {
 // Sends never block. Queues are typically single-consumer (each thread and
 // each node daemon owns one); multi-consumer use is safe but receipt order
 // across consumers follows activation order, not arrival order.
+//
+// The buffer is a power-of-two ring: receive is O(1) (the previous
+// implementation shifted the whole backlog on every receive, an O(n²)
+// drain), and each send wakes at most one parked receiver — since a send
+// adds exactly one item, waking the whole herd only to have all but one
+// waiter re-park would burn context switches for nothing.
 type Queue struct {
-	env     *Env
-	name    string
-	items   []any
-	waiters []*Proc
+	env       *Env
+	name      string
+	recvState string // "recv <name>", precomputed so parking never concatenates
+	buf       []any  // ring storage, len(buf) is a power of two
+	head      int    // index of the oldest item
+	count     int    // buffered items
+	waiters   []*Proc
 }
 
 // NewQueue creates a queue named for diagnostics.
 func (e *Env) NewQueue(name string) *Queue {
-	return &Queue{env: e, name: name}
+	return &Queue{env: e, name: name, recvState: "recv " + name}
 }
 
 // Len reports the number of buffered items.
-func (q *Queue) Len() int { return len(q.items) }
+func (q *Queue) Len() int { return q.count }
 
-// Send enqueues v and wakes any parked receivers. Callable from proc or
-// event context.
+// grow doubles the ring, unwrapping the contents to the front.
+func (q *Queue) grow() {
+	newCap := 2 * len(q.buf)
+	if newCap == 0 {
+		newCap = 8
+	}
+	nb := make([]any, newCap)
+	for i := 0; i < q.count; i++ {
+		nb[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+	}
+	q.buf = nb
+	q.head = 0
+}
+
+// Send enqueues v and wakes one parked receiver, if any. Callable from
+// proc or event context.
 func (q *Queue) Send(v any) {
-	q.items = append(q.items, v)
+	if q.count == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.count)&(len(q.buf)-1)] = v
+	q.count++
 	if len(q.waiters) == 0 {
 		return
 	}
-	ws := q.waiters
-	q.waiters = nil
-	for _, w := range ws {
-		w := w
-		q.env.schedule(q.env.now, func() { q.env.activate(w) })
-	}
+	w := q.waiters[0]
+	copy(q.waiters, q.waiters[1:])
+	q.waiters[len(q.waiters)-1] = nil
+	q.waiters = q.waiters[:len(q.waiters)-1]
+	q.env.activateAt(q.env.now, w)
+}
+
+// dequeue removes and returns the oldest item. The queue must be
+// non-empty.
+func (q *Queue) dequeue() any {
+	v := q.buf[q.head]
+	q.buf[q.head] = nil // release the reference for GC
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.count--
+	return v
 }
 
 // Recv blocks p until an item is available and returns it.
 func (q *Queue) Recv(p *Proc) any {
-	for len(q.items) == 0 {
+	for q.count == 0 {
 		q.waiters = append(q.waiters, p)
-		p.park("recv " + q.name)
+		p.park(q.recvState)
 	}
-	v := q.items[0]
-	copy(q.items, q.items[1:])
-	q.items = q.items[:len(q.items)-1]
-	return v
+	return q.dequeue()
 }
 
 // TryRecv returns (item, true) if one is buffered, else (nil, false),
 // without blocking.
 func (q *Queue) TryRecv() (any, bool) {
-	if len(q.items) == 0 {
+	if q.count == 0 {
 		return nil, false
 	}
-	v := q.items[0]
-	copy(q.items, q.items[1:])
-	q.items = q.items[:len(q.items)-1]
-	return v, true
+	return q.dequeue(), true
 }

@@ -410,3 +410,126 @@ func BenchmarkQueueRoundTrip(b *testing.B) {
 	s, _ := runPingPong(b.N)
 	_ = s
 }
+
+// --- ring-buffer queue semantics ---
+
+func TestQueueRingWraparound(t *testing.T) {
+	// Interleave sends and receives so head/tail wrap the ring repeatedly;
+	// FIFO order must hold throughout, including across growth.
+	e := NewEnv()
+	q := e.NewQueue("ring")
+	next := 0 // next value expected out
+	sent := 0
+	e.Spawn("driver", func(p *Proc) {
+		for round := 0; round < 50; round++ {
+			for i := 0; i < 3+round%5; i++ {
+				q.Send(sent)
+				sent++
+			}
+			for i := 0; i < 2+round%4 && q.Len() > 0; i++ {
+				v, ok := q.TryRecv()
+				if !ok {
+					t.Fatal("TryRecv failed with items buffered")
+				}
+				if v.(int) != next {
+					t.Fatalf("got %d, want %d", v, next)
+				}
+				next++
+			}
+		}
+		for q.Len() > 0 {
+			v := q.Recv(p)
+			if v.(int) != next {
+				t.Fatalf("drain got %d, want %d", v, next)
+			}
+			next++
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if next != sent {
+		t.Fatalf("received %d of %d sent", next, sent)
+	}
+}
+
+func TestQueueTryRecvDoesNotDisturbWaiters(t *testing.T) {
+	// A TryRecv consumer racing a blocked Recv consumer: every item is
+	// delivered exactly once, and TryRecv never blocks.
+	e := NewEnv()
+	q := e.NewQueue("q")
+	var got []int
+	e.Spawn("blocking", func(p *Proc) {
+		got = append(got, q.Recv(p).(int))
+	})
+	e.Spawn("polling", func(p *Proc) {
+		p.Sleep(5)
+		if v, ok := q.TryRecv(); ok {
+			got = append(got, v.(int))
+		}
+		p.Sleep(5)
+		if v, ok := q.TryRecv(); ok {
+			got = append(got, v.(int))
+		}
+	})
+	e.Spawn("prod", func(p *Proc) {
+		p.Sleep(1)
+		q.Send(1)
+		p.Sleep(6)
+		q.Send(2)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0]+got[1] != 3 {
+		t.Fatalf("got %v, want both items exactly once", got)
+	}
+}
+
+func TestQueueLenAcrossGrowth(t *testing.T) {
+	e := NewEnv()
+	q := e.NewQueue("g")
+	for i := 0; i < 100; i++ {
+		q.Send(i)
+		if q.Len() != i+1 {
+			t.Fatalf("Len = %d after %d sends", q.Len(), i+1)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := q.TryRecv()
+		if !ok || v.(int) != i {
+			t.Fatalf("TryRecv #%d = %v, %v", i, v, ok)
+		}
+	}
+	if _, ok := q.TryRecv(); ok {
+		t.Fatal("TryRecv on drained queue returned ok")
+	}
+}
+
+// DeliverAt is the network fast path: the payload must arrive at the
+// right time and the in-flight counter must drop at delivery.
+func TestDeliverAt(t *testing.T) {
+	e := NewEnv()
+	q := e.NewQueue("net")
+	inflight := 2
+	e.DeliverAt(10, q, "a", &inflight)
+	e.DeliverAt(20, q, "b", &inflight)
+	var times []Time
+	var vals []string
+	e.Spawn("recv", func(p *Proc) {
+		for i := 0; i < 2; i++ {
+			v := q.Recv(p).(string)
+			vals = append(vals, v)
+			times = append(times, p.Now())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(vals) != "[a b]" || times[0] != 10 || times[1] != 20 {
+		t.Fatalf("vals=%v times=%v", vals, times)
+	}
+	if inflight != 0 {
+		t.Fatalf("inflight = %d, want 0", inflight)
+	}
+}

@@ -128,6 +128,12 @@ func (b Breakdown) Total() int64 { return b.Obj + b.Mig + b.Diff + b.Redir }
 // Metrics is the result of one run, as surfaced by the public API.
 type Metrics struct {
 	ExecTime sim.Time
+	// FinalTime is the virtual time when the simulation fully quiesced
+	// (ExecTime plus post-run protocol drain). Together with Kernel it
+	// fingerprints a run for determinism regression tests.
+	FinalTime sim.Time
+	// Kernel reports the simulation kernel's own counters.
+	Kernel sim.EnvStats
 	Counters
 }
 

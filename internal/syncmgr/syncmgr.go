@@ -138,12 +138,14 @@ func (b *Barrier) Unblock() bool {
 }
 
 // Reset ends the episode, returning the waiters to release, in arrival
-// order, and rearming the barrier.
+// order, and rearming the barrier. The returned slice is only valid until
+// the next Arrive: the barrier keeps the backing array so episodes do not
+// allocate.
 func (b *Barrier) Reset() []Waiter {
 	if !b.Ready() {
 		panic("syncmgr: reset of non-ready barrier")
 	}
 	ws := b.waiters
-	b.waiters = nil
+	b.waiters = b.waiters[:0]
 	return ws
 }

@@ -1,0 +1,134 @@
+package twindiff
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestPoolRoundTrip exercises the twin/diff freelist: buffers released
+// through the pool must come back out with correct length and contents
+// fully overwritten.
+func TestPoolRoundTrip(t *testing.T) {
+	var p Pool
+	base := make([]uint64, 64)
+	for i := range base {
+		base[i] = uint64(i)
+	}
+	tw := TwinInto(&p, base)
+	for i, w := range tw {
+		if w != base[i] {
+			t.Fatalf("twin[%d] = %d", i, w)
+		}
+	}
+	cur := make([]uint64, 64)
+	copy(cur, base)
+	cur[3] = 99
+	cur[40], cur[41] = 1, 2
+	d := ComputeInto(&p, tw, cur)
+	if d.WordCount() != 3 || len(d.Runs) != 2 {
+		t.Fatalf("diff = %+v", d)
+	}
+	p.PutWords(tw)
+	p.PutDiff(d)
+	// A second cycle must reuse the released buffers and still be correct.
+	tw2 := TwinInto(&p, cur)
+	cur2 := make([]uint64, 64)
+	copy(cur2, cur)
+	cur2[10] = 7
+	d2 := ComputeInto(&p, tw2, cur2)
+	if d2.WordCount() != 1 || d2.Runs[0].Start != 10 || d2.Runs[0].Words[0] != 7 {
+		t.Fatalf("diff2 = %+v", d2)
+	}
+	applied := make([]uint64, 64)
+	copy(applied, cur)
+	d2.Apply(applied)
+	for i := range applied {
+		if applied[i] != cur2[i] {
+			t.Fatalf("applied[%d] = %d, want %d", i, applied[i], cur2[i])
+		}
+	}
+}
+
+// TestPoolNilIsPlainAllocation locks in that a nil pool degrades to the
+// allocate-per-call behavior (Compute and Twin delegate to it).
+func TestPoolNilIsPlainAllocation(t *testing.T) {
+	var p *Pool
+	buf := p.getWords(8)
+	if len(buf) != 8 {
+		t.Fatalf("len = %d", len(buf))
+	}
+	p.PutWords(buf) // must not panic
+	p.PutDiff(Diff{Runs: []Run{{Start: 0, Words: buf}}})
+}
+
+// TestComputeIntoMatchesCompute: pooled and unpooled compute agree for
+// arbitrary inputs.
+func TestComputeIntoMatchesCompute(t *testing.T) {
+	f := func(a, b []byte) bool {
+		n := min(len(a), len(b))
+		twin := make([]uint64, n)
+		cur := make([]uint64, n)
+		for i := 0; i < n; i++ {
+			twin[i], cur[i] = uint64(a[i]), uint64(b[i])
+		}
+		var pool Pool
+		d1 := Compute(twin, cur)
+		d2 := ComputeInto(&pool, twin, cur)
+		if len(d1.Runs) != len(d2.Runs) {
+			return false
+		}
+		for i := range d1.Runs {
+			if d1.Runs[i].Start != d2.Runs[i].Start || len(d1.Runs[i].Words) != len(d2.Runs[i].Words) {
+				return false
+			}
+			for k := range d1.Runs[i].Words {
+				if d1.Runs[i].Words[k] != d2.Runs[i].Words[k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkTwindiffComputeMerge measures the per-release diff pipeline:
+// twin, mutate, compute (pooled), merge with a second diff, release. This
+// is the per-interval cost every writing node pays.
+func BenchmarkTwindiffComputeMerge(b *testing.B) {
+	b.ReportAllocs()
+	const words = 512
+	var pool Pool
+	base := make([]uint64, words)
+	for i := range base {
+		base[i] = uint64(i * 3)
+	}
+	cur := make([]uint64, words)
+	copy(cur, base)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tw := TwinInto(&pool, cur)
+		// Scattered interval writes: two dense runs plus a lone word.
+		for k := 0; k < 16; k++ {
+			cur[10+k] = uint64(i + k)
+			cur[200+k] = uint64(i ^ k)
+		}
+		cur[500] = uint64(i)
+		d1 := ComputeInto(&pool, tw, cur)
+		pool.PutWords(tw)
+		tw2 := TwinInto(&pool, cur)
+		for k := 0; k < 8; k++ {
+			cur[20+k] = uint64(i + 7*k)
+		}
+		d2 := ComputeInto(&pool, tw2, cur)
+		pool.PutWords(tw2)
+		m := Merge(d1, d2)
+		if m.Empty() && (!d1.Empty() || !d2.Empty()) {
+			b.Fatal("merge lost runs")
+		}
+		pool.PutDiff(d1)
+		pool.PutDiff(d2)
+	}
+}

@@ -24,9 +24,83 @@ type Diff struct {
 	Runs []Run
 }
 
+// Pool is a freelist of word buffers and run slices, letting the hot path
+// (a twin per first write of an interval, a diff per release) reuse memory
+// instead of allocating. The zero value is ready to use; a nil *Pool is
+// valid and falls back to plain allocation. Pools are not safe for
+// concurrent use — the simulation gives each node its own.
+//
+// Safety model: losing track of a pooled buffer (e.g. a diff that gets
+// piggybacked on a sync message and never acknowledged directly) is always
+// safe — it is simply garbage collected. Only Put must be called carefully:
+// after Put the buffer may be handed out again, so the caller must hold no
+// live references.
+type Pool struct {
+	words [][]uint64
+	runs  [][]Run
+}
+
+// getWords returns a length-n word buffer, contents undefined.
+func (p *Pool) getWords(n int) []uint64 {
+	if p != nil {
+		// Scan a bounded window from the top of the freelist: object sizes
+		// within a workload are near-uniform, so the top entry almost
+		// always fits.
+		for i := len(p.words) - 1; i >= 0 && i >= len(p.words)-8; i-- {
+			if cap(p.words[i]) >= n {
+				buf := p.words[i][:n]
+				p.words[i] = p.words[len(p.words)-1]
+				p.words[len(p.words)-1] = nil
+				p.words = p.words[:len(p.words)-1]
+				return buf
+			}
+		}
+	}
+	return make([]uint64, n)
+}
+
+// getRuns returns an empty run slice to append to.
+func (p *Pool) getRuns() []Run {
+	if p != nil && len(p.runs) > 0 {
+		rs := p.runs[len(p.runs)-1][:0]
+		p.runs[len(p.runs)-1] = nil
+		p.runs = p.runs[:len(p.runs)-1]
+		return rs
+	}
+	return nil
+}
+
+// PutWords returns a word buffer (e.g. a released twin or an invalidated
+// cached copy's data) to the freelist.
+func (p *Pool) PutWords(buf []uint64) {
+	if p == nil || cap(buf) == 0 {
+		return
+	}
+	p.words = append(p.words, buf)
+}
+
+// PutDiff returns d's word buffers and run slice to the freelist. The
+// caller must hold no other references to d's contents.
+func (p *Pool) PutDiff(d Diff) {
+	if p == nil {
+		return
+	}
+	for i := range d.Runs {
+		p.PutWords(d.Runs[i].Words)
+		d.Runs[i].Words = nil
+	}
+	if cap(d.Runs) > 0 {
+		p.runs = append(p.runs, d.Runs[:0])
+	}
+}
+
 // Twin returns a private snapshot of data (the "twin" of §3.1).
-func Twin(data []uint64) []uint64 {
-	t := make([]uint64, len(data))
+func Twin(data []uint64) []uint64 { return TwinInto(nil, data) }
+
+// TwinInto is Twin drawing the snapshot buffer from pool (nil pool = plain
+// allocation).
+func TwinInto(pool *Pool, data []uint64) []uint64 {
+	t := pool.getWords(len(data))
 	copy(t, data)
 	return t
 }
@@ -34,7 +108,11 @@ func Twin(data []uint64) []uint64 {
 // Compute returns the diff transforming twin into cur. Both slices must
 // have equal length; Compute panics otherwise, because a length mismatch
 // means the caller twinned a different object.
-func Compute(twin, cur []uint64) Diff {
+func Compute(twin, cur []uint64) Diff { return ComputeInto(nil, twin, cur) }
+
+// ComputeInto is Compute drawing run storage from pool (nil pool = plain
+// allocation).
+func ComputeInto(pool *Pool, twin, cur []uint64) Diff {
 	if len(twin) != len(cur) {
 		panic(fmt.Sprintf("twindiff: twin len %d != cur len %d", len(twin), len(cur)))
 	}
@@ -49,8 +127,11 @@ func Compute(twin, cur []uint64) Diff {
 		for j < len(cur) && twin[j] != cur[j] {
 			j++
 		}
-		run := Run{Start: uint32(i), Words: make([]uint64, j-i)}
+		run := Run{Start: uint32(i), Words: pool.getWords(j - i)}
 		copy(run.Words, cur[i:j])
+		if d.Runs == nil {
+			d.Runs = pool.getRuns()
+		}
 		d.Runs = append(d.Runs, run)
 		i = j
 	}
@@ -95,54 +176,58 @@ func (d Diff) WireSize() int {
 // Merge returns the diff equivalent to applying a, then b. Overlapping
 // words take b's values. Used by the home when coalescing diffs from the
 // same interval, and by property tests asserting apply-order equivalence.
+// Runs are ordered and non-overlapping within each diff, so a two-pointer
+// word-level run merge produces the result in O(|a|+|b|) with no
+// intermediate map.
 func Merge(a, b Diff) Diff {
-	// Materialize over a sparse map view; diffs are small relative to
-	// objects so a map keeps this simple and obviously correct.
-	words := make(map[uint32]uint64)
-	var order []uint32
-	put := func(d Diff) {
-		for _, r := range d.Runs {
-			for k, w := range r.Words {
-				idx := r.Start + uint32(k)
-				if _, seen := words[idx]; !seen {
-					order = append(order, idx)
-				}
-				words[idx] = w
+	var out Diff
+	var cur Run
+	emit := func(idx uint32, v uint64) {
+		if cur.Words != nil {
+			if idx == cur.Start+uint32(len(cur.Words)) {
+				cur.Words = append(cur.Words, v)
+				return
+			}
+			out.Runs = append(out.Runs, cur)
+		}
+		cur = Run{Start: idx, Words: append(make([]uint64, 0, 4), v)}
+	}
+	ai, ao := 0, 0 // cursor into a: run index, word offset
+	bi, bo := 0, 0 // cursor into b
+	for ai < len(a.Runs) || bi < len(b.Runs) {
+		aHas, bHas := ai < len(a.Runs), bi < len(b.Runs)
+		var aIdx, bIdx uint32
+		if aHas {
+			aIdx = a.Runs[ai].Start + uint32(ao)
+		}
+		if bHas {
+			bIdx = b.Runs[bi].Start + uint32(bo)
+		}
+		takeA := aHas && (!bHas || aIdx <= bIdx)
+		takeB := bHas && (!aHas || bIdx <= aIdx)
+		switch {
+		case takeA && takeB: // same word: b overwrites a
+			emit(bIdx, b.Runs[bi].Words[bo])
+		case takeA:
+			emit(aIdx, a.Runs[ai].Words[ao])
+		default:
+			emit(bIdx, b.Runs[bi].Words[bo])
+		}
+		if takeA {
+			if ao++; ao == len(a.Runs[ai].Words) {
+				ai, ao = ai+1, 0
+			}
+		}
+		if takeB {
+			if bo++; bo == len(b.Runs[bi].Words) {
+				bi, bo = bi+1, 0
 			}
 		}
 	}
-	put(a)
-	put(b)
-	if len(order) == 0 {
-		return Diff{}
-	}
-	// Rebuild runs in ascending index order.
-	sortU32(order)
-	var out Diff
-	i := 0
-	for i < len(order) {
-		j := i
-		for j+1 < len(order) && order[j+1] == order[j]+1 {
-			j++
-		}
-		run := Run{Start: order[i], Words: make([]uint64, j-i+1)}
-		for k := i; k <= j; k++ {
-			run.Words[k-i] = words[order[k]]
-		}
-		out.Runs = append(out.Runs, run)
-		i = j + 1
+	if cur.Words != nil {
+		out.Runs = append(out.Runs, cur)
 	}
 	return out
-}
-
-func sortU32(s []uint32) {
-	// insertion sort: run lists are short and this avoids pulling in sort
-	// for a hot path type.
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
 }
 
 // Encode appends the wire form of d to buf and returns the result.
