@@ -5,34 +5,67 @@
 //
 // Usage:
 //
-//	dsmbench -fig 2            # Figure 2 at the scaled default sizes
-//	dsmbench -fig 3 -full      # Figure 3 at the paper's sizes
-//	dsmbench -fig 5a -fig 5b   # both synthetic panels
-//	dsmbench -all              # everything
-//	dsmbench -ablate locator   # one ablation (locator|lambda|tinit|related|piggyback)
+//	dsmbench -fig 2                  # Figure 2 at the scaled default sizes
+//	dsmbench -fig 3 -full            # Figure 3 at the paper's sizes
+//	dsmbench -fig 5a,5b              # both synthetic panels
+//	dsmbench -all -par 8             # everything, on 8 workers
+//	dsmbench -fig 2 -trials 5        # 5 seeded trials, mean/min/max tables
+//	dsmbench -all -json out.json     # machine-readable artifact
+//	dsmbench -ablate locator,lambda  # ablations (locator|lambda|tinit|related|piggyback|pathcompress)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/bench"
 )
 
+// multiFlag is a repeatable, comma-separable string-list flag: both
+// `-fig 2 -fig 3` and `-fig 2,3` accumulate the same list.
 type multiFlag []string
 
-func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
-func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	for _, part := range strings.Split(v, ",") {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			*m = append(*m, part)
+		}
+	}
+	return nil
+}
+
+// dedup drops repeated values, keeping first-occurrence order, so
+// duplicate flags (e.g. `-fig 5a -fig 5a,5b`) don't rerun or reprint.
+func dedup(m multiFlag) multiFlag {
+	seen := make(map[string]bool, len(m))
+	var out multiFlag
+	for _, v := range m {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
 
 func main() {
 	var figs, ablates multiFlag
-	flag.Var(&figs, "fig", "figure to regenerate: 2, 3, 5a, 5b (repeatable)")
-	flag.Var(&ablates, "ablate", "ablation to run: locator, lambda, tinit, related, piggyback, pathcompress (repeatable)")
+	flag.Var(&figs, "fig", "figures to regenerate: 2, 3, 5a, 5b (repeatable or comma-separated)")
+	flag.Var(&ablates, "ablate", "ablations to run: locator, lambda, tinit, related, piggyback, pathcompress (repeatable or comma-separated)")
 	all := flag.Bool("all", false, "regenerate every figure and ablation")
 	full := flag.Bool("full", false, "use the paper's full problem sizes (slow) instead of scaled defaults")
 	quiet := flag.Bool("q", false, "suppress progress output")
+	par := flag.Int("par", 0, "parallel sweep workers (0 = GOMAXPROCS, 1 = sequential); output is byte-identical at any setting")
+	trials := flag.Int("trials", 1, "seeded trials per configuration; tables report mean with min..max spread")
+	csvPath := flag.String("csv", "", "write all produced rows as CSV to this file (\"-\" for stdout)")
+	jsonPath := flag.String("json", "", "write all produced rows as JSON to this file (\"-\" for stdout)")
 	benchJSON := flag.String("benchjson", "", "run the kernel/hot-path microbenchmarks and write a machine-readable report to this file (\"-\" for stdout), e.g. BENCH_kernel.json")
 	flag.Parse()
 
@@ -40,6 +73,7 @@ func main() {
 		figs = multiFlag{"2", "3", "5a", "5b"}
 		ablates = multiFlag{"locator", "lambda", "tinit", "related", "piggyback", "pathcompress"}
 	}
+	figs, ablates = dedup(figs), dedup(ablates)
 	if *benchJSON != "" {
 		if err := bench.WriteKernelBenchJSON(*benchJSON); err != nil {
 			fmt.Fprintln(os.Stderr, "dsmbench:", err)
@@ -53,9 +87,18 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	progress := func(s string) { fmt.Fprintf(os.Stderr, "  [run] %s\n", s) }
-	if *quiet {
-		progress = nil
+	if *trials < 1 {
+		*trials = 1
+	}
+	opts := bench.RunOpts{Par: *par, Trials: *trials}
+	if !*quiet {
+		opts.Progress = func(s string) { fmt.Fprintf(os.Stderr, "  [run] %s\n", s) }
+		workers := *par
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		fmt.Fprintf(os.Stderr, "dsmbench: %d sweep worker(s), %d trial(s) per configuration\n",
+			workers, *trials)
 	}
 	sizes := bench.DefaultSizes()
 	fig3ASP := []int{64, 128, 256, 512}
@@ -69,21 +112,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dsmbench:", err)
 		os.Exit(1)
 	}
+	report := bench.Report{Sizes: sizes, Trials: *trials}
 	did5 := false
 	for _, f := range figs {
 		switch f {
 		case "2":
-			rows, err := bench.Fig2(sizes, nil, progress)
+			rows, err := bench.Fig2(sizes, nil, opts)
 			if err != nil {
 				fail(err)
 			}
+			report.Fig2 = rows
 			bench.PrintFig2(os.Stdout, sizes, rows)
 			fmt.Println()
 		case "3":
-			rows, err := bench.Fig3(fig3ASP, fig3SOR, sizes.SORIters, 8, progress)
+			rows, err := bench.Fig3(fig3ASP, fig3SOR, sizes.SORIters, 8, opts)
 			if err != nil {
 				fail(err)
 			}
+			report.Fig3 = rows
 			bench.PrintFig3(os.Stdout, rows)
 			fmt.Println()
 		case "5a", "5b":
@@ -91,10 +137,11 @@ func main() {
 				continue // both panels come from one sweep
 			}
 			did5 = true
-			rows, err := bench.Fig5(bench.Fig5Config{}, progress)
+			rows, err := bench.Fig5(bench.Fig5Config{}, opts)
 			if err != nil {
 				fail(err)
 			}
+			report.Fig5 = rows
 			if has(figs, "5a") {
 				bench.PrintFig5a(os.Stdout, rows)
 				fmt.Println()
@@ -112,26 +159,52 @@ func main() {
 		var err error
 		switch a {
 		case "locator":
-			rows, err = bench.AblateLocator(progress)
+			rows, err = bench.AblateLocator(opts)
 		case "lambda":
-			rows, err = bench.AblateLambda(progress)
+			rows, err = bench.AblateLambda(opts)
 		case "tinit":
-			rows, err = bench.AblateTInit(progress)
+			rows, err = bench.AblateTInit(opts)
 		case "related":
-			rows, err = bench.AblateRelated(progress)
+			rows, err = bench.AblateRelated(opts)
 		case "piggyback":
-			rows, err = bench.AblatePiggyback(progress)
+			rows, err = bench.AblatePiggyback(opts)
 		case "pathcompress":
-			rows, err = bench.AblatePathCompression(progress)
+			rows, err = bench.AblatePathCompression(opts)
 		default:
 			err = fmt.Errorf("unknown ablation %q", a)
 		}
 		if err != nil {
 			fail(err)
 		}
+		report.Ablations = append(report.Ablations, rows...)
 		bench.PrintAblation(os.Stdout, a, rows)
 		fmt.Println()
 	}
+	if err := writeArtifact(*jsonPath, report.WriteJSON); err != nil {
+		fail(err)
+	}
+	if err := writeArtifact(*csvPath, report.WriteCSV); err != nil {
+		fail(err)
+	}
+}
+
+// writeArtifact writes one artifact to path ("-" = stdout, "" = skip).
+func writeArtifact(path string, write func(w io.Writer) error) error {
+	if path == "" {
+		return nil
+	}
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func has(m multiFlag, v string) bool {

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The historic bug: String() joined with commas but Set never split, so
+// `-fig 2,3` failed downstream as unknown figure "2,3". Set must accept
+// comma-separated lists (with stray whitespace and empty items) and
+// compose with repeated flags.
+func TestMultiFlagSetSplitsCommas(t *testing.T) {
+	var m multiFlag
+	for _, v := range []string{"2,3", " 5a , 5b ", "locator", ",,"} {
+		if err := m.Set(v); err != nil {
+			t.Fatalf("Set(%q): %v", v, err)
+		}
+	}
+	want := multiFlag{"2", "3", "5a", "5b", "locator"}
+	if !reflect.DeepEqual(m, want) {
+		t.Fatalf("multiFlag = %v, want %v", m, want)
+	}
+	if m.String() != "2,3,5a,5b,locator" {
+		t.Fatalf("String() = %q", m.String())
+	}
+}
+
+// Duplicate flags (e.g. `-fig 5a -fig 5a,5b` or `-all` twice) must not
+// rerun or reprint a figure: dedup keeps first-occurrence order.
+func TestDedupPreservesOrder(t *testing.T) {
+	in := multiFlag{"5a", "2", "5a", "5b", "2", "5b"}
+	want := multiFlag{"5a", "2", "5b"}
+	if got := dedup(in); !reflect.DeepEqual(got, want) {
+		t.Fatalf("dedup(%v) = %v, want %v", in, got, want)
+	}
+	if got := dedup(nil); got != nil {
+		t.Fatalf("dedup(nil) = %v", got)
+	}
+}
+
+func TestHas(t *testing.T) {
+	m := multiFlag{"5a", "5b"}
+	if !has(m, "5a") || has(m, "2") {
+		t.Fatal("has misbehaves")
+	}
+}

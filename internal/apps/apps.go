@@ -37,6 +37,20 @@ type Options struct {
 	Trace *dsm.Trace
 	// PathCompress enables the forwarding-chain compression extension.
 	PathCompress bool
+	// Seed perturbs the application's generated input (graph, grid,
+	// bodies, distances) for multi-trial sweeps. Zero selects the
+	// canonical paper input, so all existing golden runs are Seed 0.
+	// The synthetic benchmark has no generated input and ignores it.
+	Seed uint64
+}
+
+// mixSeed combines an app's canonical input seed with a run's trial
+// seed. Trial seed 0 leaves the canonical input untouched.
+func mixSeed(canonical, seed uint64) uint64 {
+	if seed == 0 {
+		return canonical
+	}
+	return canonical ^ (seed * 0x9E3779B97F4A7C15)
 }
 
 func (o Options) threads() int {

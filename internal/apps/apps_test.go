@@ -36,7 +36,7 @@ func TestASPMigrationMovesRowsToWriters(t *testing.T) {
 	n, nodes := 32, 4
 	c := dsm.New(dsm.Config{Nodes: nodes, Policy: "AT", DebugWire: true})
 	dist := c.NewArray("dist", n, n, dsm.RoundRobin)
-	g := aspGraph(n)
+	g := aspGraph(n, 0)
 	for i := 0; i < n; i++ {
 		row := g[i]
 		dist.InitRow(i, func(w []uint64) {
@@ -274,7 +274,19 @@ func TestBlockRangeCoversAll(t *testing.T) {
 }
 
 func TestGraphAndDistanceDeterminism(t *testing.T) {
-	g1, g2 := aspGraph(16), aspGraph(16)
+	g1, g2 := aspGraph(16, 0), aspGraph(16, 0)
+	seeded := aspGraph(16, 7)
+	same := true
+	for i := range g1 {
+		for j := range g1[i] {
+			if g1[i][j] != seeded[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("trial seed did not perturb aspGraph")
+	}
 	for i := range g1 {
 		for j := range g1[i] {
 			if g1[i][j] != g2[i][j] {
@@ -282,7 +294,7 @@ func TestGraphAndDistanceDeterminism(t *testing.T) {
 			}
 		}
 	}
-	d1, d2 := tspDist(8), tspDist(8)
+	d1, d2 := tspDist(8, 0), tspDist(8, 0)
 	for i := range d1 {
 		for j := range d1[i] {
 			if d1[i][j] != d2[i][j] {

@@ -10,9 +10,10 @@ import (
 const aspInf = int64(1) << 40
 
 // aspGraph builds the deterministic random digraph used by both the DSM
-// run and the sequential reference: ~25% density, weights 1..100.
-func aspGraph(n int) [][]int64 {
-	r := newRng(uint64(n)*2654435761 + 12345)
+// run and the sequential reference: ~25% density, weights 1..100. seed 0
+// is the canonical paper input; other seeds give per-trial variants.
+func aspGraph(n int, seed uint64) [][]int64 {
+	r := newRng(mixSeed(uint64(n)*2654435761+12345, seed))
 	g := make([][]int64, n)
 	for i := range g {
 		g[i] = make([]int64, n)
@@ -67,7 +68,7 @@ func RunASP(n int, o Options) (Result, error) {
 	p := o.threads()
 	c := o.cluster()
 	dist := c.NewArray("dist", n, n, dsm.RoundRobin)
-	g := aspGraph(n)
+	g := aspGraph(n, o.Seed)
 	for i := 0; i < n; i++ {
 		row := g[i]
 		dist.InitRow(i, func(w []uint64) {

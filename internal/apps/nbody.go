@@ -119,8 +119,8 @@ func (q *quadNode) force(bs []body, i int, theta float64, fx, fy *float64) {
 }
 
 // nbodyInit builds the deterministic initial body set in the unit square.
-func nbodyInit(n int) []body {
-	r := newRng(uint64(n)*40503 + 7)
+func nbodyInit(n int, seed uint64) []body {
+	r := newRng(mixSeed(uint64(n)*40503+7, seed))
 	bs := make([]body, n)
 	for i := range bs {
 		bs[i] = body{
@@ -153,8 +153,8 @@ func nbodyStep(bs []body, theta, dt float64) []body {
 }
 
 // nbodySequential runs the reference simulation.
-func nbodySequential(n, steps int, theta, dt float64) []body {
-	bs := nbodyInit(n)
+func nbodySequential(n, steps int, theta, dt float64, seed uint64) []body {
+	bs := nbodyInit(n, seed)
 	for s := 0; s < steps; s++ {
 		bs = nbodyStep(bs, theta, dt)
 	}
@@ -184,7 +184,7 @@ func RunNBody(n, steps int, o Options) (Result, error) {
 		c.NewArray("bodies1", chunks, nbodyChunk*nbodyWords, dsm.RoundRobin),
 	}
 	masses := c.NewArray("mass", chunks, nbodyChunk, dsm.RoundRobin)
-	init := nbodyInit(n)
+	init := nbodyInit(n, o.Seed)
 	for ch := 0; ch < chunks; ch++ {
 		ch := ch
 		bufs[0].InitRow(ch, func(w []uint64) {
@@ -268,7 +268,7 @@ func RunNBody(n, steps int, o Options) (Result, error) {
 		return Result{}, fmt.Errorf("nbody: %w", err)
 	}
 
-	want := nbodySequential(n, steps, nbodyTheta, nbodyDt)
+	want := nbodySequential(n, steps, nbodyTheta, nbodyDt, o.Seed)
 	final := bufs[steps%2]
 	for ch := 0; ch < chunks; ch++ {
 		got := final.DataFloat64(ch)

@@ -12,8 +12,8 @@ import (
 // interior cell changes on every sweep (a zero interior would take O(n)
 // iterations to receive any signal from the boundary, leaving most diffs
 // empty and the access pattern degenerate).
-func sorInit(n int) [][]float64 {
-	r := newRng(uint64(n)*97 + 13)
+func sorInit(n int, seed uint64) [][]float64 {
+	r := newRng(mixSeed(uint64(n)*97+13, seed))
 	g := make([][]float64, n)
 	for i := range g {
 		g[i] = make([]float64, n)
@@ -64,7 +64,7 @@ func RunSOR(n, iters int, o Options) (Result, error) {
 	p := o.threads()
 	c := o.cluster()
 	grid := c.NewArray("grid", n, n, dsm.RoundRobin)
-	init := sorInit(n)
+	init := sorInit(n, o.Seed)
 	for i := 0; i < n; i++ {
 		row := init[i]
 		grid.InitRow(i, func(w []uint64) {

@@ -15,8 +15,8 @@ import (
 // difference" (§1).
 
 // tspDist builds the deterministic symmetric distance matrix.
-func tspDist(cities int) [][]int64 {
-	r := newRng(uint64(cities)*7919 + 3)
+func tspDist(cities int, seed uint64) [][]int64 {
+	r := newRng(mixSeed(uint64(cities)*7919+3, seed))
 	d := make([][]int64, cities)
 	for i := range d {
 		d[i] = make([]int64, cities)
@@ -101,7 +101,7 @@ func RunTSP(cities int, o Options) (Result, error) {
 	}
 	p := o.threads()
 	c := o.cluster()
-	d := tspDist(cities)
+	d := tspDist(cities, o.Seed)
 	greedy := tspGreedy(d)
 	bestObj := c.NewObject("best", 1, 0) // created at the start node
 	c.Init(bestObj, func(w []uint64) { w[0] = uint64(greedy) })

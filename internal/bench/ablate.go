@@ -5,11 +5,15 @@ import (
 	"io"
 
 	"repro/internal/apps"
+	"repro/internal/experiment"
+	"repro/internal/stats"
 
 	dsm "repro"
 )
 
-// AblationRow is one configuration's outcome in an ablation sweep.
+// AblationRow is one configuration's outcome in an ablation sweep. With
+// Trials > 1 every quantity is the per-trial mean and TimeAgg carries
+// the execution-time spread.
 type AblationRow struct {
 	Study    string
 	Variant  string
@@ -20,158 +24,184 @@ type AblationRow struct {
 	Migr     int64
 	Redir    int64
 	Retries  int64
+	Trials   int
+	TimeAgg  stats.TimeAgg
 }
 
-func ablRow(study, variant, workload string, m dsm.Metrics) AblationRow {
-	return AblationRow{
-		Study: study, Variant: variant, Workload: workload,
-		Time: m.ExecTime, Msgs: m.TotalMsgs(false), Traffic: m.TotalBytes(false),
-		Migr: m.Migrations, Redir: m.Breakdown().Redir, Retries: m.Retries,
+// ablSpec is one ablation grid point: identity plus a seedable run.
+type ablSpec struct {
+	study, variant, workload string
+	run                      func(seed uint64) (apps.Result, error)
+}
+
+// runAblation flattens the grid points (× trials) into experiment specs,
+// executes them on the worker pool, and reassembles one row per point in
+// declaration order.
+func runAblation(o RunOpts, points []ablSpec) ([]AblationRow, error) {
+	K := o.trials()
+	var specs []experiment.Spec
+	for _, pt := range points {
+		for t := 0; t < K; t++ {
+			seed := experiment.TrialSeed(t)
+			specs = append(specs, experiment.Spec{
+				Label: trialLabel(fmt.Sprintf("%s %s %s", pt.study, pt.variant, pt.workload), K, t),
+				Run: func() (dsm.Metrics, error) {
+					res, err := pt.run(seed)
+					return res.Metrics, err
+				},
+			})
+		}
 	}
+	ms, err := o.run(specs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]AblationRow, len(points))
+	for i, pt := range points {
+		agg := stats.Aggregate(ms[i*K : (i+1)*K])
+		m := agg.Mean
+		rows[i] = AblationRow{
+			Study: pt.study, Variant: pt.variant, Workload: pt.workload,
+			Time: m.ExecTime, Msgs: m.TotalMsgs(false), Traffic: m.TotalBytes(false),
+			Migr: m.Migrations, Redir: m.Breakdown().Redir, Retries: m.Retries,
+			Trials: K, TimeAgg: agg.ExecTime,
+		}
+	}
+	return rows, nil
 }
 
 // AblateLocator compares the three home-location mechanisms of §3.2
 // (forwarding pointer, manager, broadcast) on the synthetic benchmark
 // (migration-heavy) and on ASP (migration-then-stable).
-func AblateLocator(progress func(string)) ([]AblationRow, error) {
-	var rows []AblationRow
+func AblateLocator(o RunOpts) ([]AblationRow, error) {
+	var points []ablSpec
 	for _, loc := range []string{"fwdptr", "manager", "broadcast"} {
-		if progress != nil {
-			progress("locator " + loc)
-		}
-		res, err := apps.RunSynthetic(apps.SyntheticOpts{
-			Repetition: 8, TotalUpdates: 1024, Workers: 8,
-		}, apps.Options{Nodes: 9, Policy: "AT", Locator: loc})
-		if err != nil {
-			return nil, fmt.Errorf("locator %s synthetic: %w", loc, err)
-		}
-		rows = append(rows, ablRow("locator", loc, "synthetic(r=8)", res.Metrics))
-		res, err = apps.RunASP(128, apps.Options{Nodes: 8, Policy: "AT", Locator: loc})
-		if err != nil {
-			return nil, fmt.Errorf("locator %s asp: %w", loc, err)
-		}
-		rows = append(rows, ablRow("locator", loc, "ASP(128)", res.Metrics))
+		points = append(points,
+			ablSpec{"locator", loc, "synthetic(r=8)", func(seed uint64) (apps.Result, error) {
+				return apps.RunSynthetic(apps.SyntheticOpts{
+					Repetition: 8, TotalUpdates: 1024, Workers: 8,
+				}, apps.Options{Nodes: 9, Policy: "AT", Locator: loc, Seed: seed})
+			}},
+			ablSpec{"locator", loc, "ASP(128)", func(seed uint64) (apps.Result, error) {
+				return apps.RunASP(128, apps.Options{Nodes: 8, Policy: "AT", Locator: loc, Seed: seed})
+			}},
+		)
 	}
-	return rows, nil
+	return runAblation(o, points)
 }
 
 // AblateLambda sweeps the feedback coefficient λ of Eq. (2) on the
 // transient synthetic pattern (§4.2 fixes λ=1; this quantifies the
 // choice).
-func AblateLambda(progress func(string)) ([]AblationRow, error) {
-	var rows []AblationRow
+func AblateLambda(o RunOpts) ([]AblationRow, error) {
+	var points []ablSpec
 	for _, lam := range []float64{0.25, 0.5, 1, 2, 4} {
-		if progress != nil {
-			progress(fmt.Sprintf("lambda %.2f", lam))
-		}
-		res, err := apps.RunSynthetic(apps.SyntheticOpts{
-			Repetition: 2, TotalUpdates: 1024, Workers: 8,
-		}, apps.Options{Nodes: 9, Policy: "AT", Lambda: lam})
-		if err != nil {
-			return nil, fmt.Errorf("lambda %.2f: %w", lam, err)
-		}
-		rows = append(rows, ablRow("lambda", fmt.Sprintf("λ=%.2f", lam), "synthetic(r=2)", res.Metrics))
+		points = append(points, ablSpec{
+			"lambda", fmt.Sprintf("λ=%.2f", lam), "synthetic(r=2)",
+			func(seed uint64) (apps.Result, error) {
+				return apps.RunSynthetic(apps.SyntheticOpts{
+					Repetition: 2, TotalUpdates: 1024, Workers: 8,
+				}, apps.Options{Nodes: 9, Policy: "AT", Lambda: lam, Seed: seed})
+			}})
 	}
-	return rows, nil
+	return runAblation(o, points)
 }
 
 // AblateTInit sweeps the initial threshold (§4.2 argues for 1 to speed up
 // initial data relocation) on ASP, where initial relocation dominates.
-func AblateTInit(progress func(string)) ([]AblationRow, error) {
-	var rows []AblationRow
+func AblateTInit(o RunOpts) ([]AblationRow, error) {
+	var points []ablSpec
 	for _, ti := range []float64{1, 2, 4, 8} {
-		if progress != nil {
-			progress(fmt.Sprintf("tinit %.0f", ti))
-		}
-		res, err := apps.RunASP(128, apps.Options{Nodes: 8, Policy: "AT", TInit: ti})
-		if err != nil {
-			return nil, fmt.Errorf("tinit %.0f: %w", ti, err)
-		}
-		rows = append(rows, ablRow("tinit", fmt.Sprintf("T_init=%.0f", ti), "ASP(128)", res.Metrics))
+		points = append(points, ablSpec{
+			"tinit", fmt.Sprintf("T_init=%.0f", ti), "ASP(128)",
+			func(seed uint64) (apps.Result, error) {
+				return apps.RunASP(128, apps.Options{Nodes: 8, Policy: "AT", TInit: ti, Seed: seed})
+			}})
 	}
-	return rows, nil
+	return runAblation(o, points)
 }
 
 // AblateRelated compares the related-work policies of §2 (JUMP
 // migrating-home, Jackal lazy flushing, Jiajia barrier migration)
 // against NoHM and AT, quantifying the paper's qualitative claims.
-func AblateRelated(progress func(string)) ([]AblationRow, error) {
-	var rows []AblationRow
+func AblateRelated(o RunOpts) ([]AblationRow, error) {
+	var points []ablSpec
 	for _, pol := range []string{"NoHM", "JUMP", "Jackal5", "Jiajia", "AT"} {
-		if progress != nil {
-			progress("related " + pol)
-		}
-		res, err := apps.RunSynthetic(apps.SyntheticOpts{
-			Repetition: 4, TotalUpdates: 1024, Workers: 8,
-		}, apps.Options{Nodes: 9, Policy: pol})
-		if err != nil {
-			return nil, fmt.Errorf("related %s synthetic: %w", pol, err)
-		}
-		rows = append(rows, ablRow("related", pol, "synthetic(r=4)", res.Metrics))
-		res, err = apps.RunSOR(128, 8, apps.Options{Nodes: 8, Policy: pol})
-		if err != nil {
-			return nil, fmt.Errorf("related %s sor: %w", pol, err)
-		}
-		rows = append(rows, ablRow("related", pol, "SOR(128)", res.Metrics))
+		points = append(points,
+			ablSpec{"related", pol, "synthetic(r=4)", func(seed uint64) (apps.Result, error) {
+				return apps.RunSynthetic(apps.SyntheticOpts{
+					Repetition: 4, TotalUpdates: 1024, Workers: 8,
+				}, apps.Options{Nodes: 9, Policy: pol, Seed: seed})
+			}},
+			ablSpec{"related", pol, "SOR(128)", func(seed uint64) (apps.Result, error) {
+				return apps.RunSOR(128, 8, apps.Options{Nodes: 8, Policy: pol, Seed: seed})
+			}},
+		)
 	}
-	return rows, nil
+	return runAblation(o, points)
 }
 
 // AblatePiggyback isolates the §5.2 observation that diff piggybacking
 // makes NM competitive at moderate repetitions.
-func AblatePiggyback(progress func(string)) ([]AblationRow, error) {
-	var rows []AblationRow
+func AblatePiggyback(o RunOpts) ([]AblationRow, error) {
+	var points []ablSpec
 	for _, pig := range []bool{true, false} {
 		variant := "piggyback=on"
 		if !pig {
 			variant = "piggyback=off"
 		}
-		if progress != nil {
-			progress(variant)
-		}
-		res, err := apps.RunSynthetic(apps.SyntheticOpts{
-			Repetition: 8, TotalUpdates: 1024, Workers: 8,
-		}, apps.Options{Nodes: 9, Policy: "NM", NoPiggyback: !pig})
-		if err != nil {
-			return nil, fmt.Errorf("piggyback %v: %w", pig, err)
-		}
-		rows = append(rows, ablRow("piggyback", variant, "synthetic(r=8,NM)", res.Metrics))
+		noPig := !pig
+		points = append(points, ablSpec{
+			"piggyback", variant, "synthetic(r=8,NM)",
+			func(seed uint64) (apps.Result, error) {
+				return apps.RunSynthetic(apps.SyntheticOpts{
+					Repetition: 8, TotalUpdates: 1024, Workers: 8,
+				}, apps.Options{Nodes: 9, Policy: "NM", NoPiggyback: noPig, Seed: seed})
+			}})
 	}
-	return rows, nil
+	return runAblation(o, points)
 }
 
 // AblatePathCompression measures the forwarding-chain compression
 // extension (beyond the paper; §6 future work on reducing redirection
 // overhead) on the chain-heavy FT1 transient workload.
-func AblatePathCompression(progress func(string)) ([]AblationRow, error) {
-	var rows []AblationRow
+func AblatePathCompression(o RunOpts) ([]AblationRow, error) {
+	var points []ablSpec
 	for _, on := range []bool{false, true} {
 		variant := "compress=off"
 		if on {
 			variant = "compress=on"
 		}
-		if progress != nil {
-			progress(variant)
-		}
-		res, err := apps.RunSynthetic(apps.SyntheticOpts{
-			Repetition: 2, TotalUpdates: 1024, Workers: 8,
-		}, apps.Options{Nodes: 9, Policy: "FT1", PathCompress: on})
-		if err != nil {
-			return nil, fmt.Errorf("pathcompress %v: %w", on, err)
-		}
-		rows = append(rows, ablRow("pathcompress", variant, "synthetic(r=2,FT1)", res.Metrics))
+		points = append(points, ablSpec{
+			"pathcompress", variant, "synthetic(r=2,FT1)",
+			func(seed uint64) (apps.Result, error) {
+				return apps.RunSynthetic(apps.SyntheticOpts{
+					Repetition: 2, TotalUpdates: 1024, Workers: 8,
+				}, apps.Options{Nodes: 9, Policy: "FT1", PathCompress: on, Seed: seed})
+			}})
 	}
-	return rows, nil
+	return runAblation(o, points)
 }
 
 // PrintAblation renders an ablation result set.
 func PrintAblation(w io.Writer, title string, rows []AblationRow) {
 	fmt.Fprintf(w, "Ablation — %s\n\n", title)
+	multi := len(rows) > 0 && rows[0].Trials > 1
 	tw := tabw(w)
-	fmt.Fprintf(tw, "variant\tworkload\ttime (s)\tmsgs\ttraffic (B)\tmigrations\tredir\tretries\n")
+	if multi {
+		fmt.Fprintf(tw, "variant\tworkload\ttime (s)\tmsgs\ttraffic (B)\tmigrations\tredir\tretries\ttime range (s)\n")
+	} else {
+		fmt.Fprintf(tw, "variant\tworkload\ttime (s)\tmsgs\ttraffic (B)\tmigrations\tredir\tretries\n")
+	}
 	for _, r := range rows {
-		fmt.Fprintf(tw, "%s\t%s\t%.3f\t%d\t%d\t%d\t%d\t%d\n",
-			r.Variant, r.Workload, r.Time.Seconds(), r.Msgs, r.Traffic, r.Migr, r.Redir, r.Retries)
+		if multi {
+			fmt.Fprintf(tw, "%s\t%s\t%.3f\t%d\t%d\t%d\t%d\t%d\t%s\n",
+				r.Variant, r.Workload, r.Time.Seconds(), r.Msgs, r.Traffic, r.Migr, r.Redir, r.Retries,
+				timeRange(r.TimeAgg.Min, r.TimeAgg.Max))
+		} else {
+			fmt.Fprintf(tw, "%s\t%s\t%.3f\t%d\t%d\t%d\t%d\t%d\n",
+				r.Variant, r.Workload, r.Time.Seconds(), r.Msgs, r.Traffic, r.Migr, r.Redir, r.Retries)
+		}
 	}
 	tw.Flush()
 }

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Report collects every figure and ablation produced by one dsmbench
+// invocation for machine-readable artifact output (-csv/-json). Sections
+// a run did not produce stay empty and are omitted.
+type Report struct {
+	Sizes     Sizes         `json:"sizes"`
+	Trials    int           `json:"trials"`
+	Fig2      []Fig2Row     `json:"fig2,omitempty"`
+	Fig3      []Fig3Row     `json:"fig3,omitempty"`
+	Fig5      []Fig5Row     `json:"fig5,omitempty"`
+	Ablations []AblationRow `json:"ablations,omitempty"`
+}
+
+// WriteJSON emits the report as indented JSON. Virtual times are
+// nanoseconds (dsm.Time's underlying unit); percentages are percent.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteCSV emits the report as blank-line-separated CSV sections, one
+// per figure/ablation set, each with its own header row. Times are in
+// (virtual) seconds.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	sec := func(rows [][]string) error {
+		if err := cw.WriteAll(rows); err != nil {
+			return err
+		}
+		cw.Flush()
+		_, err := fmt.Fprintln(w)
+		return err
+	}
+	secs := func(t interface{ Seconds() float64 }) string {
+		return strconv.FormatFloat(t.Seconds(), 'f', 6, 64)
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+	i := func(v int64) string { return strconv.FormatInt(v, 10) }
+
+	if len(r.Fig2) > 0 {
+		rows := [][]string{{"figure", "app", "procs", "trials",
+			"nohm_s", "hm_s", "nohm_msgs", "hm_msgs",
+			"nohm_min_s", "nohm_max_s", "hm_min_s", "hm_max_s"}}
+		for _, x := range r.Fig2 {
+			rows = append(rows, []string{"fig2", x.App, strconv.Itoa(x.Procs), strconv.Itoa(x.Trials),
+				secs(x.NoHM), secs(x.HM), i(x.NoHMMsgs), i(x.HMMsgs),
+				secs(x.NoHMAgg.Min), secs(x.NoHMAgg.Max), secs(x.HMAgg.Min), secs(x.HMAgg.Max)})
+		}
+		if err := sec(rows); err != nil {
+			return err
+		}
+	}
+	if len(r.Fig3) > 0 {
+		rows := [][]string{{"figure", "app", "size", "trials",
+			"time_pct", "msg_pct", "traffic_pct",
+			"time_pct_min", "time_pct_max"}}
+		for _, x := range r.Fig3 {
+			rows = append(rows, []string{"fig3", x.App, strconv.Itoa(x.Size), strconv.Itoa(x.Trials),
+				f(x.TimePct), f(x.MsgPct), f(x.TrafficPct),
+				f(x.TimePctRng[0]), f(x.TimePctRng[1])})
+		}
+		if err := sec(rows); err != nil {
+			return err
+		}
+	}
+	if len(r.Fig5) > 0 {
+		rows := [][]string{{"figure", "repetition", "protocol", "trials",
+			"time_s", "norm_time", "msgs", "norm_msgs",
+			"obj", "mig", "diff", "redir", "migrations", "elimination_pct",
+			"time_min_s", "time_max_s"}}
+		for _, x := range r.Fig5 {
+			rows = append(rows, []string{"fig5", strconv.Itoa(x.Repetition), x.Protocol, strconv.Itoa(x.Trials),
+				secs(x.Time), f(x.NormTime), i(x.Msgs), f(x.NormMsgs),
+				i(x.Breakdown.Obj), i(x.Breakdown.Mig), i(x.Breakdown.Diff), i(x.Breakdown.Redir),
+				i(x.Migrations), f(x.EliminationPct),
+				secs(x.TimeAgg.Min), secs(x.TimeAgg.Max)})
+		}
+		if err := sec(rows); err != nil {
+			return err
+		}
+	}
+	if len(r.Ablations) > 0 {
+		rows := [][]string{{"figure", "study", "variant", "workload", "trials",
+			"time_s", "msgs", "traffic_b", "migrations", "redir", "retries",
+			"time_min_s", "time_max_s"}}
+		for _, x := range r.Ablations {
+			rows = append(rows, []string{"ablation", x.Study, x.Variant, x.Workload, strconv.Itoa(x.Trials),
+				secs(x.Time), i(x.Msgs), i(x.Traffic), i(x.Migr), i(x.Redir), i(x.Retries),
+				secs(x.TimeAgg.Min), secs(x.TimeAgg.Max)})
+		}
+		if err := sec(rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -13,9 +13,71 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/apps"
+	"repro/internal/experiment"
 
 	dsm "repro"
 )
+
+// RunOpts controls how a sweep executes: worker-pool width, trials per
+// configuration, and progress reporting. The zero value runs one trial
+// per configuration on GOMAXPROCS workers with no progress output —
+// and, by the experiment pool's determinism guarantee, produces output
+// byte-identical to Par: 1.
+type RunOpts struct {
+	// Par is the worker-goroutine count; <= 0 means GOMAXPROCS, 1 is
+	// strictly sequential.
+	Par int
+	// Trials is the number of runs per configuration, each with a
+	// distinct input seed (trial 0 is the canonical paper input);
+	// <= 1 means a single trial. Tables report the trial mean, with
+	// min..max spread columns once Trials > 1.
+	Trials int
+	// Progress, when non-nil, receives one line per completed run with
+	// pool position, wall time and ETA.
+	Progress func(string)
+}
+
+func (o RunOpts) trials() int {
+	if o.Trials < 1 {
+		return 1
+	}
+	return o.Trials
+}
+
+// run executes specs through the experiment pool and returns their
+// metrics in spec order.
+func (o RunOpts) run(specs []experiment.Spec) ([]dsm.Metrics, error) {
+	p := &experiment.Pool{Workers: o.Par}
+	if o.Progress != nil {
+		prog := o.Progress
+		p.Progress = func(ev experiment.Event) { prog(ev.String()) }
+	}
+	return p.Metrics(specs)
+}
+
+// trialLabel tags a spec label with its trial index in multi-trial
+// sweeps; single-trial labels keep the historic form.
+func trialLabel(base string, trials, t int) string {
+	if trials <= 1 {
+		return base
+	}
+	return fmt.Sprintf("%s trial=%d", base, t)
+}
+
+// ratioStr renders num/den with the given verb, or "n/a" when the
+// denominator is zero — an unguarded division would print +Inf or NaN
+// into the table.
+func ratioStr(num, den float64, format string) string {
+	if den == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf(format, num/den)
+}
+
+// timeRange renders a min..max spread column in seconds.
+func timeRange(min, max dsm.Time) string {
+	return fmt.Sprintf("%.3f..%.3f", min.Seconds(), max.Seconds())
+}
 
 // Sizes selects the problem sizes for the application experiments.
 type Sizes struct {

@@ -15,7 +15,7 @@ func tinySizes() Sizes {
 }
 
 func TestFig2ProducesAllRows(t *testing.T) {
-	rows, err := Fig2(tinySizes(), []int{2, 4}, nil)
+	rows, err := Fig2(tinySizes(), []int{2, 4}, RunOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +38,7 @@ func TestFig2ShapeASPAndSORFavorHM(t *testing.T) {
 	// The qualitative claim of §5.1: home migration improves ASP and SOR
 	// a lot, and is near-neutral for Nbody and TSP.
 	s := Sizes{ASPN: 64, SORN: 64, SORIters: 12, NbodyN: 128, NbodySteps: 12, TSPCities: 8}
-	rows, err := Fig2(s, []int{8}, nil)
+	rows, err := Fig2(s, []int{8}, RunOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +69,7 @@ func TestFig2ShapeASPAndSORFavorHM(t *testing.T) {
 }
 
 func TestFig3ProducesImprovements(t *testing.T) {
-	rows, err := Fig3([]int{48, 96}, []int{48, 96}, 6, 8, nil)
+	rows, err := Fig3([]int{48, 96}, []int{48, 96}, 6, 8, RunOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +92,7 @@ func TestFig3ProducesImprovements(t *testing.T) {
 }
 
 func TestFig5ShapeMatchesPaper(t *testing.T) {
-	rows, err := Fig5(Fig5Config{Repetitions: []int{2, 16}, Workers: 4, TotalUpdates: 512}, nil)
+	rows, err := Fig5(Fig5Config{Repetitions: []int{2, 16}, Workers: 4, TotalUpdates: 512}, RunOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,21 +152,21 @@ func TestAblations(t *testing.T) {
 	if testing.Short() {
 		t.Skip("ablations in -short mode")
 	}
-	loc, err := AblateLocator(nil)
+	loc, err := AblateLocator(RunOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(loc) != 6 {
 		t.Fatalf("locator rows = %d", len(loc))
 	}
-	lam, err := AblateLambda(nil)
+	lam, err := AblateLambda(RunOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(lam) != 5 {
 		t.Fatalf("lambda rows = %d", len(lam))
 	}
-	ti, err := AblateTInit(nil)
+	ti, err := AblateTInit(RunOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,14 +175,14 @@ func TestAblations(t *testing.T) {
 	if ti[0].Time > ti[len(ti)-1].Time {
 		t.Errorf("T_init=1 slower than T_init=8: %v vs %v", ti[0].Time, ti[len(ti)-1].Time)
 	}
-	rel, err := AblateRelated(nil)
+	rel, err := AblateRelated(RunOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(rel) != 10 {
 		t.Fatalf("related rows = %d", len(rel))
 	}
-	pig, err := AblatePiggyback(nil)
+	pig, err := AblatePiggyback(RunOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +211,7 @@ func TestHeadlineNumbers(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-config headline runs in -short mode")
 	}
-	rows, err := Fig5(Fig5Config{Repetitions: []int{2, 16}}, nil)
+	rows, err := Fig5(Fig5Config{Repetitions: []int{2, 16}}, RunOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,24 +5,43 @@ import (
 	"io"
 
 	"repro/internal/apps"
+	"repro/internal/experiment"
+
+	dsm "repro"
 )
 
 // Fig3Row is one point of Fig. 3: the improvement of the adaptive
 // threshold (AT) over the fixed threshold FT2 — the threshold the
 // authors' previous system used — in execution time, message number and
-// network traffic, at one problem size on eight nodes.
+// network traffic, at one problem size on eight nodes. With Trials > 1
+// the percentages are means over per-trial paired comparisons (FT2 and
+// AT see the same seeded input in each trial) and the *Rng fields carry
+// the min/max spread.
 type Fig3Row struct {
-	App        string
-	Size       int
-	TimePct    float64 // reduced execution time, %
-	MsgPct     float64 // reduced message number, %
-	TrafficPct float64 // reduced network traffic, %
+	App           string
+	Size          int
+	TimePct       float64 // reduced execution time, %
+	MsgPct        float64 // reduced message number, %
+	TrafficPct    float64 // reduced network traffic, %
+	Trials        int
+	TimePctRng    [2]float64 // min, max over trials
+	MsgPctRng     [2]float64
+	TrafficPctRng [2]float64
 }
+
+// fig3Point is one (app, size) grid point.
+type fig3Point struct {
+	App  string
+	Size int
+}
+
+// fig3Policies: the baseline first, then the paper's contribution.
+var fig3Policies = []string{"FT2", "AT"}
 
 // Fig3 reproduces Figure 3: AT's improvement over FT2 against problem
 // size for ASP and SOR, on eight cluster nodes (§5.1). The paper scales
 // the ASP graph and the SOR matrix over {128, 256, 512, 1024}.
-func Fig3(sizesASP, sizesSOR []int, sorIters, nodes int, progress func(string)) ([]Fig3Row, error) {
+func Fig3(sizesASP, sizesSOR []int, sorIters, nodes int, o RunOpts) ([]Fig3Row, error) {
 	if len(sizesASP) == 0 {
 		sizesASP = []int{128, 256, 512, 1024}
 	}
@@ -35,57 +54,89 @@ func Fig3(sizesASP, sizesSOR []int, sorIters, nodes int, progress func(string)) 
 	if sorIters == 0 {
 		sorIters = 12
 	}
-	var rows []Fig3Row
-	run := func(app string, size int) (Fig3Row, error) {
-		row := Fig3Row{App: app, Size: size}
-		var base, at [3]float64
-		for i, pol := range []string{"FT2", "AT"} {
-			if progress != nil {
-				progress(fmt.Sprintf("fig3 %s n=%d %s", app, size, pol))
-			}
-			s := Sizes{ASPN: size, SORN: size, SORIters: sorIters}
-			res, err := runApp(app, s, apps.Options{Nodes: nodes, Policy: pol})
-			if err != nil {
-				return row, fmt.Errorf("fig3 %s n=%d %s: %w", app, size, pol, err)
-			}
-			secs, msgs, bytes := metricsTriple(res.Metrics)
-			vals := [3]float64{secs, float64(msgs), float64(bytes)}
-			if i == 0 {
-				base = vals
-			} else {
-				at = vals
-			}
-		}
-		row.TimePct = pct(base[0], at[0])
-		row.MsgPct = pct(base[1], at[1])
-		row.TrafficPct = pct(base[2], at[2])
-		return row, nil
-	}
+	var points []fig3Point
 	for _, size := range sizesASP {
-		row, err := run("ASP", size)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
+		points = append(points, fig3Point{"ASP", size})
 	}
 	for _, size := range sizesSOR {
-		row, err := run("SOR", size)
-		if err != nil {
-			return nil, err
+		points = append(points, fig3Point{"SOR", size})
+	}
+	K := o.trials()
+	var specs []experiment.Spec
+	for _, pt := range points {
+		for _, pol := range fig3Policies {
+			for t := 0; t < K; t++ {
+				seed := experiment.TrialSeed(t)
+				specs = append(specs, experiment.Spec{
+					Label: trialLabel(fmt.Sprintf("fig3 %s n=%d %s", pt.App, pt.Size, pol), K, t),
+					Run: func() (dsm.Metrics, error) {
+						s := Sizes{ASPN: pt.Size, SORN: pt.Size, SORIters: sorIters}
+						res, err := runApp(pt.App, s, apps.Options{Nodes: nodes, Policy: pol, Seed: seed})
+						return res.Metrics, err
+					},
+				})
+			}
 		}
-		rows = append(rows, row)
+	}
+	ms, err := o.run(specs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig3Row, len(points))
+	for pi, pt := range points {
+		base := ms[pi*2*K : pi*2*K+K]   // FT2 trials
+		at := ms[pi*2*K+K : (pi+1)*2*K] // AT trials
+		row := Fig3Row{App: pt.App, Size: pt.Size, Trials: K}
+		var timeP, msgP, trafP []float64
+		for t := 0; t < K; t++ {
+			bs, bm, bb := metricsTriple(base[t])
+			as, am, ab := metricsTriple(at[t])
+			timeP = append(timeP, pct(bs, as))
+			msgP = append(msgP, pct(float64(bm), float64(am)))
+			trafP = append(trafP, pct(float64(bb), float64(ab)))
+		}
+		row.TimePct, row.TimePctRng = meanRange(timeP)
+		row.MsgPct, row.MsgPctRng = meanRange(msgP)
+		row.TrafficPct, row.TrafficPctRng = meanRange(trafP)
+		rows[pi] = row
 	}
 	return rows, nil
+}
+
+// meanRange reduces per-trial percentages to mean and [min, max].
+func meanRange(vs []float64) (mean float64, rng [2]float64) {
+	rng = [2]float64{vs[0], vs[0]}
+	var sum float64
+	for _, v := range vs {
+		sum += v
+		if v < rng[0] {
+			rng[0] = v
+		}
+		if v > rng[1] {
+			rng[1] = v
+		}
+	}
+	return sum / float64(len(vs)), rng
 }
 
 // PrintFig3 renders both panels of Fig. 3.
 func PrintFig3(w io.Writer, rows []Fig3Row) {
 	fmt.Fprintf(w, "Figure 3 — improvement of AT over FT2 vs problem size (8 nodes)\n\n")
+	multi := len(rows) > 0 && rows[0].Trials > 1
 	tw := tabw(w)
-	fmt.Fprintf(tw, "app\tsize\texec time\tmessage number\tnetwork traffic\n")
+	if multi {
+		fmt.Fprintf(tw, "app\tsize\texec time\tmessage number\tnetwork traffic\ttime range\n")
+	} else {
+		fmt.Fprintf(tw, "app\tsize\texec time\tmessage number\tnetwork traffic\n")
+	}
 	for _, r := range rows {
-		fmt.Fprintf(tw, "%s\t%d\t%+.1f%%\t%+.1f%%\t%+.1f%%\n",
-			r.App, r.Size, r.TimePct, r.MsgPct, r.TrafficPct)
+		if multi {
+			fmt.Fprintf(tw, "%s\t%d\t%+.1f%%\t%+.1f%%\t%+.1f%%\t%+.1f..%+.1f%%\n",
+				r.App, r.Size, r.TimePct, r.MsgPct, r.TrafficPct, r.TimePctRng[0], r.TimePctRng[1])
+		} else {
+			fmt.Fprintf(tw, "%s\t%d\t%+.1f%%\t%+.1f%%\t%+.1f%%\n",
+				r.App, r.Size, r.TimePct, r.MsgPct, r.TrafficPct)
+		}
 	}
 	tw.Flush()
 }

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/apps"
+	"repro/internal/experiment"
 	"repro/internal/stats"
 
 	dsm "repro"
@@ -16,7 +17,11 @@ var Fig5Protocols = []string{"NM", "FT1", "FT2", "AT"}
 
 // Fig5Row is one bar group of Fig. 5: a protocol's absolute and
 // normalized execution time, message count and message breakdown for one
-// repetition of the single-writer pattern.
+// repetition of the single-writer pattern. With Trials > 1 every
+// quantity is the per-trial mean and TimeAgg carries the time spread
+// (the synthetic benchmark has no seeded input, so trials differ only
+// if the protocol itself is nondeterministic — the spread doubles as a
+// determinism check).
 type Fig5Row struct {
 	Repetition int
 	Protocol   string
@@ -29,6 +34,8 @@ type Fig5Row struct {
 	// EliminationPct is the §5.2 statistic: percent of NM's fault-in +
 	// diff messages this protocol eliminated.
 	EliminationPct float64
+	Trials         int
+	TimeAgg        stats.TimeAgg
 }
 
 // Fig5Config parameterizes the synthetic sweep.
@@ -41,8 +48,10 @@ type Fig5Config struct {
 // Fig5 reproduces Figure 5: the synthetic single-writer benchmark run
 // under each protocol across repetitions, with eight worker threads on
 // nodes other than the start node and all synchronization at the start
-// node (§5.2).
-func Fig5(cfg Fig5Config, progress func(string)) ([]Fig5Row, error) {
+// node (§5.2). The repetition × protocol × trial grid runs on the
+// experiment pool; group normalization happens after deterministic
+// reassembly, so parallel output is byte-identical to sequential.
+func Fig5(cfg Fig5Config, o RunOpts) ([]Fig5Row, error) {
 	if len(cfg.Repetitions) == 0 {
 		cfg.Repetitions = []int{2, 4, 8, 16}
 	}
@@ -52,23 +61,38 @@ func Fig5(cfg Fig5Config, progress func(string)) ([]Fig5Row, error) {
 	if cfg.TotalUpdates == 0 {
 		cfg.TotalUpdates = 2048
 	}
+	K := o.trials()
+	var specs []experiment.Spec
+	for _, r := range cfg.Repetitions {
+		for _, pol := range Fig5Protocols {
+			for t := 0; t < K; t++ {
+				specs = append(specs, experiment.Spec{
+					Label: trialLabel(fmt.Sprintf("fig5 r=%d %s", r, pol), K, t),
+					Run: func() (dsm.Metrics, error) {
+						res, err := apps.RunSynthetic(apps.SyntheticOpts{
+							Repetition:   r,
+							TotalUpdates: cfg.TotalUpdates,
+							Workers:      cfg.Workers,
+						}, apps.Options{Nodes: cfg.Workers + 1, Policy: pol, Seed: experiment.TrialSeed(t)})
+						return res.Metrics, err
+					},
+				})
+			}
+		}
+	}
+	ms, err := o.run(specs)
+	if err != nil {
+		return nil, err
+	}
 	var rows []Fig5Row
+	i := 0
 	for _, r := range cfg.Repetitions {
 		var group []Fig5Row
 		var nm *stats.Counters
 		for _, pol := range Fig5Protocols {
-			if progress != nil {
-				progress(fmt.Sprintf("fig5 r=%d %s", r, pol))
-			}
-			res, err := apps.RunSynthetic(apps.SyntheticOpts{
-				Repetition:   r,
-				TotalUpdates: cfg.TotalUpdates,
-				Workers:      cfg.Workers,
-			}, apps.Options{Nodes: cfg.Workers + 1, Policy: pol})
-			if err != nil {
-				return nil, fmt.Errorf("fig5 r=%d %s: %w", r, pol, err)
-			}
-			m := res.Metrics
+			agg := stats.Aggregate(ms[i : i+K])
+			i += K
+			m := agg.Mean
 			row := Fig5Row{
 				Repetition: r,
 				Protocol:   pol,
@@ -76,6 +100,8 @@ func Fig5(cfg Fig5Config, progress func(string)) ([]Fig5Row, error) {
 				Msgs:       m.TotalMsgs(false),
 				Breakdown:  m.Breakdown(),
 				Migrations: m.Migrations,
+				Trials:     K,
+				TimeAgg:    agg.ExecTime,
 			}
 			if pol == "NM" {
 				c := m.Counters
@@ -97,8 +123,14 @@ func Fig5(cfg Fig5Config, progress func(string)) ([]Fig5Row, error) {
 			}
 		}
 		for i := range group {
-			group[i].NormTime = float64(group[i].Time) / float64(maxT)
-			group[i].NormMsgs = float64(group[i].Breakdown.Total()) / float64(maxM)
+			// Guard the degenerate all-zero group: a 0/0 here would put
+			// NaN into every normalized column.
+			if maxT > 0 {
+				group[i].NormTime = float64(group[i].Time) / float64(maxT)
+			}
+			if maxM > 0 {
+				group[i].NormMsgs = float64(group[i].Breakdown.Total()) / float64(maxM)
+			}
 			// The §5.2 statistic: eliminated fault-in + diff messages
 			// relative to no-migration.
 			nmTot := nm.Breakdown().Obj + nm.Breakdown().Mig + nm.Breakdown().Diff
@@ -115,11 +147,22 @@ func Fig5(cfg Fig5Config, progress func(string)) ([]Fig5Row, error) {
 // PrintFig5a renders the normalized-execution-time panel.
 func PrintFig5a(w io.Writer, rows []Fig5Row) {
 	fmt.Fprintf(w, "Figure 5(a) — normalized execution time vs repetition of single-writer pattern\n\n")
+	multi := len(rows) > 0 && rows[0].Trials > 1
 	tw := tabw(w)
-	fmt.Fprintf(tw, "repetition\tprotocol\ttime (s)\tnormalized\tmigrations\n")
+	if multi {
+		fmt.Fprintf(tw, "repetition\tprotocol\ttime (s)\tnormalized\tmigrations\ttime range (s)\n")
+	} else {
+		fmt.Fprintf(tw, "repetition\tprotocol\ttime (s)\tnormalized\tmigrations\n")
+	}
 	for _, r := range rows {
-		fmt.Fprintf(tw, "%d\t%s\t%.3f\t%.3f\t%d\n",
-			r.Repetition, r.Protocol, r.Time.Seconds(), r.NormTime, r.Migrations)
+		if multi {
+			fmt.Fprintf(tw, "%d\t%s\t%.3f\t%.3f\t%d\t%s\n",
+				r.Repetition, r.Protocol, r.Time.Seconds(), r.NormTime, r.Migrations,
+				timeRange(r.TimeAgg.Min, r.TimeAgg.Max))
+		} else {
+			fmt.Fprintf(tw, "%d\t%s\t%.3f\t%.3f\t%d\n",
+				r.Repetition, r.Protocol, r.Time.Seconds(), r.NormTime, r.Migrations)
+		}
 	}
 	tw.Flush()
 }

@@ -1,0 +1,269 @@
+// Package experiment is the parallel sweep substrate for the evaluation:
+// it expresses a whole figure or ablation grid as a flat list of Specs,
+// executes them across a pool of worker goroutines with work stealing,
+// and deterministically reassembles the results in spec order — so every
+// table and artifact printed from a parallel sweep is byte-identical to
+// the sequential output.
+//
+// Each run owns an isolated sim.Env (the simulator has no package-level
+// mutable state), so runs are embarrassingly parallel; the only shared
+// state here is the work queues and the result slots, which are disjoint
+// per spec.
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Spec is one unit of work in a sweep: a label for progress/error context
+// and a closure that performs the run. Run must be self-contained — it is
+// invoked on an arbitrary worker goroutine, concurrently with other specs.
+type Spec struct {
+	// Label identifies the run in progress lines and error messages,
+	// e.g. "fig2 ASP p=8 AT".
+	Label string
+	// Run executes the simulation and returns its metrics.
+	Run func() (stats.Metrics, error)
+}
+
+// Outcome is the result slot for one Spec, in spec order.
+type Outcome struct {
+	Label   string
+	Metrics stats.Metrics
+	// Err is the run's error; a panicking run is converted to an error
+	// carrying the label and the stack instead of taking the pool down.
+	Err error
+	// Wall is the host wall-clock time the run took (diagnostic only —
+	// it never influences results or output tables).
+	Wall time.Duration
+}
+
+// Event is one progress notification, emitted when a run completes.
+// Events are delivered serially (never concurrently) but — under a
+// parallel pool — not necessarily in spec order.
+type Event struct {
+	Done, Total int
+	Label       string
+	Err         error
+	Wall        time.Duration // this run's wall-clock time
+	Elapsed     time.Duration // pool wall-clock so far
+	ETA         time.Duration // throughput-based estimate of time left
+}
+
+// String renders the event as a one-line progress message.
+func (e Event) String() string {
+	s := fmt.Sprintf("[%d/%d] %s (%s)", e.Done, e.Total, e.Label, round(e.Wall))
+	if e.Err != nil {
+		s += " FAILED"
+	}
+	if e.Done < e.Total && e.ETA > 0 {
+		s += fmt.Sprintf(" eta %s", round(e.ETA))
+	}
+	return s
+}
+
+func round(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Second:
+		return d.Round(100 * time.Millisecond)
+	case d >= time.Millisecond:
+		return d.Round(100 * time.Microsecond)
+	default:
+		return d.Round(time.Microsecond)
+	}
+}
+
+// Pool executes specs across worker goroutines.
+type Pool struct {
+	// Workers is the goroutine count; <= 0 means GOMAXPROCS. A pool of 1
+	// runs the specs strictly sequentially in spec order.
+	Workers int
+	// Progress, when non-nil, receives one Event per completed run.
+	Progress func(Event)
+}
+
+// queue is one worker's deque of spec indices, held as a half-open range
+// [lo, hi). The owner pops from the front; thieves pop from the back, so
+// an owner keeps walking its own contiguous block in order.
+type queue struct {
+	mu     sync.Mutex
+	lo, hi int
+}
+
+func (q *queue) popFront() (int, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.lo >= q.hi {
+		return 0, false
+	}
+	i := q.lo
+	q.lo++
+	return i, true
+}
+
+func (q *queue) popBack() (int, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.lo >= q.hi {
+		return 0, false
+	}
+	q.hi--
+	return q.hi, true
+}
+
+func (q *queue) size() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.hi - q.lo
+}
+
+// Run executes every spec and returns one Outcome per spec, in spec
+// order regardless of completion order. It never fails as a whole: a
+// spec that errors or panics fails only its own slot (see Outcome.Err),
+// and the remaining specs still run.
+func (p *Pool) Run(specs []Spec) []Outcome {
+	n := len(specs)
+	outcomes := make([]Outcome, n)
+	if n == 0 {
+		return outcomes
+	}
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	// Deal the spec indices into contiguous per-worker deques (same
+	// split as blockRange: the first n%workers queues get one extra).
+	queues := make([]*queue, workers)
+	per, rem := n/workers, n%workers
+	lo := 0
+	for w := range queues {
+		hi := lo + per
+		if w < rem {
+			hi++
+		}
+		queues[w] = &queue{lo: lo, hi: hi}
+		lo = hi
+	}
+
+	var (
+		done   atomic.Int64
+		progMu sync.Mutex
+		start  = time.Now()
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(self int) {
+			defer wg.Done()
+			for {
+				idx, ok := next(queues, self)
+				if !ok {
+					return
+				}
+				t0 := time.Now()
+				m, err := runOne(specs[idx])
+				wall := time.Since(t0)
+				outcomes[idx] = Outcome{Label: specs[idx].Label, Metrics: m, Err: err, Wall: wall}
+				d := int(done.Add(1))
+				if p.Progress != nil {
+					progMu.Lock()
+					elapsed := time.Since(start)
+					var eta time.Duration
+					if d < n {
+						eta = elapsed / time.Duration(d) * time.Duration(n-d)
+					}
+					p.Progress(Event{
+						Done: d, Total: n, Label: specs[idx].Label, Err: err,
+						Wall: wall, Elapsed: elapsed, ETA: eta,
+					})
+					progMu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return outcomes
+}
+
+// next claims the next spec index for worker self: the front of its own
+// deque, or — once that drains — the back of the fullest other deque
+// (work stealing). It returns false only when every deque is empty.
+func next(queues []*queue, self int) (int, bool) {
+	if i, ok := queues[self].popFront(); ok {
+		return i, true
+	}
+	for {
+		victim, best := -1, 0
+		for j, q := range queues {
+			if j == self {
+				continue
+			}
+			if s := q.size(); s > best {
+				victim, best = j, s
+			}
+		}
+		if victim < 0 {
+			return 0, false
+		}
+		if i, ok := queues[victim].popBack(); ok {
+			return i, true
+		}
+		// Lost the race to another thief; rescan.
+	}
+}
+
+// runOne invokes a spec with panic containment: a panic fails the spec
+// with its label and stack instead of crashing the pool (or, worse,
+// leaking the worker and deadlocking the WaitGroup).
+func runOne(s Spec) (m stats.Metrics, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("experiment: run %q panicked: %v\n%s", s.Label, r, debug.Stack())
+		}
+	}()
+	return s.Run()
+}
+
+// Metrics runs the specs and unwraps the outcomes into a metrics slice in
+// spec order. If any spec failed it returns the first failure in spec
+// order (not completion order), prefixed with the spec's label.
+func (p *Pool) Metrics(specs []Spec) ([]stats.Metrics, error) {
+	outs := p.Run(specs)
+	ms := make([]stats.Metrics, len(outs))
+	for i, o := range outs {
+		if o.Err != nil {
+			return nil, fmt.Errorf("%s: %w", o.Label, o.Err)
+		}
+		ms[i] = o.Metrics
+	}
+	return ms, nil
+}
+
+// TrialSeed derives the input seed for a trial index. Trial 0 is the
+// canonical paper input (seed 0, which every app maps to its fixed
+// default input); later trials get splitmix64-mixed seeds so the seed
+// stream has no visible structure.
+func TrialSeed(trial int) uint64 {
+	if trial <= 0 {
+		return 0
+	}
+	z := uint64(trial) + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	if z == 0 {
+		z = 1
+	}
+	return z
+}

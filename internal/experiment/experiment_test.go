@@ -1,0 +1,237 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// metricTagged fabricates a distinguishable Metrics value, identifying a
+// run by a tag stashed in Migrations.
+func metricTagged(tag int64) stats.Metrics {
+	var m stats.Metrics
+	m.Migrations = tag
+	return m
+}
+
+func TestPoolPreservesSpecOrder(t *testing.T) {
+	const n = 40
+	specs := make([]Spec, n)
+	for i := 0; i < n; i++ {
+		specs[i] = Spec{
+			Label: fmt.Sprintf("spec%d", i),
+			Run: func() (stats.Metrics, error) {
+				// Reverse-skewed durations so completion order inverts
+				// spec order under any parallel schedule.
+				time.Sleep(time.Duration(n-i) * 100 * time.Microsecond)
+				return metricTagged(int64(i)), nil
+			},
+		}
+	}
+	for _, workers := range []int{1, 3, 8} {
+		outs := (&Pool{Workers: workers}).Run(specs)
+		if len(outs) != n {
+			t.Fatalf("workers=%d: %d outcomes, want %d", workers, len(outs), n)
+		}
+		for i, o := range outs {
+			if o.Err != nil {
+				t.Fatalf("workers=%d spec %d: %v", workers, i, o.Err)
+			}
+			if o.Metrics.Migrations != int64(i) {
+				t.Errorf("workers=%d: outcome %d holds run %d", workers, i, o.Metrics.Migrations)
+			}
+			if o.Label != specs[i].Label {
+				t.Errorf("workers=%d: outcome %d labeled %q", workers, i, o.Label)
+			}
+		}
+	}
+}
+
+func TestPoolRunsEverySpecExactlyOnce(t *testing.T) {
+	const n = 101 // not a multiple of the worker count: uneven deques
+	var counts [n]atomic.Int64
+	specs := make([]Spec, n)
+	for i := 0; i < n; i++ {
+		specs[i] = Spec{Label: fmt.Sprintf("s%d", i), Run: func() (stats.Metrics, error) {
+			counts[i].Add(1)
+			return stats.Metrics{}, nil
+		}}
+	}
+	(&Pool{Workers: 7}).Run(specs)
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Errorf("spec %d ran %d times", i, c)
+		}
+	}
+}
+
+// TestPoolStealsWork pins the load-balancing property. With two workers,
+// worker 0's deque holds specs {0, 1} and worker 1's holds {2, 3}. Spec 0
+// is slow and worker 1's specs are instant, so worker 1 drains its own
+// deque and must steal spec 1 from the back of worker 0's — rather than
+// idle while worker 0 works through both slow specs sequentially.
+func TestPoolStealsWork(t *testing.T) {
+	var mu sync.Mutex
+	ranBy := map[int]string{}
+	mk := func(i int, d time.Duration) Spec {
+		return Spec{Label: fmt.Sprintf("s%d", i), Run: func() (stats.Metrics, error) {
+			id := gid()
+			time.Sleep(d)
+			mu.Lock()
+			ranBy[i] = id
+			mu.Unlock()
+			return stats.Metrics{}, nil
+		}}
+	}
+	specs := []Spec{
+		mk(0, 300*time.Millisecond),
+		mk(1, time.Millisecond),
+		mk(2, time.Millisecond),
+		mk(3, time.Millisecond),
+	}
+	(&Pool{Workers: 2}).Run(specs)
+	if ranBy[1] == ranBy[0] {
+		t.Errorf("spec 1 ran on the slow worker's goroutine: not stolen (ranBy=%v)", ranBy)
+	}
+	if ranBy[1] != ranBy[2] {
+		t.Errorf("spec 1 not stolen by the idle worker (ranBy=%v)", ranBy)
+	}
+}
+
+// gid returns the current goroutine's id from its stack header — a cheap
+// worker identifier for the stealing test.
+func gid() string {
+	b := make([]byte, 64)
+	n := runtime.Stack(b, false)
+	return strings.Fields(string(b[:n]))[1]
+}
+
+func TestPoolPanicBecomesSpecError(t *testing.T) {
+	specs := []Spec{
+		{Label: "fine", Run: func() (stats.Metrics, error) { return metricTagged(1), nil }},
+		{Label: "boom r=4", Run: func() (stats.Metrics, error) { panic("kaboom") }},
+		{Label: "also fine", Run: func() (stats.Metrics, error) { return metricTagged(2), nil }},
+	}
+	done := make(chan []Outcome, 1)
+	go func() { done <- (&Pool{Workers: 2}).Run(specs) }()
+	var outs []Outcome
+	select {
+	case outs = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("pool deadlocked after a panicking run")
+	}
+	if outs[0].Err != nil || outs[2].Err != nil {
+		t.Fatalf("healthy specs failed: %v / %v", outs[0].Err, outs[2].Err)
+	}
+	if outs[1].Err == nil {
+		t.Fatal("panicking spec reported no error")
+	}
+	for _, want := range []string{"boom r=4", "kaboom", "experiment_test.go"} {
+		if !strings.Contains(outs[1].Err.Error(), want) {
+			t.Errorf("panic error lacks %q:\n%v", want, outs[1].Err)
+		}
+	}
+}
+
+func TestMetricsReturnsFirstErrorInSpecOrder(t *testing.T) {
+	errA := errors.New("first failure")
+	specs := []Spec{
+		{Label: "ok", Run: func() (stats.Metrics, error) { return stats.Metrics{}, nil }},
+		{Label: "bad1", Run: func() (stats.Metrics, error) {
+			time.Sleep(5 * time.Millisecond) // finishes after bad2
+			return stats.Metrics{}, errA
+		}},
+		{Label: "bad2", Run: func() (stats.Metrics, error) { return stats.Metrics{}, errors.New("later failure") }},
+	}
+	_, err := (&Pool{Workers: 3}).Metrics(specs)
+	if err == nil || !errors.Is(err, errA) {
+		t.Fatalf("err = %v, want the spec-order-first error %v", err, errA)
+	}
+	if !strings.Contains(err.Error(), "bad1") {
+		t.Errorf("error lacks spec label: %v", err)
+	}
+}
+
+func TestPoolProgressEvents(t *testing.T) {
+	const n = 9
+	specs := make([]Spec, n)
+	for i := range specs {
+		specs[i] = Spec{Label: fmt.Sprintf("s%d", i), Run: func() (stats.Metrics, error) {
+			return stats.Metrics{}, nil
+		}}
+	}
+	var mu sync.Mutex
+	var events []Event
+	p := &Pool{Workers: 3, Progress: func(e Event) {
+		mu.Lock()
+		events = append(events, e)
+		mu.Unlock()
+	}}
+	p.Run(specs)
+	if len(events) != n {
+		t.Fatalf("%d events, want %d", len(events), n)
+	}
+	seenDone := map[int]bool{}
+	for _, e := range events {
+		if e.Total != n {
+			t.Errorf("event Total = %d, want %d", e.Total, n)
+		}
+		if seenDone[e.Done] {
+			t.Errorf("Done=%d emitted twice", e.Done)
+		}
+		seenDone[e.Done] = true
+	}
+	if !seenDone[n] {
+		t.Error("no completion event with Done == Total")
+	}
+	last := Event{Done: 3, Total: 10, Label: "x", Wall: 2 * time.Millisecond, ETA: 3 * time.Second}
+	if s := last.String(); !strings.Contains(s, "[3/10] x") || !strings.Contains(s, "eta") {
+		t.Errorf("Event.String = %q", s)
+	}
+	failed := Event{Done: 10, Total: 10, Label: "y", Err: errors.New("nope")}
+	if s := failed.String(); !strings.Contains(s, "FAILED") || strings.Contains(s, "eta") {
+		t.Errorf("failed-terminal Event.String = %q", s)
+	}
+}
+
+func TestPoolEmptyAndTiny(t *testing.T) {
+	if outs := (&Pool{Workers: 8}).Run(nil); len(outs) != 0 {
+		t.Fatalf("empty specs gave %d outcomes", len(outs))
+	}
+	outs := (&Pool{Workers: 8}).Run([]Spec{{Label: "one", Run: func() (stats.Metrics, error) {
+		return metricTagged(7), nil
+	}}})
+	if len(outs) != 1 || outs[0].Metrics.Migrations != 7 {
+		t.Fatalf("single-spec pool: %+v", outs)
+	}
+}
+
+func TestTrialSeed(t *testing.T) {
+	if TrialSeed(0) != 0 {
+		t.Fatal("trial 0 must map to the canonical seed 0")
+	}
+	if TrialSeed(-3) != 0 {
+		t.Fatal("negative trials must map to 0")
+	}
+	seen := map[uint64]int{}
+	for i := 1; i <= 1000; i++ {
+		s := TrialSeed(i)
+		if s == 0 {
+			t.Fatalf("trial %d mapped to the canonical seed", i)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("trials %d and %d collide on seed %#x", prev, i, s)
+		}
+		seen[s] = i
+	}
+	if TrialSeed(5) != TrialSeed(5) {
+		t.Fatal("TrialSeed not deterministic")
+	}
+}

@@ -107,20 +107,50 @@ func Parse(s string, atParams core.Params) (Policy, error) {
 	case strings.HasPrefix(u, "JACKAL"):
 		k := 5
 		if rest := u[len("JACKAL"):]; rest != "" {
-			v, err := strconv.Atoi(rest)
-			if err != nil || v < 1 {
+			v, ok := parseCount(rest)
+			if !ok {
 				return nil, fmt.Errorf("migration: bad Jackal cap %q", s)
 			}
 			k = v
 		}
 		return Jackal{Max: k}, nil
 	case strings.HasPrefix(u, "FT"):
-		v, err := strconv.Atoi(u[2:])
-		if err != nil || v < 1 {
+		v, ok := parseCount(u[2:])
+		if !ok {
 			return nil, fmt.Errorf("migration: bad fixed threshold %q", s)
 		}
 		return Fixed{T: v}, nil
 	default:
 		return nil, fmt.Errorf("migration: unknown policy %q", s)
+	}
+}
+
+// parseCount parses the numeric suffix of FT<k>/Jackal<k>: plain decimal
+// digits, value >= 1 — exactly the range the Name() formatters emit, so
+// Parse(p.Name()) round-trips for every valid policy while FT0, FT+1 or
+// Jackal-2 are rejected rather than silently accepted.
+func parseCount(s string) (int, bool) {
+	if s == "" {
+		return 0, false
+	}
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil || v < 1 {
+		return 0, false
+	}
+	return v, true
+}
+
+// Builtins returns one instance of every policy family the paper
+// evaluates, at its default parameters — the set sweep tooling iterates
+// and the Parse round-trip contract covers.
+func Builtins(atParams core.Params) []Policy {
+	return []Policy{
+		NoHM{}, Fixed{T: 1}, Fixed{T: 2}, Adaptive{P: atParams},
+		JUMP{}, Jackal{Max: 5}, Jiajia{},
 	}
 }

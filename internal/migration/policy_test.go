@@ -1,6 +1,7 @@
 package migration
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -161,9 +162,45 @@ func TestParse(t *testing.T) {
 
 func TestParseErrors(t *testing.T) {
 	p := params()
-	for _, bad := range []string{"", "FT", "FT0", "FTx", "Jackal0", "wat"} {
+	for _, bad := range []string{
+		"", "FT", "FT0", "FTx", "FT-1", "FT+1", "FT 2", "Jackal0",
+		"Jackal-1", "Jackal+2", "Jackalx", "wat", "ATX",
+	} {
 		if _, err := Parse(bad, p); err == nil {
 			t.Fatalf("Parse(%q) succeeded", bad)
+		}
+	}
+}
+
+// TestParseRoundTrip is the contract sweep tooling relies on: for every
+// built-in policy (and for the FT/Jackal families across their numeric
+// range), Parse(p.Name()) must return a policy with the same name —
+// including under case folding and surrounding whitespace.
+func TestParseRoundTrip(t *testing.T) {
+	p := params()
+	pols := Builtins(p)
+	for _, k := range []int{3, 7, 10, 128} {
+		pols = append(pols, Fixed{T: k}, Jackal{Max: k})
+	}
+	for _, pol := range pols {
+		name := pol.Name()
+		for _, in := range []string{
+			name,
+			strings.ToLower(name),
+			strings.ToUpper(name),
+			"  " + name + "\t\n",
+		} {
+			got, err := Parse(in, p)
+			if err != nil {
+				t.Errorf("Parse(%q): %v", in, err)
+				continue
+			}
+			if got.Name() != name {
+				t.Errorf("Parse(%q).Name() = %q, want %q", in, got.Name(), name)
+			}
+			if got.BarrierDriven() != pol.BarrierDriven() {
+				t.Errorf("Parse(%q).BarrierDriven() = %v, want %v", in, got.BarrierDriven(), pol.BarrierDriven())
+			}
 		}
 	}
 }
