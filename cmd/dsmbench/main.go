@@ -12,6 +12,8 @@
 //	dsmbench -fig 2 -trials 5        # 5 seeded trials, mean/min/max tables
 //	dsmbench -all -json out.json     # machine-readable artifact
 //	dsmbench -ablate locator,lambda  # ablations (locator|lambda|tinit|related|piggyback|pathcompress)
+//	dsmbench -fig 2 -check           # sweep doubles as a correctness gate
+//	dsmbench -scenarios 200          # random programs through the coherence oracle
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/scenario"
 )
 
 // multiFlag is a repeatable, comma-separable string-list flag: both
@@ -64,6 +67,9 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress progress output")
 	par := flag.Int("par", 0, "parallel sweep workers (0 = GOMAXPROCS, 1 = sequential); output is byte-identical at any setting")
 	trials := flag.Int("trials", 1, "seeded trials per configuration; tables report mean with min..max spread")
+	check := flag.Bool("check", false, "correctness gate: verify protocol invariants after every run and demand policy-independent final memory where the sweep varies only the policy")
+	scenarios := flag.Int("scenarios", 0, "run N seeded random scenarios through the coherence oracle under every builtin policy, then exit (combine with -seed)")
+	seedBase := flag.Uint64("seed", 1, "first seed for -scenarios")
 	csvPath := flag.String("csv", "", "write all produced rows as CSV to this file (\"-\" for stdout)")
 	jsonPath := flag.String("json", "", "write all produced rows as JSON to this file (\"-\" for stdout)")
 	benchJSON := flag.String("benchjson", "", "run the kernel/hot-path microbenchmarks and write a machine-readable report to this file (\"-\" for stdout), e.g. BENCH_kernel.json")
@@ -83,6 +89,26 @@ func main() {
 			return
 		}
 	}
+	if *scenarios > 0 {
+		progress := func(s string) { fmt.Fprintf(os.Stderr, "  [scn] %s\n", s) }
+		if *quiet {
+			progress = nil
+		}
+		st, err := scenario.Sweep(*seedBase, *scenarios, *par, progress)
+		fmt.Printf("scenario sweep: %d scenarios, %d runs (every builtin policy), %d checked reads, %d oracle ops\n",
+			st.Scenarios, st.Runs, st.ReadsChecked, st.OracleOps)
+		if err != nil {
+			for _, f := range st.Failures {
+				fmt.Fprintln(os.Stderr, "dsmbench:", f)
+			}
+			fmt.Fprintln(os.Stderr, "dsmbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("scenario sweep: PASS (oracle clean, invariants intact, final memory policy-independent)")
+		if len(figs) == 0 && len(ablates) == 0 {
+			return
+		}
+	}
 	if len(figs) == 0 && len(ablates) == 0 {
 		flag.Usage()
 		os.Exit(2)
@@ -90,7 +116,7 @@ func main() {
 	if *trials < 1 {
 		*trials = 1
 	}
-	opts := bench.RunOpts{Par: *par, Trials: *trials}
+	opts := bench.RunOpts{Par: *par, Trials: *trials, Check: *check}
 	if !*quiet {
 		opts.Progress = func(s string) { fmt.Fprintf(os.Stderr, "  [run] %s\n", s) }
 		workers := *par

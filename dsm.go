@@ -228,8 +228,15 @@ func (c *Cluster) RunWorkers(ws []Worker) (Metrics, error) {
 
 // CheckInvariants validates global protocol invariants after a run:
 // exactly one home per object, terminating forwarding chains, no dirty
-// cached copies. Intended for tests and debugging.
+// cached copies or leaked twins, plausible copysets, a truthful manager
+// table. Intended for tests, `dsmbench -check` sweeps and debugging.
 func (c *Cluster) CheckInvariants() error { return c.g.CheckInvariants() }
+
+// Digest fingerprints the final shared-memory contents (FNV-1a over
+// every object's home copy in object order). For a deterministic
+// program it must be identical under every migration policy and
+// locator — migration changes cost, never results.
+func (c *Cluster) Digest() uint64 { return c.g.Digest() }
 
 // NewTrace returns an empty protocol-event trace to attach to
 // Config.Trace.

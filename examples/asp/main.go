@@ -12,6 +12,7 @@ import (
 	"log"
 
 	dsm "repro"
+	"repro/internal/prng"
 )
 
 const inf = int64(1) << 40
@@ -38,13 +39,7 @@ func run(n, nodes int, policy string) (dsm.Metrics, int64) {
 	// The distance matrix: one row object per vertex, homes round-robin
 	// (deliberately misaligned with the writers, as in the paper).
 	dist := c.NewArray("dist", n, n, dsm.RoundRobin)
-	seed := uint64(1)
-	rnd := func() uint64 {
-		seed ^= seed >> 12
-		seed ^= seed << 25
-		seed ^= seed >> 27
-		return seed * 0x2545F4914F6CDD1D
-	}
+	rnd := prng.New(1).Next
 	for i := 0; i < n; i++ {
 		i := i
 		dist.InitRow(i, func(w []uint64) {

@@ -11,6 +11,8 @@ import (
 	"fmt"
 
 	dsm "repro"
+
+	"repro/internal/prng"
 )
 
 // Options configures an application run.
@@ -42,6 +44,10 @@ type Options struct {
 	// canonical paper input, so all existing golden runs are Seed 0.
 	// The synthetic benchmark has no generated input and ignores it.
 	Seed uint64
+	// Check enables the post-run correctness gate: protocol invariants
+	// are verified (a violation fails the run) and Result.Digest carries
+	// the final shared-memory fingerprint for cross-policy comparison.
+	Check bool
 }
 
 // mixSeed combines an app's canonical input seed with a run's trial
@@ -79,6 +85,23 @@ func (o Options) cluster() *dsm.Cluster {
 type Result struct {
 	App     string
 	Metrics dsm.Metrics
+	// Digest is the final shared-memory fingerprint, filled only when
+	// Options.Check is set (zero otherwise).
+	Digest uint64
+}
+
+// finish applies the Options.Check post-run gate shared by every app:
+// protocol invariants must hold, and the final memory is fingerprinted
+// for policy-independence comparison by the sweep layer.
+func finish(c *dsm.Cluster, o Options, res Result) (Result, error) {
+	if !o.Check {
+		return res, nil
+	}
+	if err := c.CheckInvariants(); err != nil {
+		return Result{}, fmt.Errorf("%s: invariants: %w", res.App, err)
+	}
+	res.Digest = c.Digest()
+	return res, nil
 }
 
 func (r Result) String() string {
@@ -87,29 +110,11 @@ func (r Result) String() string {
 		r.Metrics.TotalBytes(false), r.Metrics.Migrations)
 }
 
-// rng is a tiny deterministic xorshift64* generator, used instead of
-// math/rand so inputs are stable across Go releases.
-type rng struct{ s uint64 }
-
-func newRng(seed uint64) *rng {
-	if seed == 0 {
-		seed = 0x9E3779B97F4A7C15
-	}
-	return &rng{s: seed}
-}
-
-func (r *rng) next() uint64 {
-	r.s ^= r.s >> 12
-	r.s ^= r.s << 25
-	r.s ^= r.s >> 27
-	return r.s * 0x2545F4914F6CDD1D
-}
-
-// intn returns a deterministic value in [0, n).
-func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
-
-// float64n returns a deterministic value in [0, 1).
-func (r *rng) float64n() float64 { return float64(r.next()>>11) / (1 << 53) }
+// newRng seeds the repository's shared deterministic generator
+// (internal/prng, the same xorshift64* stream the old in-package copy
+// produced), so inputs are stable across Go releases and identical to
+// every golden run generated before the unification.
+func newRng(seed uint64) *prng.Rand { return prng.New(seed) }
 
 // Per-operation compute costs calibrated so full-size runs land in the
 // paper's hundreds-of-seconds regime on a 2 GHz P4 running a JIT-mode

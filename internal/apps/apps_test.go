@@ -244,11 +244,11 @@ func TestSyntheticTransientPatternFavorsAT(t *testing.T) {
 func TestRngDeterminism(t *testing.T) {
 	a, b := newRng(42), newRng(42)
 	for i := 0; i < 100; i++ {
-		if a.next() != b.next() {
+		if a.Next() != b.Next() {
 			t.Fatal("rng nondeterministic")
 		}
 	}
-	if newRng(0).next() == 0 {
+	if newRng(0).Next() == 0 {
 		t.Fatal("zero seed not remapped")
 	}
 }

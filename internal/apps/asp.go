@@ -21,8 +21,8 @@ func aspGraph(n int, seed uint64) [][]int64 {
 			switch {
 			case i == j:
 				g[i][j] = 0
-			case r.intn(4) == 0:
-				g[i][j] = int64(1 + r.intn(100))
+			case r.Intn(4) == 0:
+				g[i][j] = int64(1 + r.Intn(100))
 			default:
 				g[i][j] = aspInf
 			}
@@ -113,7 +113,7 @@ func RunASP(n int, o Options) (Result, error) {
 			}
 		}
 	}
-	return Result{App: fmt.Sprintf("ASP(n=%d,p=%d,%s)", n, p, c.PolicyName()), Metrics: m}, nil
+	return finish(c, o, Result{App: fmt.Sprintf("ASP(n=%d,p=%d,%s)", n, p, c.PolicyName()), Metrics: m})
 }
 
 // blockRange splits n items into p contiguous blocks and returns block

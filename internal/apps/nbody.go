@@ -124,9 +124,9 @@ func nbodyInit(n int, seed uint64) []body {
 	bs := make([]body, n)
 	for i := range bs {
 		bs[i] = body{
-			x: r.float64n(), y: r.float64n(),
-			vx: (r.float64n() - 0.5) * 1e-3, vy: (r.float64n() - 0.5) * 1e-3,
-			mass: 0.5 + r.float64n(),
+			x: r.Float64(), y: r.Float64(),
+			vx: (r.Float64() - 0.5) * 1e-3, vy: (r.Float64() - 0.5) * 1e-3,
+			mass: 0.5 + r.Float64(),
 		}
 	}
 	return bs
@@ -280,5 +280,5 @@ func RunNBody(n, steps int, o Options) (Result, error) {
 			}
 		}
 	}
-	return Result{App: fmt.Sprintf("Nbody(n=%d,steps=%d,p=%d,%s)", n, steps, p, c.PolicyName()), Metrics: m}, nil
+	return finish(c, o, Result{App: fmt.Sprintf("Nbody(n=%d,steps=%d,p=%d,%s)", n, steps, p, c.PolicyName()), Metrics: m})
 }

@@ -18,7 +18,7 @@ func sorInit(n int, seed uint64) [][]float64 {
 	for i := range g {
 		g[i] = make([]float64, n)
 		for j := range g[i] {
-			g[i][j] = r.float64n()
+			g[i][j] = r.Float64()
 		}
 	}
 	for j := 0; j < n; j++ {
@@ -119,5 +119,5 @@ func RunSOR(n, iters int, o Options) (Result, error) {
 			}
 		}
 	}
-	return Result{App: fmt.Sprintf("SOR(n=%d,iters=%d,p=%d,%s)", n, iters, p, c.PolicyName()), Metrics: m}, nil
+	return finish(c, o, Result{App: fmt.Sprintf("SOR(n=%d,iters=%d,p=%d,%s)", n, iters, p, c.PolicyName()), Metrics: m})
 }

@@ -94,5 +94,5 @@ func RunSynthetic(so SyntheticOpts, o Options) (Result, error) {
 			got, so.TotalUpdates, so.TotalUpdates+so.Repetition*so.Workers+so.Repetition)
 	}
 	name := fmt.Sprintf("Synthetic(r=%d,n=%d,w=%d,%s)", so.Repetition, so.TotalUpdates, so.Workers, c.PolicyName())
-	return Result{App: name, Metrics: m}, nil
+	return finish(c, o, Result{App: name, Metrics: m})
 }

@@ -23,7 +23,7 @@ func tspDist(cities int, seed uint64) [][]int64 {
 	}
 	for i := 0; i < cities; i++ {
 		for j := i + 1; j < cities; j++ {
-			w := int64(1 + r.intn(99))
+			w := int64(1 + r.Intn(99))
 			d[i][j], d[j][i] = w, w
 		}
 	}
@@ -167,7 +167,7 @@ func RunTSP(cities int, o Options) (Result, error) {
 	if got := int64(c.Data(bestObj)[0]); got != want {
 		return Result{}, fmt.Errorf("tsp: best = %d, want optimal %d", got, want)
 	}
-	return Result{App: fmt.Sprintf("TSP(cities=%d,p=%d,%s)", cities, p, c.PolicyName()), Metrics: m}, nil
+	return finish(c, o, Result{App: fmt.Sprintf("TSP(cities=%d,p=%d,%s)", cities, p, c.PolicyName()), Metrics: m})
 }
 
 // tspBranchLocal is tspBranch starting at a given depth (prefix preset).

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/apps"
 	"repro/internal/experiment"
@@ -70,24 +71,106 @@ func runAblation(o RunOpts, points []ablSpec) ([]AblationRow, error) {
 	return rows, nil
 }
 
+// digestTracker enforces result-independence across an ablation's
+// variant axis under RunOpts.Check: runs that differ only in the swept
+// variant (policy, locator, threshold) over the same seeded input must
+// leave byte-identical final shared memory. Only workloads with
+// deterministic results participate (ASP, SOR — not the synthetic
+// benchmark, whose racing workers overshoot the target by a
+// timing-dependent amount). Records are keyed by input seed because the
+// pool completes runs out of order; check compares in declaration order
+// so failures are reported deterministically.
+type digestTracker struct {
+	study, workload string
+	variants        []string
+	mu              sync.Mutex
+	digests         map[string]map[uint64]uint64 // variant → seed → digest
+}
+
+func newDigestTracker(study, workload string, variants []string) *digestTracker {
+	return &digestTracker{study: study, workload: workload, variants: variants,
+		digests: make(map[string]map[uint64]uint64)}
+}
+
+func (d *digestTracker) record(variant string, seed, digest uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	m := d.digests[variant]
+	if m == nil {
+		m = make(map[uint64]uint64)
+		d.digests[variant] = m
+	}
+	m[seed] = digest
+}
+
+// check compares the recorded digests across variants for each of the K
+// trial seeds. It runs only after every run succeeded, so a declared
+// variant with no record is a wiring bug (a renamed variant string, a
+// dropped record call) that would otherwise make the gate vacuous — it
+// errors rather than being skipped.
+func (d *digestTracker) check(K int) error {
+	for t := 0; t < K; t++ {
+		seed := experiment.TrialSeed(t)
+		var base uint64
+		baseVar := ""
+		for _, v := range d.variants {
+			dg, ok := d.digests[v][seed]
+			if !ok {
+				return fmt.Errorf("bench: %s ablation: variant %q recorded no digest for %s trial %d (digestTracker wiring)",
+					d.study, v, d.workload, t)
+			}
+			if baseVar == "" {
+				base, baseVar = dg, v
+				continue
+			}
+			if dg != base {
+				return fmt.Errorf("bench: %s ablation: variant changed results on %s trial %d: %s digest %#x != %s digest %#x",
+					d.study, d.workload, t, v, dg, baseVar, base)
+			}
+		}
+	}
+	return nil
+}
+
+// checkedRows finishes an ablation that tracked digests: the rows are
+// valid only if every variant left identical memory.
+func checkedRows(o RunOpts, rows []AblationRow, err error, dt *digestTracker) ([]AblationRow, error) {
+	if err != nil {
+		return nil, err
+	}
+	if o.Check {
+		if err := dt.check(o.trials()); err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
 // AblateLocator compares the three home-location mechanisms of §3.2
 // (forwarding pointer, manager, broadcast) on the synthetic benchmark
 // (migration-heavy) and on ASP (migration-then-stable).
 func AblateLocator(o RunOpts) ([]AblationRow, error) {
+	locs := []string{"fwdptr", "manager", "broadcast"}
+	dt := newDigestTracker("locator", "ASP(128)", locs)
 	var points []ablSpec
-	for _, loc := range []string{"fwdptr", "manager", "broadcast"} {
+	for _, loc := range locs {
 		points = append(points,
 			ablSpec{"locator", loc, "synthetic(r=8)", func(seed uint64) (apps.Result, error) {
 				return apps.RunSynthetic(apps.SyntheticOpts{
 					Repetition: 8, TotalUpdates: 1024, Workers: 8,
-				}, apps.Options{Nodes: 9, Policy: "AT", Locator: loc, Seed: seed})
+				}, apps.Options{Nodes: 9, Policy: "AT", Locator: loc, Seed: seed, Check: o.Check})
 			}},
 			ablSpec{"locator", loc, "ASP(128)", func(seed uint64) (apps.Result, error) {
-				return apps.RunASP(128, apps.Options{Nodes: 8, Policy: "AT", Locator: loc, Seed: seed})
+				res, err := apps.RunASP(128, apps.Options{Nodes: 8, Policy: "AT", Locator: loc, Seed: seed, Check: o.Check})
+				if o.Check && err == nil {
+					dt.record(loc, seed, res.Digest)
+				}
+				return res, err
 			}},
 		)
 	}
-	return runAblation(o, points)
+	rows, err := runAblation(o, points)
+	return checkedRows(o, rows, err, dt)
 }
 
 // AblateLambda sweeps the feedback coefficient λ of Eq. (2) on the
@@ -101,7 +184,7 @@ func AblateLambda(o RunOpts) ([]AblationRow, error) {
 			func(seed uint64) (apps.Result, error) {
 				return apps.RunSynthetic(apps.SyntheticOpts{
 					Repetition: 2, TotalUpdates: 1024, Workers: 8,
-				}, apps.Options{Nodes: 9, Policy: "AT", Lambda: lam, Seed: seed})
+				}, apps.Options{Nodes: 9, Policy: "AT", Lambda: lam, Seed: seed, Check: o.Check})
 			}})
 	}
 	return runAblation(o, points)
@@ -110,35 +193,53 @@ func AblateLambda(o RunOpts) ([]AblationRow, error) {
 // AblateTInit sweeps the initial threshold (§4.2 argues for 1 to speed up
 // initial data relocation) on ASP, where initial relocation dominates.
 func AblateTInit(o RunOpts) ([]AblationRow, error) {
-	var points []ablSpec
+	var variants []string
 	for _, ti := range []float64{1, 2, 4, 8} {
+		variants = append(variants, fmt.Sprintf("T_init=%.0f", ti))
+	}
+	dt := newDigestTracker("tinit", "ASP(128)", variants)
+	var points []ablSpec
+	for i, ti := range []float64{1, 2, 4, 8} {
+		variant := variants[i]
 		points = append(points, ablSpec{
-			"tinit", fmt.Sprintf("T_init=%.0f", ti), "ASP(128)",
+			"tinit", variant, "ASP(128)",
 			func(seed uint64) (apps.Result, error) {
-				return apps.RunASP(128, apps.Options{Nodes: 8, Policy: "AT", TInit: ti, Seed: seed})
+				res, err := apps.RunASP(128, apps.Options{Nodes: 8, Policy: "AT", TInit: ti, Seed: seed, Check: o.Check})
+				if o.Check && err == nil {
+					dt.record(variant, seed, res.Digest)
+				}
+				return res, err
 			}})
 	}
-	return runAblation(o, points)
+	rows, err := runAblation(o, points)
+	return checkedRows(o, rows, err, dt)
 }
 
 // AblateRelated compares the related-work policies of §2 (JUMP
 // migrating-home, Jackal lazy flushing, Jiajia barrier migration)
 // against NoHM and AT, quantifying the paper's qualitative claims.
 func AblateRelated(o RunOpts) ([]AblationRow, error) {
+	pols := []string{"NoHM", "JUMP", "Jackal5", "Jiajia", "AT"}
+	dt := newDigestTracker("related", "SOR(128)", pols)
 	var points []ablSpec
-	for _, pol := range []string{"NoHM", "JUMP", "Jackal5", "Jiajia", "AT"} {
+	for _, pol := range pols {
 		points = append(points,
 			ablSpec{"related", pol, "synthetic(r=4)", func(seed uint64) (apps.Result, error) {
 				return apps.RunSynthetic(apps.SyntheticOpts{
 					Repetition: 4, TotalUpdates: 1024, Workers: 8,
-				}, apps.Options{Nodes: 9, Policy: pol, Seed: seed})
+				}, apps.Options{Nodes: 9, Policy: pol, Seed: seed, Check: o.Check})
 			}},
 			ablSpec{"related", pol, "SOR(128)", func(seed uint64) (apps.Result, error) {
-				return apps.RunSOR(128, 8, apps.Options{Nodes: 8, Policy: pol, Seed: seed})
+				res, err := apps.RunSOR(128, 8, apps.Options{Nodes: 8, Policy: pol, Seed: seed, Check: o.Check})
+				if o.Check && err == nil {
+					dt.record(pol, seed, res.Digest)
+				}
+				return res, err
 			}},
 		)
 	}
-	return runAblation(o, points)
+	rows, err := runAblation(o, points)
+	return checkedRows(o, rows, err, dt)
 }
 
 // AblatePiggyback isolates the §5.2 observation that diff piggybacking
@@ -156,7 +257,7 @@ func AblatePiggyback(o RunOpts) ([]AblationRow, error) {
 			func(seed uint64) (apps.Result, error) {
 				return apps.RunSynthetic(apps.SyntheticOpts{
 					Repetition: 8, TotalUpdates: 1024, Workers: 8,
-				}, apps.Options{Nodes: 9, Policy: "NM", NoPiggyback: noPig, Seed: seed})
+				}, apps.Options{Nodes: 9, Policy: "NM", NoPiggyback: noPig, Seed: seed, Check: o.Check})
 			}})
 	}
 	return runAblation(o, points)
@@ -177,7 +278,7 @@ func AblatePathCompression(o RunOpts) ([]AblationRow, error) {
 			func(seed uint64) (apps.Result, error) {
 				return apps.RunSynthetic(apps.SyntheticOpts{
 					Repetition: 2, TotalUpdates: 1024, Workers: 8,
-				}, apps.Options{Nodes: 9, Policy: "FT1", PathCompress: on, Seed: seed})
+				}, apps.Options{Nodes: 9, Policy: "FT1", PathCompress: on, Seed: seed, Check: o.Check})
 			}})
 	}
 	return runAblation(o, points)

@@ -35,6 +35,14 @@ type RunOpts struct {
 	// Progress, when non-nil, receives one line per completed run with
 	// pool position, wall time and ETA.
 	Progress func(string)
+	// Check turns every sweep into a correctness gate: each run
+	// verifies the protocol invariants (a violation fails its spec),
+	// and sweeps that vary only a variant axis over the same input —
+	// Fig. 2/3's policy axis (see checkDigests) and the locator, tinit
+	// and related ablations' deterministic workloads (see digestTracker)
+	// — additionally demand byte-identical final shared memory across
+	// the axis.
+	Check bool
 }
 
 func (o RunOpts) trials() int {
@@ -136,4 +144,26 @@ func pct(base, got float64) float64 {
 // metricsTriple extracts the three quantities Fig. 3 compares.
 func metricsTriple(m dsm.Metrics) (secs float64, msgs, bytes int64) {
 	return m.ExecTime.Seconds(), m.TotalMsgs(false), m.TotalBytes(false)
+}
+
+// checkDigests enforces policy independence over a sweep laid out as
+// groups of npolicies consecutive policy blocks of ntrials runs each
+// (the fig2/fig3 spec order: ... policy, trial innermost): for every
+// group and trial, the final-memory digest must be identical under all
+// policies, since the runs differ only in migration protocol. label
+// names the run for the error message.
+func checkDigests(digests []uint64, groups, npolicies, ntrials int, label func(group, pol, trial int) string) error {
+	for g := 0; g < groups; g++ {
+		base := g * npolicies * ntrials
+		for t := 0; t < ntrials; t++ {
+			want := digests[base+t]
+			for p := 1; p < npolicies; p++ {
+				if got := digests[base+p*ntrials+t]; got != want {
+					return fmt.Errorf("bench: policy changed results: %s digest %#x != %s digest %#x",
+						label(g, p, t), got, label(g, 0, t), want)
+				}
+			}
+		}
+	}
+	return nil
 }

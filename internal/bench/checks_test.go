@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/experiment"
+)
+
+// TestCheckDigests pins the group/policy/trial stride layout against the
+// spec-emission order of the figure sweeps (groups outermost, then
+// policies, trials innermost). A reorder of those loops must fail here,
+// not surface as an opaque `dsmbench -check` failure.
+func TestCheckDigests(t *testing.T) {
+	label := func(g, p, tr int) string { return fmt.Sprintf("g=%d p=%d trial=%d", g, p, tr) }
+	const groups, pols, trials = 2, 2, 3
+	digests := make([]uint64, groups*pols*trials)
+	// Policy-independent layout: digest depends on (group, trial) only.
+	fill := func() {
+		i := 0
+		for g := 0; g < groups; g++ {
+			for p := 0; p < pols; p++ {
+				for tr := 0; tr < trials; tr++ {
+					digests[i] = uint64(100*g + tr)
+					i++
+				}
+			}
+		}
+	}
+	fill()
+	if err := checkDigests(digests, groups, pols, trials, label); err != nil {
+		t.Fatalf("policy-independent digests rejected: %v", err)
+	}
+	// Corrupt exactly group 1, policy 1, trial 2: the error must name it.
+	digests[1*pols*trials+1*trials+2]++
+	err := checkDigests(digests, groups, pols, trials, label)
+	if err == nil {
+		t.Fatal("corrupted digest not detected")
+	}
+	if !strings.Contains(err.Error(), "g=1 p=1 trial=2") {
+		t.Fatalf("error does not name the diverging run: %v", err)
+	}
+	// A divergence that only swaps values within one policy's trials
+	// (same multiset, wrong pairing) must still be caught.
+	fill()
+	base := 0*pols*trials + 1*trials
+	digests[base], digests[base+1] = digests[base+1], digests[base]
+	if checkDigests(digests, groups, pols, trials, label) == nil {
+		t.Fatal("trial-misaligned digests not detected")
+	}
+}
+
+// TestDigestTracker covers the ablation-side result-independence check:
+// records arrive keyed by seed in any order; check compares variants in
+// declaration order per trial seed.
+func TestDigestTracker(t *testing.T) {
+	variants := []string{"a", "b", "c"}
+	seeds := []uint64{experiment.TrialSeed(0), experiment.TrialSeed(1)}
+	fresh := func() *digestTracker {
+		dt := newDigestTracker("study", "work", variants)
+		// Record out of declaration order, as a parallel pool would.
+		for _, v := range []string{"c", "a", "b"} {
+			for i, s := range seeds {
+				dt.record(v, s, uint64(1000+i))
+			}
+		}
+		return dt
+	}
+	if err := fresh().check(len(seeds)); err != nil {
+		t.Fatalf("identical digests rejected: %v", err)
+	}
+	dt := fresh()
+	dt.record("b", seeds[1], 77)
+	err := dt.check(len(seeds))
+	if err == nil {
+		t.Fatal("variant-dependent digest not detected")
+	}
+	for _, want := range []string{"study", "work", "trial 1", `"b"`} {
+		if !strings.Contains(err.Error(), strings.Trim(want, `"`)) {
+			t.Fatalf("error %q does not mention %s", err, want)
+		}
+	}
+	// A declared variant with no record is a wiring bug (check only
+	// runs after every run succeeded) — the gate must not go vacuous.
+	dt = newDigestTracker("study", "work", variants)
+	dt.record("a", seeds[0], 5)
+	dt.record("c", seeds[0], 5)
+	err = dt.check(1)
+	if err == nil || !strings.Contains(err.Error(), "recorded no digest") {
+		t.Fatalf("missing variant not flagged as wiring bug: %v", err)
+	}
+}

@@ -43,15 +43,18 @@ func Fig2(s Sizes, procs []int, o RunOpts) ([]Fig2Row, error) {
 	}
 	K := o.trials()
 	var specs []experiment.Spec
+	var digests []uint64 // sized before the pool runs; slots are per-spec
 	for _, app := range Apps {
 		for _, p := range procs {
 			for _, pol := range fig2Policies {
 				for t := 0; t < K; t++ {
 					seed := experiment.TrialSeed(t)
+					idx := len(specs)
 					specs = append(specs, experiment.Spec{
 						Label: trialLabel(fmt.Sprintf("fig2 %s p=%d %s", app, p, pol), K, t),
 						Run: func() (dsm.Metrics, error) {
-							res, err := runApp(app, s, apps.Options{Nodes: p, Policy: pol, Seed: seed})
+							res, err := runApp(app, s, apps.Options{Nodes: p, Policy: pol, Seed: seed, Check: o.Check})
+							digests[idx] = res.Digest
 							return res.Metrics, err
 						},
 					})
@@ -59,9 +62,22 @@ func Fig2(s Sizes, procs []int, o RunOpts) ([]Fig2Row, error) {
 			}
 		}
 	}
+	digests = make([]uint64, len(specs))
 	ms, err := o.run(specs)
 	if err != nil {
 		return nil, err
+	}
+	if o.Check {
+		// The two policies of each (app, procs, trial) cell saw the same
+		// input; home migration must not have changed the results.
+		err := checkDigests(digests, len(Apps)*len(procs), len(fig2Policies), K,
+			func(g, pol, t int) string {
+				return fmt.Sprintf("fig2 %s p=%d %s trial=%d",
+					Apps[g/len(procs)], procs[g%len(procs)], fig2Policies[pol], t)
+			})
+		if err != nil {
+			return nil, err
+		}
 	}
 	var rows []Fig2Row
 	i := 0

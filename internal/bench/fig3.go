@@ -63,29 +63,44 @@ func Fig3(sizesASP, sizesSOR []int, sorIters, nodes int, o RunOpts) ([]Fig3Row, 
 	}
 	K := o.trials()
 	var specs []experiment.Spec
+	var digests []uint64 // sized before the pool runs; slots are per-spec
 	for _, pt := range points {
 		for _, pol := range fig3Policies {
 			for t := 0; t < K; t++ {
 				seed := experiment.TrialSeed(t)
+				idx := len(specs)
 				specs = append(specs, experiment.Spec{
 					Label: trialLabel(fmt.Sprintf("fig3 %s n=%d %s", pt.App, pt.Size, pol), K, t),
 					Run: func() (dsm.Metrics, error) {
 						s := Sizes{ASPN: pt.Size, SORN: pt.Size, SORIters: sorIters}
-						res, err := runApp(pt.App, s, apps.Options{Nodes: nodes, Policy: pol, Seed: seed})
+						res, err := runApp(pt.App, s, apps.Options{Nodes: nodes, Policy: pol, Seed: seed, Check: o.Check})
+						digests[idx] = res.Digest
 						return res.Metrics, err
 					},
 				})
 			}
 		}
 	}
+	digests = make([]uint64, len(specs))
 	ms, err := o.run(specs)
 	if err != nil {
 		return nil, err
 	}
+	if o.Check {
+		err := checkDigests(digests, len(points), len(fig3Policies), K,
+			func(g, pol, t int) string {
+				return fmt.Sprintf("fig3 %s n=%d %s trial=%d",
+					points[g].App, points[g].Size, fig3Policies[pol], t)
+			})
+		if err != nil {
+			return nil, err
+		}
+	}
 	rows := make([]Fig3Row, len(points))
+	NP := len(fig3Policies)
 	for pi, pt := range points {
-		base := ms[pi*2*K : pi*2*K+K]   // FT2 trials
-		at := ms[pi*2*K+K : (pi+1)*2*K] // AT trials
+		base := ms[pi*NP*K : pi*NP*K+K]   // FT2 trials (fig3Policies[0])
+		at := ms[pi*NP*K+K : pi*NP*K+2*K] // AT trials (fig3Policies[1])
 		row := Fig3Row{App: pt.App, Size: pt.Size, Trials: K}
 		var timeP, msgP, trafP []float64
 		for t := 0; t < K; t++ {

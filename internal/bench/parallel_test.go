@@ -62,16 +62,25 @@ func TestParallelSweepByteIdenticalFig5(t *testing.T) {
 // TestParallelAblationDeterministic extends the golden check to an
 // ablation sweep (rows reassemble in declaration order).
 func TestParallelAblationDeterministic(t *testing.T) {
-	seq, err := AblateLambda(RunOpts{Par: 1})
+	seq, err := AblateLambda(RunOpts{Par: 1, Check: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := AblateLambda(RunOpts{Par: 8})
+	par, err := AblateLambda(RunOpts{Par: 8, Check: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(seq, par) {
 		t.Fatalf("parallel ablation rows diverge:\n%+v\nvs\n%+v", par, seq)
+	}
+}
+
+// TestAblationCheckGate drives digestTracker through a real sweep: the
+// tinit ablation varies only the initial threshold over ASP's canonical
+// input, so every variant must leave identical final memory.
+func TestAblationCheckGate(t *testing.T) {
+	if _, err := AblateTInit(RunOpts{Check: true}); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/prng"
 	"repro/internal/stats"
 )
 
@@ -252,16 +253,13 @@ func (p *Pool) Metrics(specs []Spec) ([]stats.Metrics, error) {
 
 // TrialSeed derives the input seed for a trial index. Trial 0 is the
 // canonical paper input (seed 0, which every app maps to its fixed
-// default input); later trials get splitmix64-mixed seeds so the seed
-// stream has no visible structure.
+// default input); later trials get splitmix64-mixed seeds (the shared
+// prng.Mix finalizer) so the seed stream has no visible structure.
 func TrialSeed(trial int) uint64 {
 	if trial <= 0 {
 		return 0
 	}
-	z := uint64(trial) + 0x9E3779B97F4A7C15
-	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
-	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
-	z ^= z >> 31
+	z := prng.Mix(uint64(trial) + prng.DefaultSeed)
 	if z == 0 {
 		z = 1
 	}

@@ -7,6 +7,7 @@
 package gos
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/cnet"
@@ -74,6 +75,16 @@ type Config struct {
 	// extra message per redirected fault; only meaningful under the
 	// forwarding-pointer locator.
 	PathCompress bool
+	// Observer, when non-nil, receives correctness events (data
+	// accesses, lock chains, barrier episodes) for the coherence oracle.
+	// Nil in production runs; the hooks cost one nil check each.
+	Observer Observer
+	// DropDiffs deliberately breaks the protocol: every diff is
+	// discarded at flush time instead of being propagated to the home,
+	// so remote writes never become visible. It exists solely to prove
+	// that the coherence oracle detects a broken protocol (tests set it;
+	// nothing else may).
+	DropDiffs bool
 }
 
 // DefaultConfig returns the paper's setup: AT policy over forwarding
@@ -303,10 +314,44 @@ func (c *Cluster) mustNotBeStarted() {
 	}
 }
 
+// Sentinel invariant violations, one per violation class CheckInvariants
+// detects. Tests match them with errors.Is; the wrapping message carries
+// the object and node involved.
+var (
+	// ErrHomeCount: an object has zero or several homes.
+	ErrHomeCount = errors.New("object must have exactly one home")
+	// ErrMissingState: a home node lacks the per-object migration state.
+	ErrMissingState = errors.New("home lacks migration state")
+	// ErrMissingData: a home node lacks the authoritative data copy.
+	ErrMissingData = errors.New("home lacks data")
+	// ErrDirtyCopy: a cached copy still holds unflushed writes after the
+	// post-run quiesce.
+	ErrDirtyCopy = errors.New("dirty cached copy after quiesce")
+	// ErrTwinLeak: a clean copy (or a home copy, which never twins)
+	// retains a twin buffer.
+	ErrTwinLeak = errors.New("twin retained on clean copy")
+	// ErrStaleCopyset: a copyset survives where none may exist (on a
+	// non-home node) or names an impossible sharer (the home itself, or
+	// a node outside the cluster).
+	ErrStaleCopyset = errors.New("stale copyset entry")
+	// ErrOwnerMismatch: home/ownership metadata disagree — migration
+	// state on a non-home node, or (under the manager locator) a manager
+	// table entry that does not name the true home.
+	ErrOwnerMismatch = errors.New("home/ownership metadata mismatch")
+	// ErrForwardCycle: a forwarding chain revisits a node.
+	ErrForwardCycle = errors.New("forwarding cycle")
+	// ErrDeadEndChain: a forwarding chain ends before the home under the
+	// forwarding-pointer locator (which has no miss recovery).
+	ErrDeadEndChain = errors.New("forwarding chain dead end")
+)
+
 // CheckInvariants validates global protocol invariants after a run:
-// every object has exactly one home; every forwarding chain terminates at
-// that home without cycles; no dirty (unflushed) cached copies remain;
-// and every node's hint chain resolves. It returns the first violation.
+// every object has exactly one home, with migration state and data there
+// and nowhere else; no dirty cached copies or leaked twins remain; home
+// copysets name only plausible sharers; the manager locator's table
+// resolves to the true home; and every node's hint chain terminates at
+// the home without cycles. It returns the first violation, wrapping the
+// matching sentinel error (ErrHomeCount, ErrTwinLeak, ...).
 func (c *Cluster) CheckInvariants() error {
 	for obj := 0; obj < len(c.objWords); obj++ {
 		id := memory.ObjectID(obj)
@@ -317,19 +362,44 @@ func (c *Cluster) CheckInvariants() error {
 				homes++
 				home = n.id
 				if n.homeSt[id] == nil {
-					return fmt.Errorf("gos: object %d home on node %d lacks migration state", obj, n.id)
+					return fmt.Errorf("gos: object %d home on node %d: %w", obj, n.id, ErrMissingState)
 				}
 				if n.cache[id] == nil {
-					return fmt.Errorf("gos: object %d home on node %d lacks data", obj, n.id)
+					return fmt.Errorf("gos: object %d home on node %d: %w", obj, n.id, ErrMissingData)
 				}
 			}
 		}
 		if homes != 1 {
-			return fmt.Errorf("gos: object %d has %d homes", obj, homes)
+			return fmt.Errorf("gos: object %d has %d homes: %w", obj, homes, ErrHomeCount)
 		}
 		for _, n := range c.nodes {
-			if o := n.cache[id]; o != nil && o.Dirty {
-				return fmt.Errorf("gos: object %d dirty on node %d after quiesce", obj, n.id)
+			if o := n.cache[id]; o != nil {
+				if o.Dirty {
+					return fmt.Errorf("gos: object %d on node %d: %w", obj, n.id, ErrDirtyCopy)
+				}
+				if o.Twin != nil {
+					return fmt.Errorf("gos: object %d on node %d: %w", obj, n.id, ErrTwinLeak)
+				}
+			}
+			if !n.isHome[id] {
+				if n.homeSt[id] != nil {
+					return fmt.Errorf("gos: object %d: migration state on non-home node %d: %w",
+						obj, n.id, ErrOwnerMismatch)
+				}
+				if len(n.copyset[id]) > 0 {
+					return fmt.Errorf("gos: object %d: copyset on non-home node %d: %w",
+						obj, n.id, ErrStaleCopyset)
+				}
+			} else {
+				for sharer, ok := range n.copyset[id] {
+					if !ok {
+						continue
+					}
+					if sharer == n.id || sharer < 0 || int(sharer) >= c.cfg.Nodes {
+						return fmt.Errorf("gos: object %d: copyset of home %d names node %d: %w",
+							obj, n.id, sharer, ErrStaleCopyset)
+					}
+				}
 			}
 			// Chase the forwarding chain from this node's belief.
 			cur := n.loc.Hint(id)
@@ -338,20 +408,54 @@ func (c *Cluster) CheckInvariants() error {
 			}
 			for hops := 0; cur != home; hops++ {
 				if hops > c.cfg.Nodes {
-					return fmt.Errorf("gos: object %d: forwarding cycle from node %d", obj, n.id)
+					return fmt.Errorf("gos: object %d from node %d: %w", obj, n.id, ErrForwardCycle)
 				}
 				next := c.nodes[cur].loc.Forward(id)
 				if next == memory.NoNode {
 					if c.cfg.Locator == locator.ForwardingPointer {
-						return fmt.Errorf("gos: object %d: dead-end chain from node %d at node %d", obj, n.id, cur)
+						return fmt.Errorf("gos: object %d from node %d at node %d: %w",
+							obj, n.id, cur, ErrDeadEndChain)
 					}
 					break // manager/broadcast locators recover via miss
 				}
 				cur = next
 			}
 		}
+		if c.cfg.Locator == locator.Manager {
+			mgr := c.nodes[locator.ManagerOf(id, c.cfg.Nodes)]
+			if got := mgr.mgrHome[id]; got != home {
+				return fmt.Errorf("gos: object %d: manager %d believes home %d, actual %d: %w",
+					obj, mgr.id, got, home, ErrOwnerMismatch)
+			}
+		}
 	}
 	return nil
+}
+
+// Digest fingerprints the final shared-memory contents: an FNV-1a hash
+// over every object's authoritative (home) copy, in object order. Two
+// runs of the same deterministic program must produce equal digests
+// under every migration policy and locator — the policy-independence
+// invariant the oracle and `dsmbench -check` enforce.
+func (c *Cluster) Digest() uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+	}
+	for obj := range c.objWords {
+		data := c.ObjectData(memory.ObjectID(obj))
+		mix(uint64(obj))
+		mix(uint64(len(data)))
+		for _, w := range data {
+			mix(w)
+		}
+	}
+	return h
 }
 
 // quiesced reports whether no protocol activity remains anywhere.

@@ -8,19 +8,8 @@ import (
 	"repro/internal/locator"
 	"repro/internal/memory"
 	"repro/internal/migration"
+	"repro/internal/prng"
 )
-
-// fuzzRng is a self-contained xorshift64* for deterministic program
-// generation.
-type fuzzRng struct{ s uint64 }
-
-func (r *fuzzRng) next() uint64 {
-	r.s ^= r.s >> 12
-	r.s ^= r.s << 25
-	r.s ^= r.s >> 27
-	return r.s * 0x2545F4914F6CDD1D
-}
-func (r *fuzzRng) intn(n int) int { return int(r.next() % uint64(n)) }
 
 // fuzzProgram is a randomly generated, barrier-structured shared-memory
 // program whose final state is policy- and timing-independent: in each
@@ -38,21 +27,21 @@ type fuzzProgram struct {
 }
 
 func genProgram(seed uint64) fuzzProgram {
-	r := &fuzzRng{s: seed*2654435761 + 99}
+	r := prng.New(seed*2654435761 + 99)
 	p := fuzzProgram{
-		nodes:   2 + r.intn(4), // 2..5
-		objects: 1 + r.intn(6), // 1..6
-		words:   1 + r.intn(8), // 1..8
-		phases:  2 + r.intn(5), // 2..6
+		nodes:   2 + r.Intn(4), // 2..5
+		objects: 1 + r.Intn(6), // 1..6
+		words:   1 + r.Intn(8), // 1..8
+		phases:  2 + r.Intn(5), // 2..6
 	}
 	for ph := 0; ph < p.phases; ph++ {
 		row := make([]int, p.objects)
 		for o := range row {
 			// ~1/4 of objects rest each phase.
-			if r.intn(4) == 0 {
+			if r.Intn(4) == 0 {
 				row[o] = -1
 			} else {
-				row[o] = r.intn(p.nodes)
+				row[o] = r.Intn(p.nodes)
 			}
 		}
 		p.writer = append(p.writer, row)
@@ -109,9 +98,9 @@ func (p fuzzProgram) run(t *testing.T, pol migration.Policy, loc locator.Kind) [
 					// observe that (there is no synchronization between
 					// them).
 					if ph > 0 {
-						r := &fuzzRng{s: uint64(ph*1000+th) + 7}
-						obj := r.intn(p.objects)
-						word := r.intn(p.words)
+						r := prng.New(uint64(ph*1000+th) + 7)
+						obj := r.Intn(p.objects)
+						word := r.Intn(p.words)
 						if p.writer[ph][obj] < 0 { // nobody writes it this phase
 							want := uint64(0)
 							for q := 0; q < ph; q++ {
@@ -193,6 +182,36 @@ func TestCoherenceFuzz(t *testing.T) {
 	}
 }
 
+// FuzzCoherence is the go-fuzz entry over the barrier-structured random
+// programs: any seed must produce the reference final memory under a
+// policy cross-section on the forwarding-pointer locator (the full
+// policy × locator matrix runs in TestCoherenceFuzz; the fuzzer trades
+// breadth per input for input volume).
+func FuzzCoherence(f *testing.F) {
+	for _, s := range []uint64{1, 5, 13, 1 << 33} {
+		f.Add(s)
+	}
+	params := core.DefaultParams(DefaultConfig(4).Net.Alpha)
+	policies := []migration.Policy{
+		migration.NoHM{}, migration.Adaptive{P: params}, migration.JUMP{}, migration.Jiajia{},
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		p := genProgram(seed)
+		want := p.reference()
+		for _, pol := range policies {
+			got := p.run(t, pol, locator.ForwardingPointer)
+			for o := range want {
+				for k := range want[o] {
+					if got[o][k] != want[o][k] {
+						t.Fatalf("seed %d %s: obj %d word %d = %x, want %x",
+							seed, pol.Name(), o, k, got[o][k], want[o][k])
+					}
+				}
+			}
+		}
+	})
+}
+
 // TestLockFuzz exercises lock-protected commutative updates (counter
 // increments) under every policy: the final sums are order-independent
 // and must match exactly.
@@ -206,16 +225,16 @@ func TestLockFuzz(t *testing.T) {
 		seeds = 2
 	}
 	for seed := 1; seed <= seeds; seed++ {
-		r := &fuzzRng{s: uint64(seed) * 31}
-		nodes := 2 + r.intn(3)
-		objects := 1 + r.intn(3)
-		incsPer := 5 + r.intn(15)
+		r := prng.New(uint64(seed) * 31)
+		nodes := 2 + r.Intn(3)
+		objects := 1 + r.Intn(3)
+		incsPer := 5 + r.Intn(15)
 		// Precompute each thread's target sequence.
 		targets := make([][]int, nodes)
 		expected := make([]uint64, objects)
 		for th := range targets {
 			for i := 0; i < incsPer; i++ {
-				obj := r.intn(objects)
+				obj := r.Intn(objects)
 				targets[th] = append(targets[th], obj)
 				expected[obj]++
 			}

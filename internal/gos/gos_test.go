@@ -401,6 +401,53 @@ func TestJUMPMigratesOnEveryRemoteFetch(t *testing.T) {
 	}
 }
 
+// TestJiajiaConcurrentBarriersKeepPins: a node's pending single-writer
+// pins (jjPending) must survive an unrelated barrier's go broadcast.
+// Thread t0 reports obj at barrier A and parks; barrier B (disjoint
+// parties) completes first, and a local thread then acquires a lock,
+// which invalidates clean copies. If B's go had unpinned A's candidates,
+// the acquire would discard the copy A's go is about to promote to home
+// — a Jiajia transfer moves no data, so the promote would panic.
+func TestJiajiaConcurrentBarriersKeepPins(t *testing.T) {
+	c := New(testConfig(2, migration.Jiajia{}, locator.ForwardingPointer))
+	obj := c.AddObject(4, 1) // homed away from the writer
+	barA := c.AddBarrier(0, 2)
+	barB := c.AddBarrier(1, 2)
+	l := c.AddLock(1)
+	m := mustRun(t, c, []Worker{
+		{Node: 0, Name: "t0", Fn: func(th *Thread) {
+			th.Write(obj, 0, 7) // sole writer: A's go will move the home here
+			th.Barrier(barA)
+			if got := th.Read(obj, 0); got != 7 {
+				t.Errorf("read %d after home transfer, want 7", got)
+			}
+		}},
+		{Node: 1, Name: "t1", Fn: func(th *Thread) {
+			th.Compute(50 * sim.Millisecond) // barrier A completes last
+			th.Barrier(barA)
+		}},
+		{Node: 0, Name: "t2", Fn: func(th *Thread) {
+			th.Compute(5 * sim.Millisecond)
+			th.Barrier(barB) // B's go reaches node 0 while t0 is parked at A
+			th.Acquire(l)    // begins an interval: clean unpinned copies drop
+			th.Release(l)
+		}},
+		{Node: 1, Name: "t3", Fn: func(th *Thread) {
+			th.Compute(5 * sim.Millisecond)
+			th.Barrier(barB)
+		}},
+	})
+	if c.HomeOf(obj) != 0 {
+		t.Fatalf("home = %d, want 0 (single-writer transfer)", c.HomeOf(obj))
+	}
+	if m.Migrations != 1 {
+		t.Fatalf("migrations = %d, want 1", m.Migrations)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestJiajiaBarrierMigration(t *testing.T) {
 	// Node 1 is the single writer between two barriers; the barrier
 	// manager must migrate the home to it in the release broadcast.

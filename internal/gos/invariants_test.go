@@ -1,0 +1,173 @@
+package gos
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/locator"
+	"repro/internal/memory"
+	"repro/internal/migration"
+)
+
+// invariantCluster runs a minimal two-node workload that leaves the
+// richest post-run state to corrupt: node 0 homes the object, node 1
+// keeps a clean cached copy (it wrote through a lock and flushed at the
+// release, and no later acquire invalidated the copy).
+func invariantCluster(t *testing.T, loc locator.Kind) (*Cluster, memory.ObjectID) {
+	t.Helper()
+	c := New(testConfig(2, migration.NoHM{}, loc))
+	obj := c.AddObject(4, 0)
+	l := c.AddLock(0)
+	mustRun(t, c, []Worker{{Node: 1, Name: "t1", Fn: func(th *Thread) {
+		th.Acquire(l)
+		th.Write(obj, 1, 99)
+		th.Release(l)
+	}}})
+	if c.nodes[1].cache[obj] == nil {
+		t.Fatal("workload did not leave a cached copy on node 1")
+	}
+	return c, obj
+}
+
+// TestCheckInvariantsViolations constructs every violation class by
+// corrupting a healthy post-run cluster, and asserts that
+// CheckInvariants reports the specific sentinel error — not merely
+// non-nil — so a refactor cannot silently merge or drop a class.
+func TestCheckInvariantsViolations(t *testing.T) {
+	cases := []struct {
+		name    string
+		locator locator.Kind
+		mutate  func(c *Cluster, obj memory.ObjectID)
+		want    error
+	}{
+		{
+			name:   "healthy cluster has no violation",
+			mutate: func(c *Cluster, obj memory.ObjectID) {},
+		},
+		{
+			name:   "zero homes",
+			mutate: func(c *Cluster, obj memory.ObjectID) { c.nodes[0].isHome[obj] = false },
+			want:   ErrHomeCount,
+		},
+		{
+			name: "two homes",
+			mutate: func(c *Cluster, obj memory.ObjectID) {
+				n1 := c.nodes[1]
+				n1.isHome[obj] = true
+				n1.homeSt[obj] = core.NewState(c.cfg.Params, 32)
+			},
+			want: ErrHomeCount,
+		},
+		{
+			name:   "home without migration state",
+			mutate: func(c *Cluster, obj memory.ObjectID) { c.nodes[0].homeSt[obj] = nil },
+			want:   ErrMissingState,
+		},
+		{
+			name:   "home without data",
+			mutate: func(c *Cluster, obj memory.ObjectID) { c.nodes[0].cache[obj] = nil },
+			want:   ErrMissingData,
+		},
+		{
+			name:   "dirty cached copy after quiesce",
+			mutate: func(c *Cluster, obj memory.ObjectID) { c.nodes[1].cache[obj].Dirty = true },
+			want:   ErrDirtyCopy,
+		},
+		{
+			name: "twin leaked on a clean copy",
+			mutate: func(c *Cluster, obj memory.ObjectID) {
+				c.nodes[1].cache[obj].Twin = make([]uint64, 4)
+			},
+			want: ErrTwinLeak,
+		},
+		{
+			name: "copyset surviving on a non-home node",
+			mutate: func(c *Cluster, obj memory.ObjectID) {
+				c.nodes[1].copyset[obj] = map[memory.NodeID]bool{0: true}
+			},
+			want: ErrStaleCopyset,
+		},
+		{
+			name: "copyset naming the home itself",
+			mutate: func(c *Cluster, obj memory.ObjectID) {
+				c.nodes[0].copyset[obj] = map[memory.NodeID]bool{0: true}
+			},
+			want: ErrStaleCopyset,
+		},
+		{
+			name: "copyset naming a node outside the cluster",
+			mutate: func(c *Cluster, obj memory.ObjectID) {
+				c.nodes[0].copyset[obj] = map[memory.NodeID]bool{7: true}
+			},
+			want: ErrStaleCopyset,
+		},
+		{
+			name: "migration state on a non-home node",
+			mutate: func(c *Cluster, obj memory.ObjectID) {
+				c.nodes[1].homeSt[obj] = core.NewState(c.cfg.Params, 32)
+			},
+			want: ErrOwnerMismatch,
+		},
+		{
+			name:    "manager table pointing at the wrong home",
+			locator: locator.Manager,
+			mutate: func(c *Cluster, obj memory.ObjectID) {
+				mgr := locator.ManagerOf(obj, c.cfg.Nodes)
+				c.nodes[mgr].mgrHome[obj] = 1
+			},
+			want: ErrOwnerMismatch,
+		},
+		{
+			name: "forwarding cycle",
+			mutate: func(c *Cluster, obj memory.ObjectID) {
+				n1 := c.nodes[1]
+				n1.loc.Learn(obj, 1)
+				n1.loc.SetForward(obj, 1)
+			},
+			want: ErrForwardCycle,
+		},
+		{
+			name: "forwarding chain dead end",
+			mutate: func(c *Cluster, obj memory.ObjectID) {
+				n1 := c.nodes[1]
+				n1.loc.Learn(obj, 1) // believes itself, but holds no pointer
+				n1.loc.ClearForward(obj)
+			},
+			want: ErrDeadEndChain,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, obj := invariantCluster(t, tc.locator)
+			if err := c.CheckInvariants(); err != nil {
+				t.Fatalf("pre-mutation violation: %v", err)
+			}
+			tc.mutate(c, obj)
+			err := c.CheckInvariants()
+			if tc.want == nil {
+				if err != nil {
+					t.Fatalf("unexpected violation: %v", err)
+				}
+				return
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestDigestSensitivity: the final-memory fingerprint must react to any
+// single-word change and be stable across calls.
+func TestDigestSensitivity(t *testing.T) {
+	c, obj := invariantCluster(t, locator.ForwardingPointer)
+	d1 := c.Digest()
+	if d1 != c.Digest() {
+		t.Fatal("digest not stable")
+	}
+	c.nodes[0].cache[obj].Data[3] ^= 1
+	if c.Digest() == d1 {
+		t.Fatal("digest ignored a one-bit change")
+	}
+}

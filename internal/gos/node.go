@@ -37,6 +37,14 @@ type Node struct {
 	bars     map[uint32]*syncmgr.Barrier
 	jjWriter map[uint32]map[memory.ObjectID][]memory.NodeID
 	barWait  map[uint32][]int32 // local thread slots parked per barrier
+	// jjPending are this node's self-reported single-writer candidates
+	// between a barrier arrival and the matching barrier go, keyed by
+	// barrier so a concurrent episode of another barrier cannot unpin
+	// them early. Together with myWrites they pin local copies (see
+	// beginInterval): a Jiajia home transfer moves no data, so the
+	// prospective new home must not discard its copy before the
+	// reassignment resolves.
+	jjPending map[uint32][]memory.ObjectID
 
 	// pool recycles twin buffers, diff run storage and invalidated cached
 	// copies' data so the steady-state write/flush cycle is allocation-free.
@@ -49,14 +57,15 @@ type Node struct {
 
 func newNode(c *Cluster, id memory.NodeID) *Node {
 	return &Node{
-		id:       id,
-		c:        c,
-		loc:      locator.NewTable(0),
-		locks:    make(map[uint32]*syncmgr.Lock),
-		bars:     make(map[uint32]*syncmgr.Barrier),
-		jjWriter: make(map[uint32]map[memory.ObjectID][]memory.NodeID),
-		barWait:  make(map[uint32][]int32),
-		inbox:    c.net.Inbox(id),
+		id:        id,
+		c:         c,
+		loc:       locator.NewTable(0),
+		locks:     make(map[uint32]*syncmgr.Lock),
+		bars:      make(map[uint32]*syncmgr.Barrier),
+		jjWriter:  make(map[uint32]map[memory.ObjectID][]memory.NodeID),
+		barWait:   make(map[uint32][]int32),
+		jjPending: make(map[uint32][]memory.ObjectID),
+		inbox:     c.net.Inbox(id),
 	}
 }
 
@@ -320,7 +329,14 @@ func (n *Node) applyRemoteDiff(obj memory.ObjectID, d twindiff.Diff, writer memo
 	} else {
 		clear(set)
 	}
-	set[writer] = true
+	// A diff can boomerang back to its own writer: with multiple threads
+	// per node, one thread's in-flight diff chases a forwarding chain
+	// while another thread's fault migrates the home here. The home's own
+	// copy is authoritative, so the copyset must stay free of self
+	// entries (CheckInvariants enforces this).
+	if writer != n.id {
+		set[writer] = true
+	}
 }
 
 // noteMyWrite records a first-write-of-interval for Jiajia's barrier-time
@@ -396,6 +412,9 @@ func (n *Node) handleDaemonDiffAck(msg wire.Msg) {
 
 // grantLock hands the lock to w, locally or over the network.
 func (n *Node) grantLock(lock uint32, w syncmgr.Waiter) {
+	if obs := n.c.cfg.Observer; obs != nil {
+		obs.OnLockGrant(lock, w.Node)
+	}
 	msg := wire.Msg{Kind: wire.LockGrant, From: n.id, To: w.Node, Lock: lock, ReplySlot: w.Slot}
 	if w.Node == n.id {
 		n.c.deliver(n.threads[w.Slot].reply, msg)
@@ -428,6 +447,9 @@ func (n *Node) barrierArrive(bid uint32, w syncmgr.Waiter, diffs []wire.ObjDiff,
 // barrierRelease broadcasts the go (with any Jiajia home reassignments)
 // to every node and rearms the barrier.
 func (n *Node) barrierRelease(bid uint32) {
+	if obs := n.c.cfg.Observer; obs != nil {
+		obs.OnBarrierRelease(bid)
+	}
 	b := n.bars[bid]
 	ws := b.Reset()
 	if len(ws) != n.c.barParties[bid] {
@@ -465,6 +487,9 @@ func (n *Node) applyBarrierGo(msg wire.Msg) {
 	for _, a := range msg.Assigns {
 		n.applyAssign(a)
 	}
+	// This barrier's reassignments are resolved; unpin only its own
+	// candidates — another barrier's episode may still be in flight.
+	n.jjPending[msg.Barrier] = n.jjPending[msg.Barrier][:0]
 	slots := n.barWait[msg.Barrier]
 	n.barWait[msg.Barrier] = slots[:0] // keep the backing array for the next episode
 	for _, s := range slots {
@@ -477,6 +502,15 @@ func (n *Node) applyBarrierGo(msg wire.Msg) {
 // data moves (§2 [9]: new home notifications piggyback on barrier
 // messages).
 func (n *Node) applyAssign(a wire.HomeAssign) {
+	// Under the manager locator the designated manager must track
+	// barrier-time transfers too; the barrier-go broadcast reaches every
+	// node, so the manager updates its table locally. (Without this the
+	// manager keeps answering with the pre-barrier home: a requester then
+	// alternates between the stale manager answer and the demoted home's
+	// hint, and a post-barrier fault-in livelocks.)
+	if n.c.cfg.Locator == locator.Manager && locator.ManagerOf(a.Obj, n.c.cfg.Nodes) == n.id {
+		n.mgrHome[a.Obj] = a.Home
+	}
 	switch {
 	case n.isHome[a.Obj] && a.Home != n.id:
 		n.c.Counters.Migrations++
@@ -488,10 +522,29 @@ func (n *Node) applyAssign(a wire.HomeAssign) {
 	}
 }
 
+// jjProtected reports whether obj is pinned as a Jiajia reassignment
+// candidate: written by this node in the current interval (myWrites) or
+// reported and awaiting the barrier's verdict (jjPending).
+func (n *Node) jjProtected(obj memory.ObjectID) bool {
+	for _, o := range n.myWrites {
+		if o == obj {
+			return true
+		}
+	}
+	for _, pending := range n.jjPending {
+		for _, o := range pending {
+			if o == obj {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // jiajiaReports lists the objects this node wrote since the previous
 // barrier (self-reported; the barrier manager intersects reports from all
 // nodes to find single-writer objects) and opens a fresh write interval.
-func (n *Node) jiajiaReports() []wire.WriteReport {
+func (n *Node) jiajiaReports(bid uint32) []wire.WriteReport {
 	if !n.c.cfg.Policy.BarrierDriven() {
 		return nil
 	}
@@ -499,6 +552,12 @@ func (n *Node) jiajiaReports() []wire.WriteReport {
 	for _, obj := range n.myWrites {
 		out = append(out, wire.WriteReport{Obj: obj, Writer: n.id})
 	}
+	// The reported objects stay pinned until this barrier's go applies
+	// (or declines) the reassignment: another local thread may run
+	// acquires — or complete a different barrier — in the meantime, and
+	// those must not discard a copy the node might be about to become
+	// home of.
+	n.jjPending[bid] = append(n.jjPending[bid], n.myWrites...)
 	n.myWrites = n.myWrites[:0]
 	return out
 }
@@ -527,6 +586,20 @@ func (n *Node) beginInterval() {
 		}
 		if o.Dirty {
 			kept = append(kept, obj) // unflushed writes survive acquires
+			continue
+		}
+		if n.c.cfg.Policy.BarrierDriven() && n.jjProtected(obj) {
+			// This node is the interval's (so far) only writer of obj and
+			// may be handed its home at the next barrier — a transfer
+			// that moves no data. Keep the copy but make it Invalid, so
+			// reads still refetch (no stale-read hazard) while the data
+			// survives for a potential promote. If the object was in fact
+			// written elsewhere too, the barrier manager's intersection
+			// never reassigns it and the copy is simply replaced on the
+			// next fault-in.
+			o.State = memory.Invalid
+			kept = append(kept, obj)
+			n.c.Counters.InvalidatedObjs++
 			continue
 		}
 		// The dropped copy's data (installed from a fault-in reply) feeds

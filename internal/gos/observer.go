@@ -1,0 +1,50 @@
+package gos
+
+import "repro/internal/memory"
+
+// Observer receives protocol-level correctness events from a running
+// cluster. It exists for the coherence oracle (internal/oracle): the
+// hooks expose exactly the information needed to reconstruct the
+// happens-before order of a run — per-thread data accesses, the lock
+// grant/release chain, and barrier episodes — without the oracle
+// reaching into protocol internals.
+//
+// Ordering contract: the simulation kernel is cooperatively scheduled,
+// so hook invocations form a single total order consistent with virtual
+// time. Within one thread, hooks fire in program order. OnRelease fires
+// after the release-side flush completed (all diff acks received) and
+// before the lock can be granted to the next holder; OnAcquire fires
+// after the grant arrived. OnBarrierArrive fires before the arrival is
+// sent to the barrier manager; OnBarrierRelease fires at the manager
+// after every party arrived and before any party departs; and
+// OnBarrierDepart fires when a thread resumes past the barrier. An
+// Observer must not mutate cluster state.
+//
+// Scalar Read/Write calls are instrumented per word. Bulk ReadView/
+// WriteView accesses bypass the hooks (the values are not visible at
+// hook time); programs meant to be oracle-checked must use the scalar
+// access path, as the scenario engine does.
+type Observer interface {
+	// OnRead fires after thread read val from word idx of obj.
+	OnRead(thread int, obj memory.ObjectID, idx int, val uint64)
+	// OnWrite fires after thread stored val into word idx of obj.
+	OnWrite(thread int, obj memory.ObjectID, idx int, val uint64)
+	// OnAcquire fires once thread holds lock.
+	OnAcquire(thread int, lock uint32)
+	// OnRelease fires when thread's release-side flush has completed,
+	// before the lock is handed on.
+	OnRelease(thread int, lock uint32)
+	// OnBarrierArrive fires when thread (flush complete) arrives at the
+	// barrier.
+	OnBarrierArrive(thread int, barrier uint32)
+	// OnBarrierDepart fires when thread resumes past the barrier.
+	OnBarrierDepart(thread int, barrier uint32)
+	// OnBarrierRelease fires at the barrier manager when an episode
+	// completes: after every OnBarrierArrive of the episode and before
+	// any OnBarrierDepart.
+	OnBarrierRelease(barrier uint32)
+	// OnLockGrant fires at the lock manager when lock is granted to a
+	// waiter on node (diagnostic; the acquire-side edge for the
+	// happens-before order comes from OnAcquire).
+	OnLockGrant(lock uint32, node memory.NodeID)
+}

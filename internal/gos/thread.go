@@ -71,13 +71,20 @@ func (t *Thread) flushCompute() {
 
 // Read returns word idx of obj, faulting in a copy if needed.
 func (t *Thread) Read(obj memory.ObjectID, idx int) uint64 {
-	return t.objForRead(obj).Data[idx]
+	v := t.objForRead(obj).Data[idx]
+	if obs := t.c.cfg.Observer; obs != nil {
+		obs.OnRead(t.id, obj, idx, v)
+	}
+	return v
 }
 
 // Write stores v into word idx of obj, twinning a cached copy on its
 // first write of the interval.
 func (t *Thread) Write(obj memory.ObjectID, idx int, v uint64) {
 	t.objForWrite(obj).Data[idx] = v
+	if obs := t.c.cfg.Observer; obs != nil {
+		obs.OnWrite(t.id, obj, idx, v)
+	}
 }
 
 // ReadView returns the object's local data for bulk read-only access
@@ -213,6 +220,12 @@ func (t *Thread) install(msg wire.Msg) *memory.Object {
 	obj := msg.Obj
 	o := &memory.Object{ID: obj, Data: msg.Data, State: memory.ReadOnly}
 	wasCached := n.cache[obj] != nil
+	if wasCached {
+		// A kept Invalid copy (a Jiajia reassignment candidate the
+		// barrier declined) is being replaced: recycle its buffer so
+		// the refetch stays allocation-free.
+		n.pool.PutWords(n.cache[obj].Data)
+	}
 	n.cache[obj] = o
 	n.loc.Learn(obj, msg.Home)
 	if msg.Migrate {
@@ -298,6 +311,9 @@ func (t *Thread) Acquire(l LockID) {
 		t.awaitGrant(l)
 	}
 	n.beginInterval()
+	if obs := t.c.cfg.Observer; obs != nil {
+		obs.OnAcquire(t.id, uint32(l))
+	}
 }
 
 func (t *Thread) awaitGrant(l LockID) {
@@ -316,6 +332,14 @@ func (t *Thread) Release(l LockID) {
 	home := t.c.lockHome[l]
 	piggy := t.flushDirty(home)
 	n.endInterval()
+	// The release point: flushes are acknowledged (or piggybacked on the
+	// release message below, which the manager applies before regranting),
+	// and the lock has not yet been handed on — so in the observer's total
+	// order this event separates this critical section's writes from the
+	// next holder's acquire.
+	if obs := t.c.cfg.Observer; obs != nil {
+		obs.OnRelease(t.id, uint32(l))
+	}
 	if home == n.id {
 		lk := n.locks[uint32(l)]
 		if next, ok := lk.Release(); ok {
@@ -338,7 +362,10 @@ func (t *Thread) Barrier(b BarrierID) {
 	home := t.c.barHome[b]
 	piggy := t.flushDirty(home)
 	n.endInterval()
-	reports := n.jiajiaReports()
+	if obs := t.c.cfg.Observer; obs != nil {
+		obs.OnBarrierArrive(t.id, uint32(b))
+	}
+	reports := n.jiajiaReports(uint32(b))
 	n.barWait[uint32(b)] = append(n.barWait[uint32(b)], t.slot)
 	w := syncmgr.Waiter{Node: n.id, Slot: t.slot}
 	if home == n.id {
@@ -354,6 +381,9 @@ func (t *Thread) Barrier(b BarrierID) {
 		panic(fmt.Sprintf("gos: thread %s: expected barrier go, got %v", t.name, msg.Kind))
 	}
 	n.beginInterval()
+	if obs := t.c.cfg.Observer; obs != nil {
+		obs.OnBarrierDepart(t.id, uint32(b))
+	}
 }
 
 // flushDirty propagates every dirty cached object's diff to its home and
@@ -390,6 +420,12 @@ func (t *Thread) flushDirty(syncHome memory.NodeID) []wire.ObjDiff {
 		o.State = memory.ReadOnly
 		t.c.Counters.DiffsComputed++
 		if d.Empty() {
+			continue
+		}
+		if t.c.cfg.DropDiffs {
+			// Deliberate protocol sabotage (see Config.DropDiffs): the
+			// writes silently vanish instead of reaching the home.
+			n.pool.PutDiff(d)
 			continue
 		}
 		t.c.Counters.DiffWords += int64(d.WordCount())

@@ -1,0 +1,377 @@
+// Package oracle is an executable lazy-release-consistency checker for
+// the DSM. A Recorder attaches to a cluster as its gos.Observer and logs
+// every per-thread data access, lock transfer and barrier episode; Check
+// then reconstructs the happens-before order those synchronization
+// chains imply (vector clocks over the recorded total order) and
+// verifies that every read was LRC-legal:
+//
+//   - a read must return the value of a happens-before-maximal write to
+//     its word — never a value that a write ordered before the read has
+//     already overwritten — or the value of a write concurrent with the
+//     read (LRC places no obligation between unsynchronized threads);
+//   - a word no write happened-before may also show its initial value;
+//   - locks must be mutually exclusive, and barrier departures must
+//     follow a completed episode.
+//
+// The oracle is policy-blind on purpose: home migration, locator choice
+// and diff piggybacking change *when* data moves, never *what* a program
+// may observe. Any migration-protocol bug that leaks a stale value
+// (a skipped diff flush, a lost invalidation, a mis-routed diff) shows
+// up as a Violation here, without golden files and without knowing the
+// program's intent.
+package oracle
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/memory"
+)
+
+// OpKind classifies one recorded event.
+type OpKind uint8
+
+// Recorded event kinds. Read/Write/Acquire/Release/BarArrive/BarDepart
+// are thread events; BarRelease and LockGrant are manager-side events.
+const (
+	OpRead OpKind = iota
+	OpWrite
+	OpAcquire
+	OpRelease
+	OpBarArrive
+	OpBarDepart
+	OpBarRelease
+	OpLockGrant
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpAcquire:
+		return "acquire"
+	case OpRelease:
+		return "release"
+	case OpBarArrive:
+		return "bar-arrive"
+	case OpBarDepart:
+		return "bar-depart"
+	case OpBarRelease:
+		return "bar-release"
+	case OpLockGrant:
+		return "lock-grant"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(k))
+	}
+}
+
+// Op is one recorded event. Thread is -1 for manager-side events.
+type Op struct {
+	Kind   OpKind
+	Thread int
+	Obj    memory.ObjectID
+	Word   int
+	Val    uint64
+	Sync   uint32        // lock or barrier id
+	Node   memory.NodeID // grantee node for OpLockGrant
+}
+
+// Recorder captures a run's event log through the gos.Observer hooks.
+// The simulation kernel is cooperatively scheduled, so appends need no
+// locking and the log is a total order consistent with virtual time.
+type Recorder struct {
+	threads int
+	ops     []Op
+}
+
+// NewRecorder returns a recorder for a run with the given thread count
+// (gos thread ids must be dense in [0, threads)).
+func NewRecorder(threads int) *Recorder {
+	if threads <= 0 {
+		panic("oracle: recorder needs at least one thread")
+	}
+	return &Recorder{threads: threads}
+}
+
+// Reset clears the log for reuse across runs, keeping capacity.
+func (r *Recorder) Reset() { r.ops = r.ops[:0] }
+
+// Len reports the number of recorded events.
+func (r *Recorder) Len() int { return len(r.ops) }
+
+// Ops exposes the raw log (read-only use: diagnostics, replay).
+func (r *Recorder) Ops() []Op { return r.ops }
+
+// OnRead implements gos.Observer.
+func (r *Recorder) OnRead(thread int, obj memory.ObjectID, idx int, val uint64) {
+	r.ops = append(r.ops, Op{Kind: OpRead, Thread: thread, Obj: obj, Word: idx, Val: val})
+}
+
+// OnWrite implements gos.Observer.
+func (r *Recorder) OnWrite(thread int, obj memory.ObjectID, idx int, val uint64) {
+	r.ops = append(r.ops, Op{Kind: OpWrite, Thread: thread, Obj: obj, Word: idx, Val: val})
+}
+
+// OnAcquire implements gos.Observer.
+func (r *Recorder) OnAcquire(thread int, lock uint32) {
+	r.ops = append(r.ops, Op{Kind: OpAcquire, Thread: thread, Sync: lock})
+}
+
+// OnRelease implements gos.Observer.
+func (r *Recorder) OnRelease(thread int, lock uint32) {
+	r.ops = append(r.ops, Op{Kind: OpRelease, Thread: thread, Sync: lock})
+}
+
+// OnBarrierArrive implements gos.Observer.
+func (r *Recorder) OnBarrierArrive(thread int, barrier uint32) {
+	r.ops = append(r.ops, Op{Kind: OpBarArrive, Thread: thread, Sync: barrier})
+}
+
+// OnBarrierDepart implements gos.Observer.
+func (r *Recorder) OnBarrierDepart(thread int, barrier uint32) {
+	r.ops = append(r.ops, Op{Kind: OpBarDepart, Thread: thread, Sync: barrier})
+}
+
+// OnBarrierRelease implements gos.Observer.
+func (r *Recorder) OnBarrierRelease(barrier uint32) {
+	r.ops = append(r.ops, Op{Kind: OpBarRelease, Thread: -1, Sync: barrier})
+}
+
+// OnLockGrant implements gos.Observer.
+func (r *Recorder) OnLockGrant(lock uint32, node memory.NodeID) {
+	r.ops = append(r.ops, Op{Kind: OpLockGrant, Thread: -1, Sync: lock, Node: node})
+}
+
+// InitFn supplies the pre-run initial value of a word (from InitObject
+// seeding); nil means all words start at zero.
+type InitFn func(obj memory.ObjectID, word int) uint64
+
+// Violation is one LRC illegality found by Check.
+type Violation struct {
+	// OpIndex is the offending event's position in the log.
+	OpIndex int
+	Op      Op
+	// Legal lists the values the read was allowed to return (capped).
+	Legal []uint64
+	// Reason is a one-line diagnosis.
+	Reason string
+}
+
+func (v Violation) String() string {
+	if v.Op.Kind == OpRead {
+		vals := make([]string, 0, len(v.Legal))
+		for _, x := range v.Legal {
+			vals = append(vals, fmt.Sprintf("%#x", x))
+		}
+		return fmt.Sprintf("op %d: thread %d read obj %d word %d = %#x, legal {%s}: %s",
+			v.OpIndex, v.Op.Thread, v.Op.Obj, v.Op.Word, v.Op.Val,
+			strings.Join(vals, ", "), v.Reason)
+	}
+	return fmt.Sprintf("op %d: thread %d %s (sync %d): %s",
+		v.OpIndex, v.Op.Thread, v.Op.Kind, v.Op.Sync, v.Reason)
+}
+
+// vclock is a per-thread vector clock.
+type vclock []uint32
+
+func (v vclock) clone() vclock { return append(vclock(nil), v...) }
+
+// join folds other into v component-wise.
+func (v vclock) join(other vclock) {
+	for i, x := range other {
+		if x > v[i] {
+			v[i] = x
+		}
+	}
+}
+
+// hb reports whether the event stamped w happened before the event
+// stamped r, where w was issued by thread wt. Because every event bumps
+// its own component, w hb r iff r's view of wt includes w.
+func hb(w vclock, wt int, r vclock) bool { return w[wt] <= r[wt] }
+
+type locKey struct {
+	obj  memory.ObjectID
+	word int
+}
+
+type writeRec struct {
+	thread int
+	clock  vclock
+	val    uint64
+}
+
+type barThread struct {
+	barrier uint32
+	thread  int
+}
+
+// maxLegalValues caps the legal-value list attached to a violation.
+const maxLegalValues = 8
+
+// Check replays the recorded log, building the happens-before order from
+// program order, lock transfer chains and barrier episodes, and returns
+// every violation found (empty means the run was LRC-legal). init
+// supplies pre-seeded initial values (nil = zeros).
+func (r *Recorder) Check(init InitFn) []Violation {
+	n := r.threads
+	vc := make([]vclock, n)
+	for i := range vc {
+		vc[i] = make(vclock, n)
+	}
+	var (
+		viols     []Violation
+		writes    = map[locKey][]writeRec{}
+		lastRel   = map[uint32]vclock{}   // release clock per lock
+		lockOwner = map[uint32]int{}      // current holder per lock (-1 free)
+		barAccum  = map[uint32]vclock{}   // accumulating arrival join
+		episodes  = map[uint32][]vclock{} // completed episode joins
+		// arriveEp queues, per (barrier, thread), the episode index each
+		// arrival feeds — the one accumulating at arrival time. The
+		// depart joins exactly that episode, so a thread sitting out an
+		// episode (subset-party barriers) cannot be matched to a stale
+		// one.
+		arriveEp = map[barThread][]int{}
+	)
+	bad := func(i int, op Op, legal []uint64, reason string) {
+		viols = append(viols, Violation{OpIndex: i, Op: op, Legal: legal, Reason: reason})
+	}
+	for i, op := range r.ops {
+		t := op.Thread
+		if t >= n {
+			bad(i, op, nil, fmt.Sprintf("thread id %d out of range (recorder sized for %d)", t, n))
+			continue
+		}
+		if t >= 0 {
+			vc[t][t]++
+		}
+		switch op.Kind {
+		case OpWrite:
+			k := locKey{op.Obj, op.Word}
+			writes[k] = append(writes[k], writeRec{thread: t, clock: vc[t].clone(), val: op.Val})
+		case OpRead:
+			legal, ok := legalRead(writes[locKey{op.Obj, op.Word}], t, vc[t], op, init)
+			if !ok {
+				bad(i, op, legal, "stale or phantom value under lazy release consistency")
+			}
+		case OpAcquire:
+			if owner, held := lockOwner[op.Sync]; held && owner >= 0 {
+				bad(i, op, nil, fmt.Sprintf("lock %d acquired while thread %d still holds it", op.Sync, owner))
+			}
+			lockOwner[op.Sync] = t
+			if rel := lastRel[op.Sync]; rel != nil {
+				vc[t].join(rel)
+			}
+		case OpRelease:
+			if owner, held := lockOwner[op.Sync]; !held || owner != t {
+				bad(i, op, nil, fmt.Sprintf("lock %d released by non-holder", op.Sync))
+			}
+			lockOwner[op.Sync] = -1
+			lastRel[op.Sync] = vc[t].clone()
+		case OpBarArrive:
+			acc := barAccum[op.Sync]
+			if acc == nil {
+				acc = make(vclock, n)
+				barAccum[op.Sync] = acc
+			}
+			acc.join(vc[t])
+			key := barThread{op.Sync, t}
+			arriveEp[key] = append(arriveEp[key], len(episodes[op.Sync]))
+		case OpBarRelease:
+			acc := barAccum[op.Sync]
+			if acc == nil {
+				bad(i, op, nil, "barrier released with no arrivals")
+				acc = make(vclock, n)
+			}
+			episodes[op.Sync] = append(episodes[op.Sync], acc)
+			delete(barAccum, op.Sync)
+		case OpBarDepart:
+			key := barThread{op.Sync, t}
+			q := arriveEp[key]
+			if len(q) == 0 {
+				bad(i, op, nil, "barrier departed without a matching arrival")
+				continue
+			}
+			idx := q[0]
+			arriveEp[key] = q[1:]
+			eps := episodes[op.Sync]
+			if idx >= len(eps) {
+				bad(i, op, nil, "barrier departed before its episode was released")
+				continue
+			}
+			vc[t].join(eps[idx])
+		case OpLockGrant:
+			// Manager-side diagnostic only: the happens-before edge is
+			// taken at the grantee's OpAcquire.
+		}
+	}
+	return viols
+}
+
+// legalRead decides whether a read could legally return op.Val given the
+// writes so far. The legal set is: the value of every happens-before-
+// maximal write (two hb writes unordered with each other are both
+// maximal — their diffs merge at the home in arrival order), the value
+// of every write concurrent with the read, and — when no write happened
+// before the read — the word's initial value.
+func legalRead(ws []writeRec, rt int, rc vclock, op Op, init InitFn) ([]uint64, bool) {
+	want := uint64(0)
+	if init != nil {
+		want = init(op.Obj, op.Word)
+	}
+	legal := make([]uint64, 0, 4)
+	addLegal := func(v uint64) {
+		for _, x := range legal {
+			if x == v {
+				return
+			}
+		}
+		if len(legal) < maxLegalValues {
+			legal = append(legal, v)
+		}
+	}
+	ok := false
+	anyHB := false
+	for wi := range ws {
+		w := &ws[wi]
+		if !hb(w.clock, w.thread, rc) {
+			// Concurrent with the read (the log is in virtual-time order,
+			// so a write recorded earlier can never be *after* the read):
+			// LRC allows observing it.
+			addLegal(w.val)
+			if w.val == op.Val {
+				ok = true
+			}
+			continue
+		}
+		anyHB = true
+		// Happened before the read: legal only if hb-maximal, i.e. no
+		// other hb write overwrote it on the way to this reader.
+		dominated := false
+		for wj := range ws {
+			w2 := &ws[wj]
+			if wi == wj || !hb(w2.clock, w2.thread, rc) {
+				continue
+			}
+			if hb(w.clock, w.thread, w2.clock) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			addLegal(w.val)
+			if w.val == op.Val {
+				ok = true
+			}
+		}
+	}
+	if !anyHB {
+		addLegal(want)
+		if op.Val == want {
+			ok = true
+		}
+	}
+	return legal, ok
+}

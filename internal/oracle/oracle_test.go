@@ -1,0 +1,313 @@
+package oracle_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/locator"
+	"repro/internal/memory"
+	"repro/internal/migration"
+	"repro/internal/oracle"
+	"repro/internal/scenario"
+)
+
+// rec builds a recorder for n threads.
+func rec(n int) *oracle.Recorder { return oracle.NewRecorder(n) }
+
+// TestHandBuiltLogs drives the recorder hooks directly with tiny
+// synthetic logs, one per legality rule, and checks the oracle's verdict
+// — the oracle's own unit semantics, independent of the DSM.
+func TestHandBuiltLogs(t *testing.T) {
+	const obj = memory.ObjectID(0)
+	cases := []struct {
+		name  string
+		build func(r *oracle.Recorder)
+		nviol int
+		match string
+	}{
+		{
+			name: "lock-chain read of latest value is legal",
+			build: func(r *oracle.Recorder) {
+				r.OnAcquire(0, 0)
+				r.OnWrite(0, obj, 0, 7)
+				r.OnRelease(0, 0)
+				r.OnAcquire(1, 0)
+				r.OnRead(1, obj, 0, 7)
+				r.OnRelease(1, 0)
+			},
+		},
+		{
+			name: "lock-chain stale read is a violation",
+			build: func(r *oracle.Recorder) {
+				r.OnAcquire(0, 0)
+				r.OnWrite(0, obj, 0, 7)
+				r.OnRelease(0, 0)
+				r.OnAcquire(1, 0)
+				r.OnRead(1, obj, 0, 0) // must see 7
+				r.OnRelease(1, 0)
+			},
+			nviol: 1, match: "stale or phantom",
+		},
+		{
+			name: "overwritten (dominated) value is a violation",
+			build: func(r *oracle.Recorder) {
+				r.OnAcquire(0, 0)
+				r.OnWrite(0, obj, 0, 1)
+				r.OnWrite(0, obj, 0, 2)
+				r.OnRelease(0, 0)
+				r.OnAcquire(1, 0)
+				r.OnRead(1, obj, 0, 1) // 1 was overwritten by 2 before the release
+				r.OnRelease(1, 0)
+			},
+			nviol: 1, match: "stale or phantom",
+		},
+		{
+			name: "concurrent value or initial value are both legal",
+			build: func(r *oracle.Recorder) {
+				r.OnWrite(0, obj, 0, 9) // unsynchronized with thread 1
+				r.OnRead(1, obj, 0, 9)  // may see it...
+				r.OnRead(1, obj, 0, 0)  // ...or the initial value
+			},
+		},
+		{
+			name: "phantom value is a violation",
+			build: func(r *oracle.Recorder) {
+				r.OnWrite(0, obj, 0, 9)
+				r.OnRead(1, obj, 0, 5) // nobody ever wrote 5
+			},
+			nviol: 1, match: "stale or phantom",
+		},
+		{
+			name: "barrier orders writes before later-phase reads",
+			build: func(r *oracle.Recorder) {
+				r.OnWrite(0, obj, 0, 3)
+				r.OnBarrierArrive(0, 0)
+				r.OnBarrierArrive(1, 0)
+				r.OnBarrierRelease(0)
+				r.OnBarrierDepart(0, 0)
+				r.OnBarrierDepart(1, 0)
+				r.OnRead(1, obj, 0, 3)
+			},
+		},
+		{
+			name: "stale read across a barrier is a violation",
+			build: func(r *oracle.Recorder) {
+				r.OnWrite(0, obj, 0, 3)
+				r.OnBarrierArrive(0, 0)
+				r.OnBarrierArrive(1, 0)
+				r.OnBarrierRelease(0)
+				r.OnBarrierDepart(0, 0)
+				r.OnBarrierDepart(1, 0)
+				r.OnRead(1, obj, 0, 0)
+			},
+			nviol: 1, match: "stale or phantom",
+		},
+		{
+			name: "second barrier episode builds on the first",
+			build: func(r *oracle.Recorder) {
+				r.OnWrite(0, obj, 0, 1)
+				r.OnBarrierArrive(0, 0)
+				r.OnBarrierArrive(1, 0)
+				r.OnBarrierRelease(0)
+				r.OnBarrierDepart(0, 0)
+				r.OnBarrierDepart(1, 0)
+				r.OnWrite(1, obj, 0, 2)
+				r.OnBarrierArrive(0, 0)
+				r.OnBarrierArrive(1, 0)
+				r.OnBarrierRelease(0)
+				r.OnBarrierDepart(0, 0)
+				r.OnBarrierDepart(1, 0)
+				r.OnRead(0, obj, 0, 1) // dominated by thread 1's phase-2 write
+			},
+			nviol: 1, match: "stale or phantom",
+		},
+		{
+			name: "double acquire without release is flagged",
+			build: func(r *oracle.Recorder) {
+				r.OnAcquire(0, 0)
+				r.OnAcquire(1, 0)
+			},
+			nviol: 1, match: "still holds",
+		},
+		{
+			name: "depart before episode release is flagged",
+			build: func(r *oracle.Recorder) {
+				r.OnBarrierArrive(0, 0)
+				r.OnBarrierDepart(0, 0)
+			},
+			nviol: 1, match: "before its episode",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := rec(2)
+			tc.build(r)
+			viols := r.Check(nil)
+			if len(viols) != tc.nviol {
+				t.Fatalf("got %d violations, want %d: %v", len(viols), tc.nviol, viols)
+			}
+			if tc.nviol > 0 && !strings.Contains(viols[0].String(), tc.match) {
+				t.Fatalf("violation %q does not mention %q", viols[0], tc.match)
+			}
+		})
+	}
+}
+
+// TestSubsetBarrierEpisodes: a thread that sits out a barrier episode
+// must join the episode its own arrival fed, not the oldest unclaimed
+// one. Thread 2 skips episode 0; its depart from episode 1 must order
+// thread 0's episode-1 write before its read — a per-thread departure
+// counter would match it to episode 0 and miss the stale read.
+func TestSubsetBarrierEpisodes(t *testing.T) {
+	const obj = memory.ObjectID(0)
+	build := func(r *oracle.Recorder, readVal uint64) []oracle.Violation {
+		r.OnWrite(0, obj, 0, 1)
+		r.OnBarrierArrive(0, 0) // episode 0: threads 0 and 1
+		r.OnBarrierArrive(1, 0)
+		r.OnBarrierRelease(0)
+		r.OnBarrierDepart(0, 0)
+		r.OnBarrierDepart(1, 0)
+		r.OnWrite(0, obj, 0, 2)
+		r.OnBarrierArrive(0, 0) // episode 1: threads 0 and 2
+		r.OnBarrierArrive(2, 0)
+		r.OnBarrierRelease(0)
+		r.OnBarrierDepart(0, 0)
+		r.OnBarrierDepart(2, 0)
+		r.OnRead(2, obj, 0, readVal)
+		return r.Check(nil)
+	}
+	if viols := build(rec(3), 2); len(viols) != 0 {
+		t.Fatalf("reading the episode-1 value flagged: %v", viols)
+	}
+	if viols := build(rec(3), 1); len(viols) != 1 {
+		t.Fatalf("stale episode-0 value not flagged: %v", viols)
+	}
+}
+
+// TestInitialValues: with an InitFn, a never-written word must show its
+// seeded value, and anything else is phantom.
+func TestInitialValues(t *testing.T) {
+	init := func(obj memory.ObjectID, word int) uint64 { return 40 + uint64(word) }
+	r := rec(1)
+	r.OnRead(0, 0, 2, 42)
+	if v := r.Check(init); len(v) != 0 {
+		t.Fatalf("seeded initial value flagged: %v", v)
+	}
+	r = rec(1)
+	r.OnRead(0, 0, 2, 0)
+	if v := r.Check(init); len(v) != 1 {
+		t.Fatalf("zero against seeded initial value not flagged: %v", v)
+	}
+}
+
+// TestScenarioSweep200 is the acceptance sweep: 200 seeded random
+// scenarios, each run under every builtin migration policy, must pass
+// the engine check, the oracle, the protocol invariants, and leave
+// byte-identical final memory across policies. -short trims the range.
+func TestScenarioSweep200(t *testing.T) {
+	n := 200
+	if testing.Short() {
+		n = 40
+	}
+	st, err := scenario.Sweep(1, n, 0, nil)
+	if err != nil {
+		for _, f := range st.Failures {
+			t.Error(f)
+		}
+		t.Fatal(err)
+	}
+	t.Logf("sweep: %d scenarios, %d runs, %d checked reads, %d oracle ops",
+		st.Scenarios, st.Runs, st.ReadsChecked, st.OracleOps)
+	if st.ReadsChecked == 0 || st.OracleOps == 0 {
+		t.Fatal("sweep did no verification work")
+	}
+}
+
+// TestBrokenProtocolCaught proves the oracle has teeth: running
+// scenarios on a deliberately sabotaged protocol (DropDiffs discards
+// every diff at flush time, so remote writes never reach the home) must
+// produce oracle violations — and the same seeds must be clean without
+// the sabotage. This is the falsifiability guarantee: a protocol change
+// that silently loses release visibility cannot pass the sweep.
+func TestBrokenProtocolCaught(t *testing.T) {
+	pol := migration.NoHM{} // never migrates: every remote write is a diff
+	oracleCaught, engineCaught := 0, 0
+	for seed := uint64(1); seed <= 12; seed++ {
+		p := scenario.Generate(seed)
+		broken, err := p.Run(pol, scenario.RunOpts{Locator: locator.ForwardingPointer, DropDiffs: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(broken.Violations) > 0 {
+			oracleCaught++
+		}
+		if len(broken.Mismatches) > 0 {
+			engineCaught++
+		}
+		clean, err := p.Run(pol, scenario.RunOpts{Locator: locator.ForwardingPointer})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if clean.Failed() {
+			t.Fatalf("seed %d: intact protocol flagged: %v %v %v",
+				seed, clean.Mismatches, clean.Violations, clean.InvariantErr)
+		}
+	}
+	if oracleCaught < 6 {
+		t.Errorf("oracle caught the skipped diff flush in only %d/12 scenarios", oracleCaught)
+	}
+	if engineCaught < 6 {
+		t.Errorf("engine check caught the skipped diff flush in only %d/12 scenarios", engineCaught)
+	}
+}
+
+// FuzzScenario feeds arbitrary seeds to the scenario engine under a
+// policy cross-section (never-migrate, the paper's adaptive protocol,
+// always-migrate, and the barrier-driven related work), demanding clean
+// verdicts and policy-independent final memory on every input.
+func FuzzScenario(f *testing.F) {
+	for _, s := range []uint64{1, 7, 42, 1 << 40} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		p := scenario.Generate(seed)
+		lc := scenario.Locators[int(seed%3)]
+		// Select by name, not index, so a reorder of Builtins cannot
+		// silently swap the fuzzed cross-section: never-migrate, the
+		// paper's adaptive protocol, always-migrate, barrier-driven.
+		byName := map[string]migration.Policy{}
+		for _, pol := range scenario.Policies(p.Nodes) {
+			byName[pol.Name()] = pol
+		}
+		var pols []migration.Policy
+		for _, name := range []string{"NoHM", "AT", "JUMP", "Jiajia"} {
+			pol, ok := byName[name]
+			if !ok {
+				t.Fatalf("policy %s missing from Builtins", name)
+			}
+			pols = append(pols, pol)
+		}
+		var digest uint64
+		for i, pol := range pols {
+			res, err := p.Run(pol, scenario.RunOpts{Locator: lc})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range res.Mismatches {
+				t.Errorf("seed %d %s %s/%s: %s", seed, p.Family, pol.Name(), lc, m)
+			}
+			for _, v := range res.Violations {
+				t.Errorf("seed %d %s %s/%s: oracle: %s", seed, p.Family, pol.Name(), lc, v)
+			}
+			if res.InvariantErr != nil {
+				t.Errorf("seed %d %s %s/%s: %v", seed, p.Family, pol.Name(), lc, res.InvariantErr)
+			}
+			if i == 0 {
+				digest = res.Digest
+			} else if res.Digest != digest {
+				t.Errorf("seed %d %s: digest differs between %s and %s",
+					seed, p.Family, pols[0].Name(), pol.Name())
+			}
+		}
+	})
+}

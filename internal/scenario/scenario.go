@@ -1,0 +1,682 @@
+// Package scenario is the randomized workload engine behind the
+// coherence oracle: it generates seeded random shared-memory programs in
+// the access-pattern families the adaptive-home-migration literature
+// cares about, computes their reference semantics in plain Go, and runs
+// them on the DSM under any migration policy with the oracle attached.
+//
+// Every generated program is deterministic by construction — within a
+// barrier phase each word has one writer (or is guarded by one lock and
+// updated commutatively), and checked reads only target words that are
+// stable in their phase — so three independent verdicts are available
+// for each run:
+//
+//  1. engine check: every checked read returns the value the pure-Go
+//     model predicts, and the final shared memory equals the model's;
+//  2. oracle check: the recorded log is LRC-legal (internal/oracle);
+//  3. policy independence: the final-memory digest is identical under
+//     every policy in migration.Builtins, because migration may change
+//     cost but never results.
+//
+// Families: hot-object lock contention, false sharing (strided writers
+// in one object), migratory access (rotating whole-object writer),
+// lock-chained producer/consumer, and barrier-phased stencil.
+package scenario
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/gos"
+	"repro/internal/locator"
+	"repro/internal/memory"
+	"repro/internal/migration"
+	"repro/internal/oracle"
+	"repro/internal/prng"
+	"repro/internal/stats"
+)
+
+// Family names an access-pattern family.
+type Family uint8
+
+// The generated access-pattern families.
+const (
+	HotObject Family = iota
+	FalseSharing
+	Migratory
+	ProducerConsumer
+	Stencil
+	numFamilies
+)
+
+func (f Family) String() string {
+	switch f {
+	case HotObject:
+		return "hot-object"
+	case FalseSharing:
+		return "false-sharing"
+	case Migratory:
+		return "migratory"
+	case ProducerConsumer:
+		return "producer-consumer"
+	case Stencil:
+		return "stencil"
+	default:
+		return fmt.Sprintf("family(%d)", uint8(f))
+	}
+}
+
+// step opcodes.
+type opcode uint8
+
+const (
+	opRead      opcode = iota // checked read: value must equal want
+	opWrite                   // plain write of val
+	opLockedAdd               // Acquire(lock); Read; Write(+val); Release
+)
+
+// step is one scripted action of a thread within a phase.
+type step struct {
+	op        opcode
+	obj, word int
+	val, want uint64
+	lock      int
+}
+
+// Program is one generated scenario: a phase-structured script per
+// thread plus the model's expected outcomes.
+type Program struct {
+	Seed    uint64
+	Family  Family
+	Nodes   int
+	Threads int
+	Words   []int // words per object
+	Homes   []int // initial home per object
+	Locks   int
+	Phases  int
+
+	steps [][][]step // [thread][phase][]step
+	init  [][]uint64 // initial object contents
+	final [][]uint64 // model final memory
+}
+
+// loc addresses one word.
+type loc struct{ obj, word int }
+
+// Generate builds the program for a seed. The same seed always yields
+// the same program; different seeds vary family, cluster size, object
+// shapes, phase count and access mix.
+func Generate(seed uint64) *Program {
+	r := prng.New(prng.Mix(seed) | 1)
+	p := &Program{
+		Seed:   seed,
+		Family: Family(r.Intn(int(numFamilies))),
+		Nodes:  2 + r.Intn(4), // 2..5
+		Phases: 2 + r.Intn(5), // 2..6
+	}
+	p.Threads = p.Nodes
+	if p.Family == HotObject && r.Intn(3) == 0 {
+		// Sometimes co-locate two threads on one node: exercises
+		// same-node lock handoff and the diff-boomerang path.
+		p.Threads = p.Nodes + 1
+	}
+	g := &generator{p: p, r: r}
+	switch p.Family {
+	case HotObject:
+		g.genHotObject()
+	case FalseSharing:
+		g.genFalseSharing()
+	case Migratory:
+		g.genMigratory()
+	case ProducerConsumer:
+		g.genProducerConsumer()
+	case Stencil:
+		g.genStencil()
+	}
+	g.finish()
+	return p
+}
+
+// Expected returns the model's final memory (one slice per object).
+func (p *Program) Expected() [][]uint64 { return p.final }
+
+// generator accumulates the script while maintaining the pure-Go model.
+// Each phase runs through a strict lifecycle: beginPhase, then register
+// every write/locked word (planWrite/lockedAdd), then checkedReads —
+// which consult the now-complete plan to target only stable words — and
+// finally endPhase, which seals each thread's step list with its reads
+// ahead of its writes (so a thread reading a word it overwrites this
+// phase still observes the pre-phase value) and folds the phase into
+// the model memory.
+type generator struct {
+	p   *Program
+	r   *prng.Rand
+	mem [][]uint64 // current model memory
+
+	// per-phase working state
+	writer map[loc]int    // word → its single plain writer this phase
+	locked map[loc]int    // word → guarding lock this phase
+	writes map[loc]uint64 // plain-write values to commit
+	added  map[loc]uint64 // locked-add sums to commit
+	reads  [][]step       // checked reads per thread
+	acts   [][]step       // writes/locked adds per thread
+}
+
+// addObject declares an object with deterministic nonzero initial
+// contents and returns its index. Objects must be declared before the
+// first phase.
+func (g *generator) addObject(words int) int {
+	p := g.p
+	o := len(p.Words)
+	p.Words = append(p.Words, words)
+	p.Homes = append(p.Homes, g.r.Intn(p.Nodes))
+	data := make([]uint64, words)
+	for w := range data {
+		data[w] = prng.Mix(p.Seed^uint64(o*1009+w)^0xA5A5) | 1
+	}
+	p.init = append(p.init, data)
+	g.mem = append(g.mem, append([]uint64(nil), data...))
+	return o
+}
+
+// locsOf lists every word of an object.
+func (g *generator) locsOf(obj int) []loc {
+	ls := make([]loc, g.p.Words[obj])
+	for w := range ls {
+		ls[w] = loc{obj, w}
+	}
+	return ls
+}
+
+// value derives a distinct write value for (phase, thread, counter).
+func (g *generator) value(ph, t, k int) uint64 {
+	return prng.Mix(g.p.Seed^uint64(ph)<<40^uint64(t)<<20^uint64(k)^0x5C5C) | 1
+}
+
+func (g *generator) beginPhase() {
+	p := g.p
+	if p.steps == nil {
+		p.steps = make([][][]step, p.Threads)
+		for t := range p.steps {
+			p.steps[t] = make([][]step, 0, p.Phases)
+		}
+	}
+	g.writer = map[loc]int{}
+	g.locked = map[loc]int{}
+	g.writes = map[loc]uint64{}
+	g.added = map[loc]uint64{}
+	g.reads = make([][]step, p.Threads)
+	g.acts = make([][]step, p.Threads)
+}
+
+// guard registers every word of obj as guarded by lock this phase.
+func (g *generator) guard(obj, lock int) {
+	for _, l := range g.locsOf(obj) {
+		g.locked[l] = lock
+	}
+}
+
+// planWrite schedules thread t's plain write of val to l.
+func (g *generator) planWrite(t int, l loc, val uint64) {
+	g.writer[l] = t
+	g.writes[l] = val
+	g.acts[t] = append(g.acts[t], step{op: opWrite, obj: l.obj, word: l.word, val: val})
+}
+
+// lockedAdd schedules a commutative add of d to l under lock.
+func (g *generator) lockedAdd(t int, l loc, d uint64, lock int) {
+	g.added[l] += d
+	g.acts[t] = append(g.acts[t], step{op: opLockedAdd, obj: l.obj, word: l.word, val: d, lock: lock})
+}
+
+// checkedReads emits up to cnt checked reads for thread t over the
+// candidate words, skipping words that are unstable this phase (locked,
+// or plain-written by a different thread).
+func (g *generator) checkedReads(t, cnt int, cands []loc) {
+	for i := 0; i < cnt && len(cands) > 0; i++ {
+		l := cands[g.r.Intn(len(cands))]
+		if _, isLocked := g.locked[l]; isLocked {
+			continue
+		}
+		if w, written := g.writer[l]; written && w != t {
+			continue
+		}
+		g.reads[t] = append(g.reads[t], step{op: opRead, obj: l.obj, word: l.word, want: g.mem[l.obj][l.word]})
+	}
+}
+
+// endPhase seals the phase: each thread's checked reads run before its
+// writes, and the model memory advances.
+func (g *generator) endPhase() {
+	for t := range g.p.steps {
+		g.p.steps[t] = append(g.p.steps[t], append(g.reads[t], g.acts[t]...))
+	}
+	for l, v := range g.writes {
+		g.mem[l.obj][l.word] = v
+	}
+	for l, d := range g.added {
+		g.mem[l.obj][l.word] += d
+	}
+}
+
+// finish snapshots the model as the program's expected final memory.
+func (g *generator) finish() {
+	for _, data := range g.mem {
+		g.p.final = append(g.p.final, append([]uint64(nil), data...))
+	}
+}
+
+// genHotObject: every thread hammers one or two small lock-guarded
+// objects with commutative adds; a scratch object rotates through
+// single writers to give checked reads. The lock chain serializes the
+// adds, so the oracle demands each in-section read see the hb-latest
+// sum — the pattern a skipped diff flush breaks first.
+func (g *generator) genHotObject() {
+	p, r := g.p, g.r
+	hot := 1 + r.Intn(2)
+	for o := 0; o < hot; o++ {
+		g.addObject(1 + r.Intn(4))
+	}
+	scratch := g.addObject(2 + r.Intn(4))
+	p.Locks = hot
+	scratchLocs := g.locsOf(scratch)
+	for ph := 0; ph < p.Phases; ph++ {
+		g.beginPhase()
+		for o := 0; o < hot; o++ {
+			g.guard(o, o)
+		}
+		scribe := ph % p.Threads // this phase's scratch writer
+		for k, l := range scratchLocs {
+			g.planWrite(scribe, l, g.value(ph, scribe, k))
+		}
+		for t := 0; t < p.Threads; t++ {
+			g.checkedReads(t, 1+r.Intn(2), scratchLocs)
+			adds := 2 + r.Intn(4)
+			for i := 0; i < adds; i++ {
+				o := r.Intn(hot)
+				g.lockedAdd(t, loc{o, r.Intn(p.Words[o])}, uint64(1+r.Intn(9)), o)
+			}
+		}
+		g.endPhase()
+	}
+}
+
+// genFalseSharing: all threads write the same object every phase, on
+// strided disjoint words — the multiple-writer pattern twin/diff merge
+// must get right — and check-read each other's resting words.
+func (g *generator) genFalseSharing() {
+	p, r := g.p, g.r
+	objs := 1 + r.Intn(2)
+	var all []loc
+	for o := 0; o < objs; o++ {
+		g.addObject(p.Threads * (1 + r.Intn(3)))
+		all = append(all, g.locsOf(o)...)
+	}
+	for ph := 0; ph < p.Phases; ph++ {
+		g.beginPhase()
+		// Thread t owns words ≡ t (mod Threads) of every object: maximal
+		// interleaving, the classic false-sharing layout. Some words rest
+		// each phase and become stable read targets.
+		for _, l := range all {
+			t := l.word % p.Threads
+			if r.Intn(4) == 0 {
+				continue
+			}
+			g.planWrite(t, l, g.value(ph, t, l.obj<<8|l.word))
+		}
+		for t := 0; t < p.Threads; t++ {
+			g.checkedReads(t, 2+r.Intn(3), all)
+		}
+		g.endPhase()
+	}
+}
+
+// genMigratory: one token object migrates around the cluster — each
+// phase's owner reads the whole object (checked against the previous
+// owner's writes) and rewrites it. The lasting single-writer runs are
+// exactly what the adaptive threshold is built to detect.
+func (g *generator) genMigratory() {
+	p, r := g.p, g.r
+	token := g.addObject(2 + r.Intn(7))
+	aux := g.addObject(1 + r.Intn(3))
+	tokenLocs, auxLocs := g.locsOf(token), g.locsOf(aux)
+	// A lasting owner holds the token for a run of phases before it
+	// moves on (run length varies by seed: exercises both sides of the
+	// migration threshold).
+	run := 1 + r.Intn(3)
+	for ph := 0; ph < p.Phases; ph++ {
+		g.beginPhase()
+		owner := (ph / run) % p.Threads
+		for k, l := range tokenLocs {
+			g.planWrite(owner, l, g.value(ph, owner, k))
+		}
+		if ph%2 == 1 {
+			scribe := (owner + 1) % p.Threads
+			for k, l := range auxLocs {
+				g.planWrite(scribe, l, g.value(ph, scribe, 100+k))
+			}
+		}
+		// The owner checks the previous owner's values before rewriting;
+		// bystanders read the aux object.
+		g.checkedReads(owner, len(tokenLocs), tokenLocs)
+		for t := 0; t < p.Threads; t++ {
+			if t != owner {
+				g.checkedReads(t, 1+r.Intn(2), auxLocs)
+			}
+		}
+		g.endPhase()
+	}
+}
+
+// genProducerConsumer: a rotating producer fills slot words in even
+// phases; consumers verify them and post per-consumer acks in odd
+// phases; the producer verifies the acks one phase later.
+func (g *generator) genProducerConsumer() {
+	p, r := g.p, g.r
+	slots := g.addObject(p.Threads * (1 + r.Intn(2)))
+	acks := g.addObject(p.Threads)
+	slotLocs := g.locsOf(slots)
+	for ph := 0; ph < p.Phases; ph++ {
+		g.beginPhase()
+		producer := (ph / 2) % p.Threads
+		if ph%2 == 0 {
+			// Producer fills the slots; everyone else verifies the acks
+			// of the previous round.
+			for k, l := range slotLocs {
+				g.planWrite(producer, l, g.value(ph, producer, k))
+			}
+			for t := 0; t < p.Threads; t++ {
+				if t != producer {
+					g.checkedReads(t, 1, []loc{{acks, t}})
+				}
+			}
+		} else {
+			// Consumers verify the freshly produced slots and ack.
+			for t := 0; t < p.Threads; t++ {
+				if t != producer {
+					g.planWrite(t, loc{acks, t}, g.value(ph, t, 500))
+				}
+			}
+			for t := 0; t < p.Threads; t++ {
+				if t != producer {
+					g.checkedReads(t, 1+r.Intn(3), slotLocs)
+				}
+			}
+			g.checkedReads(producer, 2, slotLocs)
+		}
+		g.endPhase()
+	}
+}
+
+// genStencil: a double-buffered ring of cells; each phase every thread
+// recomputes its block in the destination buffer from the source
+// buffer's neighborhood (checked reads cross block boundaries, the
+// classic stencil sharing pattern).
+func (g *generator) genStencil() {
+	p, r := g.p, g.r
+	cells := p.Threads * (2 + r.Intn(3))
+	bufA := g.addObject(cells)
+	bufB := g.addObject(cells)
+	bufs := [2]int{bufA, bufB}
+	for ph := 0; ph < p.Phases; ph++ {
+		g.beginPhase()
+		src, dst := bufs[ph%2], bufs[(ph+1)%2]
+		per := cells / p.Threads
+		for t := 0; t < p.Threads; t++ {
+			lo, hi := t*per, (t+1)*per
+			if t == p.Threads-1 {
+				hi = cells
+			}
+			for i := lo; i < hi; i++ {
+				left, right := (i+cells-1)%cells, (i+1)%cells
+				// The new value folds the source neighborhood, which the
+				// model knows exactly; the run checks the reads and then
+				// stores the precomputed fold.
+				v := prng.Mix(g.mem[src][left]^g.mem[src][i]<<1^g.mem[src][right]<<2^uint64(ph)) | 1
+				g.reads[t] = append(g.reads[t],
+					step{op: opRead, obj: src, word: left, want: g.mem[src][left]},
+					step{op: opRead, obj: src, word: i, want: g.mem[src][i]},
+					step{op: opRead, obj: src, word: right, want: g.mem[src][right]})
+				g.planWrite(t, loc{dst, i}, v)
+			}
+		}
+		g.endPhase()
+	}
+}
+
+// Result is the outcome of one scenario run.
+type Result struct {
+	Policy  string
+	Locator locator.Kind
+	Metrics stats.Metrics
+	// Digest fingerprints the final shared memory (gos.Cluster.Digest).
+	Digest uint64
+	// ReadsChecked counts engine-verified reads; OracleOps counts the
+	// events the oracle validated.
+	ReadsChecked int
+	OracleOps    int
+	// Mismatches are engine-level failures: a checked read or a final
+	// word that differed from the model.
+	Mismatches []string
+	// Violations are the oracle's LRC-legality findings.
+	Violations []oracle.Violation
+	// InvariantErr is the post-run Cluster.CheckInvariants result.
+	InvariantErr error
+}
+
+// Failed reports whether any of the three verdicts flagged the run.
+func (r *Result) Failed() bool {
+	return len(r.Mismatches) > 0 || len(r.Violations) > 0 || r.InvariantErr != nil
+}
+
+// RunOpts tunes a scenario run.
+type RunOpts struct {
+	// Locator is the home-location mechanism (default forwarding
+	// pointer).
+	Locator locator.Kind
+	// DropDiffs wires the deliberate protocol sabotage through to the
+	// cluster (oracle self-test).
+	DropDiffs bool
+}
+
+// Run executes the program under pol and verifies it with the engine
+// check, the oracle, and the protocol invariants. The error return is
+// reserved for runs that could not complete at all.
+func (p *Program) Run(pol migration.Policy, opts RunOpts) (*Result, error) {
+	cfg := gos.DefaultConfig(p.Nodes)
+	cfg.Policy = pol
+	cfg.Locator = opts.Locator
+	cfg.DebugWire = true
+	cfg.DropDiffs = opts.DropDiffs
+	rec := oracle.NewRecorder(p.Threads)
+	cfg.Observer = rec
+	c := gos.New(cfg)
+	objs := make([]memory.ObjectID, len(p.Words))
+	for o, words := range p.Words {
+		objs[o] = c.AddObject(words, memory.NodeID(p.Homes[o]))
+		data := p.init[o]
+		c.InitObject(objs[o], func(ws []uint64) { copy(ws, data) })
+	}
+	locks := make([]gos.LockID, p.Locks)
+	for l := range locks {
+		locks[l] = c.AddLock(memory.NodeID(l % p.Nodes))
+	}
+	bar := c.AddBarrier(0, p.Threads)
+
+	res := &Result{Policy: pol.Name(), Locator: opts.Locator}
+	var mu sync.Mutex
+	mismatch := func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		if len(res.Mismatches) < 16 {
+			res.Mismatches = append(res.Mismatches, fmt.Sprintf(format, args...))
+		}
+	}
+	var workers []gos.Worker
+	for t := 0; t < p.Threads; t++ {
+		t := t
+		script := p.steps[t]
+		workers = append(workers, gos.Worker{
+			Node: memory.NodeID(t % p.Nodes),
+			Name: fmt.Sprintf("s%d", t),
+			Fn: func(th *gos.Thread) {
+				checked := 0
+				for ph := range script {
+					for _, s := range script[ph] {
+						switch s.op {
+						case opRead:
+							if got := th.Read(objs[s.obj], s.word); got != s.want {
+								mismatch("phase %d thread %d: read obj %d word %d = %#x, want %#x",
+									ph, t, s.obj, s.word, got, s.want)
+							}
+							checked++
+						case opWrite:
+							th.Write(objs[s.obj], s.word, s.val)
+						case opLockedAdd:
+							th.Acquire(locks[s.lock])
+							v := th.Read(objs[s.obj], s.word)
+							th.Write(objs[s.obj], s.word, v+s.val)
+							th.Release(locks[s.lock])
+						}
+					}
+					th.Barrier(bar)
+				}
+				mu.Lock()
+				res.ReadsChecked += checked
+				mu.Unlock()
+			},
+		})
+	}
+	m, err := c.Run(workers)
+	if err != nil {
+		return nil, fmt.Errorf("scenario seed %d (%s) under %s/%s: %w",
+			p.Seed, p.Family, pol.Name(), opts.Locator, err)
+	}
+	res.Metrics = m
+	res.InvariantErr = c.CheckInvariants()
+	res.Digest = c.Digest()
+	for o, id := range objs {
+		got := c.ObjectData(id)
+		for w, want := range p.final[o] {
+			if got[w] != want {
+				mismatch("final obj %d word %d = %#x, want %#x", o, w, got[w], want)
+			}
+		}
+	}
+	res.OracleOps = rec.Len()
+	res.Violations = rec.Check(func(obj memory.ObjectID, word int) uint64 {
+		return p.init[obj][word]
+	})
+	return res, nil
+}
+
+// Policies returns the full builtin policy set at the cluster's default
+// adaptive parameters — the set every scenario is swept across.
+func Policies(nodes int) []migration.Policy {
+	return migration.Builtins(core.DefaultParams(gos.DefaultConfig(nodes).Net.Alpha))
+}
+
+// Locators lists every home-location mechanism.
+var Locators = []locator.Kind{locator.ForwardingPointer, locator.Manager, locator.Broadcast}
+
+// SweepStats aggregates a multi-seed sweep.
+type SweepStats struct {
+	Scenarios    int
+	Runs         int
+	ReadsChecked int
+	OracleOps    int
+	Failures     []string // capped detail lines
+}
+
+// Sweep generates count scenarios starting at seed base and runs each
+// under every builtin migration policy (locator rotating per seed) on
+// the internal/experiment work-stealing pool — the same runner the
+// figure sweeps use — demanding a clean engine check, a clean oracle,
+// intact invariants and a policy-independent digest. par is the worker
+// count (<= 0 means one per core, 1 strictly sequential). Verdicts are
+// evaluated in spec order after the pool drains, so output and failure
+// ordering are identical at any parallelism. progress (optional)
+// receives one line per completed run.
+func Sweep(base uint64, count, par int, progress func(string)) (SweepStats, error) {
+	var st SweepStats
+	fail := func(format string, args ...any) {
+		if len(st.Failures) < 32 {
+			st.Failures = append(st.Failures, fmt.Sprintf(format, args...))
+		}
+	}
+	type runRef struct {
+		p   *Program
+		lc  locator.Kind
+		pol migration.Policy
+	}
+	var refs []runRef
+	var specs []experiment.Spec
+	var results []*Result // sized before the pool runs; slots are per-spec
+	for i := 0; i < count; i++ {
+		seed := base + uint64(i)
+		p := Generate(seed)
+		lc := Locators[seed%uint64(len(Locators))]
+		for _, pol := range Policies(p.Nodes) {
+			ref := runRef{p: p, lc: lc, pol: pol}
+			idx := len(specs)
+			refs = append(refs, ref)
+			specs = append(specs, experiment.Spec{
+				Label: fmt.Sprintf("scenario seed=%d %s nodes=%d %s/%s",
+					seed, p.Family, p.Nodes, pol.Name(), lc),
+				Run: func() (stats.Metrics, error) {
+					res, err := ref.p.Run(ref.pol, RunOpts{Locator: ref.lc})
+					if err != nil {
+						return stats.Metrics{}, err
+					}
+					results[idx] = res
+					return res.Metrics, nil
+				},
+			})
+		}
+	}
+	results = make([]*Result, len(specs))
+	pool := &experiment.Pool{Workers: par}
+	if progress != nil {
+		pool.Progress = func(ev experiment.Event) { progress(ev.String()) }
+	}
+	outcomes := pool.Run(specs)
+	// Evaluate verdicts per scenario block (one scenario's specs are
+	// consecutive, policy varying fastest); the block's first run
+	// anchors the policy-independence digest comparison.
+	for i := 0; i < len(refs); {
+		p := refs[i].p
+		st.Scenarios++
+		if outcomes[i].Err != nil {
+			return st, outcomes[i].Err
+		}
+		anchor := results[i]
+		for ; i < len(refs) && refs[i].p == p; i++ {
+			ref := refs[i]
+			if outcomes[i].Err != nil {
+				return st, outcomes[i].Err
+			}
+			res := results[i]
+			st.Runs++
+			st.ReadsChecked += res.ReadsChecked
+			st.OracleOps += res.OracleOps
+			for _, msg := range res.Mismatches {
+				fail("seed %d %s %s/%s: %s", p.Seed, p.Family, ref.pol.Name(), ref.lc, msg)
+			}
+			for _, v := range res.Violations {
+				fail("seed %d %s %s/%s: oracle: %s", p.Seed, p.Family, ref.pol.Name(), ref.lc, v)
+			}
+			if res.InvariantErr != nil {
+				fail("seed %d %s %s/%s: invariants: %v", p.Seed, p.Family, ref.pol.Name(), ref.lc, res.InvariantErr)
+			}
+			if res.Digest != anchor.Digest {
+				fail("seed %d %s %s/%s: digest %#x differs from first policy's %#x — migration changed results",
+					p.Seed, p.Family, ref.pol.Name(), ref.lc, res.Digest, anchor.Digest)
+			}
+		}
+	}
+	if len(st.Failures) > 0 {
+		return st, fmt.Errorf("scenario sweep: %d failure(s), first: %s", len(st.Failures), st.Failures[0])
+	}
+	return st, nil
+}

@@ -1,0 +1,115 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/locator"
+)
+
+// TestGenerateDeterministic: the same seed must yield byte-identical
+// programs (scripts, init, expected memory) — scenario failures have to
+// be replayable from their seed alone.
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		a, b := Generate(seed), Generate(seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: non-deterministic generation", seed)
+		}
+	}
+}
+
+// TestFamiliesCovered: a modest seed range must exercise every family —
+// a generator regression that collapses the family mix would silently
+// narrow coverage.
+func TestFamiliesCovered(t *testing.T) {
+	seen := map[Family]bool{}
+	for seed := uint64(1); seed <= 64; seed++ {
+		seen[Generate(seed).Family] = true
+	}
+	for f := Family(0); f < numFamilies; f++ {
+		if !seen[f] {
+			t.Errorf("family %s never generated in seeds 1..64", f)
+		}
+	}
+}
+
+// TestProgramsDoRealWork: generated programs must actually exercise the
+// protocol — checked reads, oracle events and (for non-trivial programs)
+// cross-node traffic. A program that degenerates to local no-ops would
+// make the sweep vacuous.
+func TestProgramsDoRealWork(t *testing.T) {
+	pols := Policies(4)
+	var totalChecked, totalOps int
+	var totalMsgs int64
+	for seed := uint64(1); seed <= 10; seed++ {
+		p := Generate(seed)
+		res, err := p.Run(pols[0], RunOpts{Locator: locator.ForwardingPointer})
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalChecked += res.ReadsChecked
+		totalOps += res.OracleOps
+		totalMsgs += res.Metrics.TotalMsgs(true)
+	}
+	if totalChecked < 50 {
+		t.Errorf("only %d checked reads across 10 seeds", totalChecked)
+	}
+	if totalOps < 500 {
+		t.Errorf("only %d oracle ops across 10 seeds", totalOps)
+	}
+	if totalMsgs == 0 {
+		t.Error("no network traffic at all across 10 seeds")
+	}
+}
+
+// TestRunCleanAcrossLocators runs a handful of programs under every
+// locator with the paper's policy: the verdicts must be clean and the
+// digest locator-independent (the locator changes routing, never data).
+func TestRunCleanAcrossLocators(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		p := Generate(seed)
+		at := Policies(p.Nodes)[3] // Adaptive
+		if at.Name() != "AT" {
+			t.Fatalf("builtin order changed: got %s at index 3", at.Name())
+		}
+		var digest uint64
+		for i, lc := range Locators {
+			res, err := p.Run(at, RunOpts{Locator: lc})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range res.Mismatches {
+				t.Errorf("seed %d %s/%s: %s", seed, p.Family, lc, m)
+			}
+			for _, v := range res.Violations {
+				t.Errorf("seed %d %s/%s: oracle: %s", seed, p.Family, lc, v)
+			}
+			if res.InvariantErr != nil {
+				t.Errorf("seed %d %s/%s: %v", seed, p.Family, lc, res.InvariantErr)
+			}
+			if i == 0 {
+				digest = res.Digest
+			} else if res.Digest != digest {
+				t.Errorf("seed %d %s: digest differs under %s", seed, p.Family, lc)
+			}
+		}
+	}
+}
+
+// TestSweepSmoke is the short-range version of the oracle package's
+// 200-seed acceptance sweep, kept here so engine regressions fail in
+// the package that owns them.
+func TestSweepSmoke(t *testing.T) {
+	n := 12
+	if testing.Short() {
+		n = 4
+	}
+	st, err := Sweep(1, n, 0, nil)
+	if err != nil {
+		t.Fatalf("%v (failures: %v)", err, st.Failures)
+	}
+	if st.Runs != st.Scenarios*len(Policies(2)) {
+		t.Errorf("runs %d != scenarios %d × builtin policies", st.Runs, st.Scenarios)
+	}
+}

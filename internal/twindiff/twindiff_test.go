@@ -1,8 +1,8 @@
 package twindiff
 
 import (
-	"math/rand"
 	"reflect"
+	"repro/internal/prng"
 	"testing"
 	"testing/quick"
 )
@@ -158,7 +158,7 @@ func TestMergeCoalescesAdjacent(t *testing.T) {
 }
 
 // randomMutation applies k random word writes to a copy of base.
-func randomMutation(base []uint64, rng *rand.Rand, k int) []uint64 {
+func randomMutation(base []uint64, rng *prng.Rand, k int) []uint64 {
 	out := Twin(base)
 	for i := 0; i < k; i++ {
 		out[rng.Intn(len(out))] = rng.Uint64()
@@ -168,7 +168,7 @@ func randomMutation(base []uint64, rng *rand.Rand, k int) []uint64 {
 
 // Property: apply(Compute(twin, cur), twin) == cur for random mutations.
 func TestDiffRoundTripProperty(t *testing.T) {
-	rng := rand.New(rand.NewSource(7))
+	rng := prng.New(7)
 	for iter := 0; iter < 500; iter++ {
 		n := 1 + rng.Intn(256)
 		base := make([]uint64, n)
@@ -196,7 +196,7 @@ func TestDiffRoundTripProperty(t *testing.T) {
 // applying them in either order — the multiple-writer guarantee that makes
 // false sharing harmless (§1).
 func TestMergeDisjointWritersProperty(t *testing.T) {
-	rng := rand.New(rand.NewSource(11))
+	rng := prng.New(11)
 	for iter := 0; iter < 300; iter++ {
 		n := 2 + rng.Intn(128)
 		base := make([]uint64, n)

@@ -1,8 +1,8 @@
 package wire
 
 import (
-	"math/rand"
 	"reflect"
+	"repro/internal/prng"
 	"testing"
 
 	"repro/internal/core"
@@ -119,7 +119,7 @@ func TestKindString(t *testing.T) {
 }
 
 // randMsg builds a random message for fuzz-style round-trip testing.
-func randMsg(rng *rand.Rand) Msg {
+func randMsg(rng *prng.Rand) Msg {
 	m := Msg{
 		Kind:      Kind(rng.Intn(int(numKinds))),
 		From:      memory.NodeID(rng.Intn(16)),
@@ -181,7 +181,7 @@ func randMsg(rng *rand.Rand) Msg {
 }
 
 func TestRandomRoundTripProperty(t *testing.T) {
-	rng := rand.New(rand.NewSource(42))
+	rng := prng.New(42)
 	for i := 0; i < 500; i++ {
 		m := randMsg(rng)
 		buf := m.Encode(nil)
