@@ -62,32 +62,32 @@ func (a *Array) Cols() int { return a.cols }
 func (a *Array) Object(i int) ObjectID { return a.ids[i] }
 
 // Int64 reads element (i,j) as an int64.
-func (a *Array) Int64(t *Thread, i, j int) int64 {
+func (a *Array) Int64(t Thread, i, j int) int64 {
 	return int64(t.Read(a.ids[i], j))
 }
 
 // SetInt64 writes element (i,j) as an int64.
-func (a *Array) SetInt64(t *Thread, i, j int, v int64) {
+func (a *Array) SetInt64(t Thread, i, j int, v int64) {
 	t.Write(a.ids[i], j, uint64(v))
 }
 
 // Float64 reads element (i,j) as a float64.
-func (a *Array) Float64(t *Thread, i, j int) float64 {
+func (a *Array) Float64(t Thread, i, j int) float64 {
 	return math.Float64frombits(t.Read(a.ids[i], j))
 }
 
 // SetFloat64 writes element (i,j) as a float64.
-func (a *Array) SetFloat64(t *Thread, i, j int, v float64) {
+func (a *Array) SetFloat64(t Thread, i, j int, v float64) {
 	t.Write(a.ids[i], j, math.Float64bits(v))
 }
 
 // RowView faults in row i and returns it for bulk read-only access within
 // the current synchronization interval.
-func (a *Array) RowView(t *Thread, i int) []uint64 { return t.ReadView(a.ids[i]) }
+func (a *Array) RowView(t Thread, i int) []uint64 { return t.ReadView(a.ids[i]) }
 
 // RowWriteView faults row i for writing and returns it for bulk mutation
 // within the current interval.
-func (a *Array) RowWriteView(t *Thread, i int) []uint64 { return t.WriteView(a.ids[i]) }
+func (a *Array) RowWriteView(t Thread, i int) []uint64 { return t.WriteView(a.ids[i]) }
 
 // InitInt64 seeds element (i,j) before the run at no simulated cost.
 func (a *Array) InitInt64(i, j int, v int64) {

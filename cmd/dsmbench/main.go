@@ -69,10 +69,12 @@ func main() {
 	trials := flag.Int("trials", 1, "seeded trials per configuration; tables report mean with min..max spread")
 	check := flag.Bool("check", false, "correctness gate: verify protocol invariants after every run and demand policy-independent final memory where the sweep varies only the policy")
 	scenarios := flag.Int("scenarios", 0, "run N seeded random scenarios through the coherence oracle under every builtin policy, then exit (combine with -seed)")
+	cross := flag.Int("cross", 0, "cross-engine gate: run N seeded scenarios under every builtin policy on BOTH the sim and live engines, demanding clean verdicts and identical final-memory digests (combine with -seed)")
 	seedBase := flag.Uint64("seed", 1, "first seed for -scenarios")
 	csvPath := flag.String("csv", "", "write all produced rows as CSV to this file (\"-\" for stdout)")
 	jsonPath := flag.String("json", "", "write all produced rows as JSON to this file (\"-\" for stdout)")
 	benchJSON := flag.String("benchjson", "", "run the kernel/hot-path microbenchmarks and write a machine-readable report to this file (\"-\" for stdout), e.g. BENCH_kernel.json")
+	benchJSONLive := flag.String("benchjson-live", "", "run the live-engine microbenchmarks (real goroutines over the chanloop transport) and write a machine-readable report to this file (\"-\" for stdout), e.g. BENCH_live.json")
 	flag.Parse()
 
 	if *all {
@@ -85,7 +87,34 @@ func main() {
 			fmt.Fprintln(os.Stderr, "dsmbench:", err)
 			os.Exit(1)
 		}
-		if len(figs) == 0 && len(ablates) == 0 {
+	}
+	if *benchJSONLive != "" {
+		if err := bench.WriteLiveBenchJSON(*benchJSONLive); err != nil {
+			fmt.Fprintln(os.Stderr, "dsmbench:", err)
+			os.Exit(1)
+		}
+	}
+	if (*benchJSON != "" || *benchJSONLive != "") &&
+		len(figs) == 0 && len(ablates) == 0 && *scenarios == 0 && *cross == 0 {
+		return
+	}
+	if *cross > 0 {
+		progress := func(s string) { fmt.Fprintf(os.Stderr, "  [x] %s\n", s) }
+		if *quiet {
+			progress = nil
+		}
+		st, err := scenario.CrossSweep(*seedBase, *cross, *par, progress)
+		fmt.Printf("cross-engine sweep: %d scenarios, %d runs (every builtin policy × sim+live), %d checked reads, %d oracle ops\n",
+			st.Scenarios, st.Runs, st.ReadsChecked, st.OracleOps)
+		if err != nil {
+			for _, f := range st.Failures {
+				fmt.Fprintln(os.Stderr, "dsmbench:", f)
+			}
+			fmt.Fprintln(os.Stderr, "dsmbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("cross-engine sweep: PASS (both engines clean, final memory identical per seed and policy)")
+		if len(figs) == 0 && len(ablates) == 0 && *scenarios == 0 {
 			return
 		}
 	}

@@ -7,6 +7,13 @@
 //	dsmrun -app asp -n 256 -nodes 8 -policy AT
 //	dsmrun -app synthetic -r 16 -updates 2048 -workers 8 -policy FT1
 //	dsmrun -app sor -n 512 -iters 20 -nodes 16 -policy NoHM -locator manager
+//	dsmrun -app asp -n 128 -nodes 8 -engine live -check
+//
+// -engine live runs the same protocol on real goroutines (wall-clock
+// metrics instead of virtual time); -check verifies the protocol
+// invariants, fingerprints the final memory, and replays the run's
+// scalar accesses through the LRC coherence oracle — on either engine,
+// matching the `dsmbench -check` gate.
 package main
 
 import (
@@ -27,7 +34,9 @@ func main() {
 		threads = flag.Int("threads", 0, "threads (0 = one per node)")
 		policy  = flag.String("policy", "AT", "migration policy: AT, FT<k>, NoHM, JUMP, Jackal[k], Jiajia")
 		loc     = flag.String("locator", "fwdptr", "home locator: fwdptr, manager, broadcast")
-		network = flag.String("network", "fastethernet", "network model: fastethernet, gigabit")
+		network = flag.String("network", "fastethernet", "network model: fastethernet, gigabit (sim engine)")
+		engine  = flag.String("engine", "sim", "execution engine: sim (virtual time) or live (real goroutines)")
+		check   = flag.Bool("check", false, "post-run gate: protocol invariants, memory digest, and the LRC coherence oracle")
 		lambda  = flag.Float64("lambda", 0, "feedback coefficient λ (0 = paper's 1)")
 		tinit   = flag.Float64("tinit", 0, "initial threshold (0 = paper's 1)")
 		noPig   = flag.Bool("nopiggyback", false, "disable diff piggybacking on sync messages")
@@ -40,6 +49,7 @@ func main() {
 	o := apps.Options{
 		Nodes: *nodes, Threads: *threads, Policy: *policy, Locator: *loc,
 		Network: *network, Lambda: *lambda, TInit: *tinit, NoPiggyback: *noPig,
+		Engine: *engine, Check: *check, Oracle: *check,
 	}
 	var (
 		res apps.Result
@@ -70,4 +80,8 @@ func main() {
 	}
 	fmt.Println(res.App)
 	fmt.Print(res.Metrics.Summary())
+	if *check {
+		fmt.Printf("check          invariants OK, oracle OK (%d ops), digest %#x\n",
+			res.OracleOps, res.Digest)
+	}
 }

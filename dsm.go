@@ -20,7 +20,7 @@
 //	c := dsm.New(dsm.Config{Nodes: 4, Policy: "AT"})
 //	counter := c.NewObject("counter", 1, 0)
 //	lock := c.NewLock(0)
-//	m, err := c.Run(4, func(t *dsm.Thread) {
+//	m, err := c.Run(4, func(t dsm.Thread) {
 //	    for i := 0; i < 100; i++ {
 //	        t.Acquire(lock)
 //	        t.Write(counter, 0, t.Read(counter, 0)+1)
@@ -39,9 +39,11 @@ import (
 	"repro/internal/core"
 	"repro/internal/gos"
 	"repro/internal/hockney"
+	"repro/internal/live"
 	"repro/internal/locator"
 	"repro/internal/memory"
 	"repro/internal/migration"
+	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -55,8 +57,9 @@ type (
 	// ObjectID identifies a shared object.
 	ObjectID = memory.ObjectID
 	// Thread is an application thread; all shared accesses and
-	// synchronization go through it.
-	Thread = gos.Thread
+	// synchronization go through it. It is an interface implemented by
+	// both execution engines (sim and live).
+	Thread = proto.Thread
 	// Lock names a distributed lock.
 	Lock = gos.LockID
 	// Barrier names a distributed barrier.
@@ -71,6 +74,9 @@ type (
 	Trace = trace.Trace
 	// TraceProfile is one object's classified access pattern.
 	TraceProfile = trace.Profile
+	// Observer receives protocol-level correctness events (the coherence
+	// oracle's hook surface); identical on both engines.
+	Observer = proto.Observer
 )
 
 // Convenient time units (virtual time).
@@ -113,12 +119,29 @@ type Config struct {
 	// beyond the paper): redirected requesters notify their stale entry
 	// points of the true home.
 	PathCompress bool
+	// Engine selects the execution engine: "sim" (default) runs on the
+	// deterministic virtual-time kernel with Hockney message costs —
+	// the engine behind the paper's figures; "live" runs the same
+	// protocol on real goroutines behind a pluggable transport
+	// (internal/live), with wall-clock metrics and real scheduler/
+	// network nondeterminism. Network, Trace and the cost model apply
+	// only to "sim"; a live run reports Wall and LiveMsgs instead of
+	// virtual ExecTime.
+	Engine string
+	// Observer, when non-nil, receives coherence events (oracle hooks)
+	// on either engine.
+	Observer Observer
 }
 
 // Cluster is a configured DSM instance: declare shared state, then Run.
 type Cluster struct {
-	g   *gos.Cluster
-	cfg Config
+	eng     proto.Cluster
+	cfg     Config
+	polName string
+	// initial holds the pre-run home-copy contents, snapshotted at Run
+	// when an Observer is attached, so the oracle can be fed the real
+	// initial values (InitialWord) instead of assuming zeros.
+	initial [][]uint64
 }
 
 // New builds a cluster. It panics on invalid configuration — a config is
@@ -159,56 +182,76 @@ func New(cfg Config) *Cluster {
 	if err != nil {
 		panic("dsm: " + err.Error())
 	}
-	g := gos.New(gos.Config{
-		Nodes:        cfg.Nodes,
-		Net:          net,
-		Policy:       pol,
-		Locator:      loc,
-		Params:       params,
-		Piggyback:    !cfg.NoPiggyback,
-		DebugWire:    cfg.DebugWire,
-		Trace:        cfg.Trace,
-		PathCompress: cfg.PathCompress,
-	})
-	return &Cluster{g: g, cfg: cfg}
+	c := &Cluster{cfg: cfg, polName: pol.Name()}
+	switch cfg.Engine {
+	case "", "sim":
+		c.eng = gos.New(gos.Config{
+			Nodes:        cfg.Nodes,
+			Net:          net,
+			Policy:       pol,
+			Locator:      loc,
+			Params:       params,
+			Piggyback:    !cfg.NoPiggyback,
+			DebugWire:    cfg.DebugWire,
+			Trace:        cfg.Trace,
+			PathCompress: cfg.PathCompress,
+			Observer:     cfg.Observer,
+		})
+	case "live":
+		if cfg.Trace != nil {
+			panic("dsm: Trace is not supported under the live engine (trace recording is not synchronized)")
+		}
+		c.eng = live.New(live.Config{
+			Nodes:        cfg.Nodes,
+			Policy:       pol,
+			Locator:      loc,
+			Params:       params,
+			Piggyback:    !cfg.NoPiggyback,
+			PathCompress: cfg.PathCompress,
+			Observer:     cfg.Observer,
+		})
+	default:
+		panic(fmt.Sprintf("dsm: unknown engine %q (want \"sim\" or \"live\")", cfg.Engine))
+	}
+	return c
 }
 
 // Nodes reports the cluster size.
-func (c *Cluster) Nodes() int { return c.g.Config().Nodes }
+func (c *Cluster) Nodes() int { return c.cfg.Nodes }
 
 // PolicyName reports the active migration policy.
-func (c *Cluster) PolicyName() string { return c.g.Config().Policy.Name() }
+func (c *Cluster) PolicyName() string { return c.polName }
 
 // NewObject declares one shared object of words 64-bit words, homed at
 // (i.e. "created by", §5) node home, and returns its id.
 func (c *Cluster) NewObject(name string, words int, home NodeID) ObjectID {
 	_ = name // names are documentation; ids are dense ints
-	return c.g.AddObject(words, home)
+	return c.eng.AddObject(words, home)
 }
 
 // NewLock declares a distributed lock managed by node home.
-func (c *Cluster) NewLock(home NodeID) Lock { return c.g.AddLock(home) }
+func (c *Cluster) NewLock(home NodeID) Lock { return c.eng.AddLock(home) }
 
 // NewBarrier declares a barrier of parties threads managed by node home.
 func (c *Cluster) NewBarrier(home NodeID, parties int) Barrier {
-	return c.g.AddBarrier(home, parties)
+	return c.eng.AddBarrier(home, parties)
 }
 
 // Init seeds an object's home copy before the run at no simulated cost
 // (pre-existing input data).
-func (c *Cluster) Init(obj ObjectID, fn func(words []uint64)) { c.g.InitObject(obj, fn) }
+func (c *Cluster) Init(obj ObjectID, fn func(words []uint64)) { c.eng.InitObject(obj, fn) }
 
 // HomeOf reports an object's current home (useful after a run, to see
 // where migration placed it).
-func (c *Cluster) HomeOf(obj ObjectID) NodeID { return c.g.HomeOf(obj) }
+func (c *Cluster) HomeOf(obj ObjectID) NodeID { return c.eng.HomeOf(obj) }
 
 // Data returns the authoritative (home-copy) contents of obj after a run.
-func (c *Cluster) Data(obj ObjectID) []uint64 { return c.g.ObjectData(obj) }
+func (c *Cluster) Data(obj ObjectID) []uint64 { return c.eng.ObjectData(obj) }
 
 // Run executes fn on `threads` threads placed round-robin over the nodes
 // (thread i on node i mod Nodes — the paper runs one thread per node) and
 // returns the metrics.
-func (c *Cluster) Run(threads int, fn func(*Thread)) (Metrics, error) {
+func (c *Cluster) Run(threads int, fn func(Thread)) (Metrics, error) {
 	var ws []Worker
 	for i := 0; i < threads; i++ {
 		ws = append(ws, Worker{
@@ -217,26 +260,41 @@ func (c *Cluster) Run(threads int, fn func(*Thread)) (Metrics, error) {
 			Fn:   fn,
 		})
 	}
-	return c.g.Run(ws)
+	return c.RunWorkers(ws)
 }
 
 // RunWorkers executes explicitly placed workers (e.g. the synthetic
 // benchmark's "threads on all nodes other than the start node", §5.2).
 func (c *Cluster) RunWorkers(ws []Worker) (Metrics, error) {
-	return c.g.Run(ws)
+	if c.cfg.Observer != nil && c.initial == nil {
+		// Snapshot the pre-run memory so the oracle can check reads of
+		// never-written words against the true initial values.
+		n := c.eng.NumObjects()
+		c.initial = make([][]uint64, n)
+		for obj := 0; obj < n; obj++ {
+			c.initial[obj] = append([]uint64(nil), c.eng.ObjectData(ObjectID(obj))...)
+		}
+	}
+	return c.eng.Run(ws)
+}
+
+// InitialWord reports the pre-run value of one word, recorded at Run
+// time when an Observer is attached — the oracle.InitFn for this run.
+func (c *Cluster) InitialWord(obj ObjectID, word int) uint64 {
+	return c.initial[obj][word]
 }
 
 // CheckInvariants validates global protocol invariants after a run:
 // exactly one home per object, terminating forwarding chains, no dirty
 // cached copies or leaked twins, plausible copysets, a truthful manager
 // table. Intended for tests, `dsmbench -check` sweeps and debugging.
-func (c *Cluster) CheckInvariants() error { return c.g.CheckInvariants() }
+func (c *Cluster) CheckInvariants() error { return c.eng.CheckInvariants() }
 
 // Digest fingerprints the final shared-memory contents (FNV-1a over
 // every object's home copy in object order). For a deterministic
 // program it must be identical under every migration policy and
 // locator — migration changes cost, never results.
-func (c *Cluster) Digest() uint64 { return c.g.Digest() }
+func (c *Cluster) Digest() uint64 { return c.eng.Digest() }
 
 // NewTrace returns an empty protocol-event trace to attach to
 // Config.Trace.

@@ -12,7 +12,7 @@ func TestQuickstartCounter(t *testing.T) {
 	c := dsm.New(dsm.Config{Nodes: 4, Policy: "AT", DebugWire: true})
 	counter := c.NewObject("counter", 1, 0)
 	lock := c.NewLock(0)
-	m, err := c.Run(4, func(th *dsm.Thread) {
+	m, err := c.Run(4, func(th dsm.Thread) {
 		for i := 0; i < 25; i++ {
 			th.Acquire(lock)
 			th.Write(counter, 0, th.Read(counter, 0)+1)
@@ -92,7 +92,7 @@ func TestArrayTypedAccessors(t *testing.T) {
 	a.InitInt64(0, 1, -5)
 	a.InitFloat64(1, 2, 3.25)
 	bar := c.NewBarrier(0, 2)
-	_, err := c.Run(2, func(th *dsm.Thread) {
+	_, err := c.Run(2, func(th dsm.Thread) {
 		if th.ID() == 0 {
 			if got := a.Int64(th, 0, 1); got != -5 {
 				t.Errorf("Int64 = %d", got)
@@ -133,7 +133,7 @@ func TestSingleWriterRowsMigrateToWriters(t *testing.T) {
 	c := dsm.New(dsm.Config{Nodes: nodes, Policy: "AT", DebugWire: true})
 	a := c.NewArray("m", rows, 8, dsm.RoundRobin)
 	bar := c.NewBarrier(0, nodes)
-	_, err := c.Run(nodes, func(th *dsm.Thread) {
+	_, err := c.Run(nodes, func(th dsm.Thread) {
 		me := th.ID()
 		for it := 0; it < iters; it++ {
 			for r := 0; r < rows; r++ {
@@ -165,7 +165,7 @@ func TestWorkerPlacement(t *testing.T) {
 	for i := 1; i <= 2; i++ {
 		ws = append(ws, dsm.Worker{
 			Node: dsm.NodeID(i), Name: fmt.Sprintf("w%d", i),
-			Fn: func(th *dsm.Thread) {
+			Fn: func(th dsm.Thread) {
 				th.Acquire(lock)
 				th.Write(obj, 0, th.Read(obj, 0)+1)
 				th.Release(lock)
@@ -187,7 +187,7 @@ func TestPoliciesDiffer(t *testing.T) {
 		c := dsm.New(dsm.Config{Nodes: 2, Policy: policy, DebugWire: true})
 		obj := c.NewObject("o", 2, 0)
 		lock := c.NewLock(0)
-		m, err := c.RunWorkers([]dsm.Worker{{Node: 1, Name: "w", Fn: func(th *dsm.Thread) {
+		m, err := c.RunWorkers([]dsm.Worker{{Node: 1, Name: "w", Fn: func(th dsm.Thread) {
 			for i := 0; i < 5; i++ {
 				th.Acquire(lock)
 				th.Write(obj, 0, uint64(i+1))
@@ -220,7 +220,7 @@ func TestTInitAblation(t *testing.T) {
 		c := dsm.New(dsm.Config{Nodes: 2, Policy: "AT", TInit: tinit, DebugWire: true})
 		obj := c.NewObject("o", 2, 0)
 		lock := c.NewLock(0)
-		m, err := c.RunWorkers([]dsm.Worker{{Node: 1, Name: "w", Fn: func(th *dsm.Thread) {
+		m, err := c.RunWorkers([]dsm.Worker{{Node: 1, Name: "w", Fn: func(th dsm.Thread) {
 			for i := 0; i < 3; i++ {
 				th.Acquire(lock)
 				th.Write(obj, 0, uint64(i+1))
@@ -253,7 +253,7 @@ func TestLambdaAblationChangesBehavior(t *testing.T) {
 		lock := c.NewLock(0)
 		bar := c.NewBarrier(1, 3) // manager on an otherwise idle node
 		m, err := c.RunWorkers([]dsm.Worker{
-			{Node: 2, Name: "B", Fn: func(th *dsm.Thread) {
+			{Node: 2, Name: "B", Fn: func(th dsm.Thread) {
 				for i := 0; i < 2; i++ { // 2 intervals: diff, then migrating fault
 					th.Acquire(lock)
 					th.Write(obj, 0, uint64(i+1))
@@ -262,12 +262,12 @@ func TestLambdaAblationChangesBehavior(t *testing.T) {
 				th.Barrier(bar)
 				th.Barrier(bar)
 			}},
-			{Node: 3, Name: "C", Fn: func(th *dsm.Thread) {
+			{Node: 3, Name: "C", Fn: func(th dsm.Thread) {
 				th.Barrier(bar)
 				_ = th.Read(obj, 0) // redirected 0 -> 2: R becomes 1
 				th.Barrier(bar)
 			}},
-			{Node: 0, Name: "D", Fn: func(th *dsm.Thread) {
+			{Node: 0, Name: "D", Fn: func(th dsm.Thread) {
 				th.Barrier(bar)
 				th.Barrier(bar)
 				for i := 0; i < 3; i++ {
@@ -305,7 +305,7 @@ func TestFacadeTracing(t *testing.T) {
 	c := dsm.New(dsm.Config{Nodes: 2, Policy: "NoHM", Trace: tr, DebugWire: true})
 	obj := c.NewObject("o", 2, 0)
 	lock := c.NewLock(0)
-	_, err := c.RunWorkers([]dsm.Worker{{Node: 1, Name: "w", Fn: func(th *dsm.Thread) {
+	_, err := c.RunWorkers([]dsm.Worker{{Node: 1, Name: "w", Fn: func(th dsm.Thread) {
 		for i := 0; i < 4; i++ {
 			th.Acquire(lock)
 			th.Write(obj, 0, uint64(i+1))
@@ -338,7 +338,7 @@ func TestFacadePathCompress(t *testing.T) {
 		lock := c.NewLock(0)
 		bar := c.NewBarrier(0, 2)
 		_, err := c.RunWorkers([]dsm.Worker{
-			{Node: 1, Name: "w", Fn: func(th *dsm.Thread) {
+			{Node: 1, Name: "w", Fn: func(th dsm.Thread) {
 				for i := 0; i < 3; i++ {
 					th.Acquire(lock)
 					th.Write(obj, 0, uint64(i+1))
@@ -346,7 +346,7 @@ func TestFacadePathCompress(t *testing.T) {
 				}
 				th.Barrier(bar)
 			}},
-			{Node: 2, Name: "r", Fn: func(th *dsm.Thread) {
+			{Node: 2, Name: "r", Fn: func(th dsm.Thread) {
 				th.Barrier(bar)
 				th.Acquire(lock)
 				if got := th.Read(obj, 0); got != 3 {
@@ -368,7 +368,7 @@ func TestFacadeMetricsSummary(t *testing.T) {
 	c := dsm.New(dsm.Config{Nodes: 2, DebugWire: true})
 	obj := c.NewObject("o", 1, 0)
 	lock := c.NewLock(0)
-	m, err := c.RunWorkers([]dsm.Worker{{Node: 1, Name: "w", Fn: func(th *dsm.Thread) {
+	m, err := c.RunWorkers([]dsm.Worker{{Node: 1, Name: "w", Fn: func(th dsm.Thread) {
 		th.Acquire(lock)
 		th.Write(obj, 0, 1)
 		th.Release(lock)

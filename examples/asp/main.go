@@ -57,7 +57,7 @@ func run(n, nodes int, policy string) (dsm.Metrics, int64) {
 	}
 	bar := c.NewBarrier(0, nodes)
 
-	metrics, err := c.Run(nodes, func(t *dsm.Thread) {
+	metrics, err := c.Run(nodes, func(t dsm.Thread) {
 		lo := t.ID() * n / nodes
 		hi := (t.ID() + 1) * n / nodes
 		for k := 0; k < n; k++ {

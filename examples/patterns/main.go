@@ -28,7 +28,7 @@ func main() {
 	lock := c.NewLock(0)
 	bar := c.NewBarrier(0, 4)
 
-	_, err := c.Run(4, func(t *dsm.Thread) {
+	_, err := c.Run(4, func(t dsm.Thread) {
 		for round := 0; round < 12; round++ {
 			if t.ID() == 1 {
 				t.Write(lasting, 0, uint64(round+1))
@@ -58,7 +58,7 @@ func main() {
 	shared2 := c2.NewObject("shared", 1, 0)
 	lock2 := c2.NewLock(0)
 	bar2 := c2.NewBarrier(0, 4)
-	m, err := c2.Run(4, func(t *dsm.Thread) {
+	m, err := c2.Run(4, func(t dsm.Thread) {
 		for round := 0; round < 12; round++ {
 			if t.ID() == 1 {
 				t.Write(lasting2, 0, uint64(round+1))

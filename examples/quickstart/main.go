@@ -23,7 +23,7 @@ func main() {
 	lock := c.NewLock(0)
 
 	// Four threads, one per node, each adding 1000 to the counter.
-	metrics, err := c.Run(4, func(t *dsm.Thread) {
+	metrics, err := c.Run(4, func(t dsm.Thread) {
 		for i := 0; i < 1000; i++ {
 			t.Acquire(lock)
 			t.Write(counter, 0, t.Read(counter, 0)+1)

@@ -38,7 +38,7 @@ func run(n, iters, nodes int, locatorKind string) (dsm.Metrics, float64) {
 	bar := c.NewBarrier(0, nodes)
 	const omega = 1.25
 
-	m, err := c.Run(nodes, func(t *dsm.Thread) {
+	m, err := c.Run(nodes, func(t dsm.Thread) {
 		lo := max(1, t.ID()*n/nodes)
 		hi := minInt((t.ID()+1)*n/nodes, n-1)
 		for it := 0; it < iters; it++ {

@@ -46,7 +46,7 @@ func run(r, updates, workers int, policy string) dsm.Metrics {
 		ws = append(ws, dsm.Worker{
 			Node: dsm.NodeID(i),
 			Name: fmt.Sprintf("worker%d", i),
-			Fn: func(t *dsm.Thread) {
+			Fn: func(t dsm.Thread) {
 				for {
 					t.Acquire(lock0)
 					if int(t.Read(counter, 0)) >= updates {

@@ -12,6 +12,7 @@ import (
 
 	dsm "repro"
 
+	"repro/internal/oracle"
 	"repro/internal/prng"
 )
 
@@ -48,6 +49,16 @@ type Options struct {
 	// are verified (a violation fails the run) and Result.Digest carries
 	// the final shared-memory fingerprint for cross-policy comparison.
 	Check bool
+	// Oracle additionally records every scalar access and lock/barrier
+	// event and replays the run through the LRC coherence oracle
+	// (internal/oracle) after it completes; any violation fails the run.
+	// Bulk view accesses bypass the hooks, so the oracle sees an app's
+	// scalar traffic only — still enough to catch mis-ordered
+	// synchronization on either engine.
+	Oracle bool
+	// Engine selects the execution engine: "sim" (default) or "live"
+	// (real goroutines; see dsm.Config.Engine).
+	Engine string
 }
 
 // mixSeed combines an app's canonical input seed with a run's trial
@@ -66,8 +77,16 @@ func (o Options) threads() int {
 	return o.Nodes
 }
 
-func (o Options) cluster() *dsm.Cluster {
-	return dsm.New(dsm.Config{
+// cluster builds the configured DSM instance; threads sizes the oracle
+// recorder (thread ids must be dense in [0, threads)).
+func (o Options) cluster(threads int) (*dsm.Cluster, *oracle.Recorder) {
+	var rec *oracle.Recorder
+	var obs dsm.Observer
+	if o.Oracle {
+		rec = oracle.NewRecorder(threads)
+		obs = rec
+	}
+	c := dsm.New(dsm.Config{
 		Nodes:        o.Nodes,
 		Policy:       o.Policy,
 		Locator:      o.Locator,
@@ -78,7 +97,10 @@ func (o Options) cluster() *dsm.Cluster {
 		DebugWire:    o.DebugWire,
 		Trace:        o.Trace,
 		PathCompress: o.PathCompress,
+		Engine:       o.Engine,
+		Observer:     obs,
 	})
+	return c, rec
 }
 
 // Result is the outcome of one application run.
@@ -88,12 +110,23 @@ type Result struct {
 	// Digest is the final shared-memory fingerprint, filled only when
 	// Options.Check is set (zero otherwise).
 	Digest uint64
+	// OracleOps counts the events the LRC oracle validated, filled only
+	// when Options.Oracle is set.
+	OracleOps int
 }
 
-// finish applies the Options.Check post-run gate shared by every app:
-// protocol invariants must hold, and the final memory is fingerprinted
-// for policy-independence comparison by the sweep layer.
-func finish(c *dsm.Cluster, o Options, res Result) (Result, error) {
+// finish applies the post-run gates shared by every app: under
+// Options.Check the protocol invariants must hold and the final memory
+// is fingerprinted for policy-independence comparison by the sweep
+// layer; under Options.Oracle the recorded event log must be LRC-legal.
+func finish(c *dsm.Cluster, o Options, rec *oracle.Recorder, res Result) (Result, error) {
+	if rec != nil {
+		res.OracleOps = rec.Len()
+		if viols := rec.Check(c.InitialWord); len(viols) > 0 {
+			return Result{}, fmt.Errorf("%s: oracle: %d violation(s), first: %s",
+				res.App, len(viols), viols[0])
+		}
+	}
 	if !o.Check {
 		return res, nil
 	}

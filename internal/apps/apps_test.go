@@ -46,7 +46,7 @@ func TestASPMigrationMovesRowsToWriters(t *testing.T) {
 		})
 	}
 	bar := c.NewBarrier(0, nodes)
-	_, err := c.Run(nodes, func(t2 *dsm.Thread) {
+	_, err := c.Run(nodes, func(t2 dsm.Thread) {
 		lo, hi := blockRange(n, nodes, t2.ID())
 		for k := 0; k < n; k++ {
 			rowK := dist.RowView(t2, k)

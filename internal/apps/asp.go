@@ -66,7 +66,7 @@ func RunASP(n int, o Options) (Result, error) {
 		return Result{}, fmt.Errorf("asp: need n >= 2, got %d", n)
 	}
 	p := o.threads()
-	c := o.cluster()
+	c, rec := o.cluster(p)
 	dist := c.NewArray("dist", n, n, dsm.RoundRobin)
 	g := aspGraph(n, o.Seed)
 	for i := 0; i < n; i++ {
@@ -79,7 +79,7 @@ func RunASP(n int, o Options) (Result, error) {
 	}
 	bar := c.NewBarrier(0, p)
 
-	m, err := c.Run(p, func(t *dsm.Thread) {
+	m, err := c.Run(p, func(t dsm.Thread) {
 		me := t.ID()
 		lo, hi := blockRange(n, p, me)
 		for k := 0; k < n; k++ {
@@ -113,7 +113,7 @@ func RunASP(n int, o Options) (Result, error) {
 			}
 		}
 	}
-	return finish(c, o, Result{App: fmt.Sprintf("ASP(n=%d,p=%d,%s)", n, p, c.PolicyName()), Metrics: m})
+	return finish(c, o, rec, Result{App: fmt.Sprintf("ASP(n=%d,p=%d,%s)", n, p, c.PolicyName()), Metrics: m})
 }
 
 // blockRange splits n items into p contiguous blocks and returns block

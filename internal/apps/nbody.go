@@ -176,7 +176,7 @@ func RunNBody(n, steps int, o Options) (Result, error) {
 		return Result{}, fmt.Errorf("nbody: n must be a positive multiple of %d, got %d", nbodyChunk, n)
 	}
 	p := o.threads()
-	c := o.cluster()
+	c, rec := o.cluster(p)
 	chunks := n / nbodyChunk
 	// Double-buffered chunk arrays; the step's writers fill `next`.
 	bufs := [2]*dsm.Array{
@@ -204,7 +204,7 @@ func RunNBody(n, steps int, o Options) (Result, error) {
 	}
 	bar := c.NewBarrier(0, p)
 
-	m, err := c.Run(p, func(t *dsm.Thread) {
+	m, err := c.Run(p, func(t dsm.Thread) {
 		me := t.ID()
 		// Private mass table: immutable data is read once, as the GOS's
 		// object-pushing optimization would deliver it.
@@ -280,5 +280,5 @@ func RunNBody(n, steps int, o Options) (Result, error) {
 			}
 		}
 	}
-	return finish(c, o, Result{App: fmt.Sprintf("Nbody(n=%d,steps=%d,p=%d,%s)", n, steps, p, c.PolicyName()), Metrics: m})
+	return finish(c, o, rec, Result{App: fmt.Sprintf("Nbody(n=%d,steps=%d,p=%d,%s)", n, steps, p, c.PolicyName()), Metrics: m})
 }

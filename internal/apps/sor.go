@@ -62,7 +62,7 @@ func RunSOR(n, iters int, o Options) (Result, error) {
 		return Result{}, fmt.Errorf("sor: need iters >= 1, got %d", iters)
 	}
 	p := o.threads()
-	c := o.cluster()
+	c, rec := o.cluster(p)
 	grid := c.NewArray("grid", n, n, dsm.RoundRobin)
 	init := sorInit(n, o.Seed)
 	for i := 0; i < n; i++ {
@@ -76,7 +76,7 @@ func RunSOR(n, iters int, o Options) (Result, error) {
 	bar := c.NewBarrier(0, p)
 	const omega = 1.25
 
-	m, err := c.Run(p, func(t *dsm.Thread) {
+	m, err := c.Run(p, func(t dsm.Thread) {
 		me := t.ID()
 		lo, hi := blockRange(n, p, me)
 		// Interior rows only; boundary rows of the grid are fixed.
@@ -119,5 +119,5 @@ func RunSOR(n, iters int, o Options) (Result, error) {
 			}
 		}
 	}
-	return finish(c, o, Result{App: fmt.Sprintf("SOR(n=%d,iters=%d,p=%d,%s)", n, iters, p, c.PolicyName()), Metrics: m})
+	return finish(c, o, rec, Result{App: fmt.Sprintf("SOR(n=%d,iters=%d,p=%d,%s)", n, iters, p, c.PolicyName()), Metrics: m})
 }

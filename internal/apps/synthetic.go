@@ -54,7 +54,7 @@ func RunSynthetic(so SyntheticOpts, o Options) (Result, error) {
 	if compute == 0 {
 		compute = 200 * dsm.Microsecond
 	}
-	c := o.cluster()
+	c, rec := o.cluster(so.Workers)
 	counter := c.NewObject("counter", 1, 0) // created at the start node
 	lock0 := c.NewLock(0)
 	lock1 := c.NewLock(0)
@@ -64,7 +64,7 @@ func RunSynthetic(so SyntheticOpts, o Options) (Result, error) {
 		workers = append(workers, dsm.Worker{
 			Node: dsm.NodeID(i),
 			Name: fmt.Sprintf("worker%d", i),
-			Fn: func(t *dsm.Thread) {
+			Fn: func(t dsm.Thread) {
 				for {
 					t.Acquire(lock0)
 					if int(t.Read(counter, 0)) >= so.TotalUpdates {
@@ -94,5 +94,5 @@ func RunSynthetic(so SyntheticOpts, o Options) (Result, error) {
 			got, so.TotalUpdates, so.TotalUpdates+so.Repetition*so.Workers+so.Repetition)
 	}
 	name := fmt.Sprintf("Synthetic(r=%d,n=%d,w=%d,%s)", so.Repetition, so.TotalUpdates, so.Workers, c.PolicyName())
-	return finish(c, o, Result{App: name, Metrics: m})
+	return finish(c, o, rec, Result{App: name, Metrics: m})
 }

@@ -100,7 +100,7 @@ func RunTSP(cities int, o Options) (Result, error) {
 		return Result{}, fmt.Errorf("tsp: cities must be in [4,14], got %d", cities)
 	}
 	p := o.threads()
-	c := o.cluster()
+	c, rec := o.cluster(p)
 	d := tspDist(cities, o.Seed)
 	greedy := tspGreedy(d)
 	bestObj := c.NewObject("best", 1, 0) // created at the start node
@@ -118,7 +118,7 @@ func RunTSP(cities int, o Options) (Result, error) {
 		}
 	}
 
-	m, err := c.Run(p, func(t *dsm.Thread) {
+	m, err := c.Run(p, func(t dsm.Thread) {
 		me := t.ID()
 		localBest := greedy
 		var sinceCheck int64
@@ -167,7 +167,7 @@ func RunTSP(cities int, o Options) (Result, error) {
 	if got := int64(c.Data(bestObj)[0]); got != want {
 		return Result{}, fmt.Errorf("tsp: best = %d, want optimal %d", got, want)
 	}
-	return finish(c, o, Result{App: fmt.Sprintf("TSP(cities=%d,p=%d,%s)", cities, p, c.PolicyName()), Metrics: m})
+	return finish(c, o, rec, Result{App: fmt.Sprintf("TSP(cities=%d,p=%d,%s)", cities, p, c.PolicyName()), Metrics: m})
 }
 
 // tspBranchLocal is tspBranch starting at a given depth (prefix preset).

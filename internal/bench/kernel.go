@@ -13,6 +13,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/gos"
 	"repro/internal/memory"
+	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/twindiff"
 )
@@ -129,7 +130,7 @@ func RunKernelBenchmarks() []KernelBench {
 		bar := c.AddBarrier(0, nodes)
 		var ws []gos.Worker
 		for i := 0; i < nodes; i++ {
-			ws = append(ws, gos.Worker{Node: memory.NodeID(i), Name: "w", Fn: func(th *gos.Thread) {
+			ws = append(ws, gos.Worker{Node: memory.NodeID(i), Name: "w", Fn: func(th proto.Thread) {
 				for i := 0; i < b.N; i++ {
 					th.Barrier(bar)
 				}

@@ -1,0 +1,147 @@
+// Live-engine microbenchmarks, runnable outside `go test` so
+// cmd/dsmbench can emit a machine-readable BENCH_live.json and the
+// real-goroutine runtime's perf trajectory is tracked across PRs, next
+// to the simulator's BENCH_kernel.json.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/live"
+	"repro/internal/memory"
+	"repro/internal/proto"
+)
+
+// LiveBench is one live-engine measurement. NsPerOp covers one protocol
+// round (barrier episode, lock handoff, counter update); OpsPerSec is
+// the end-to-end rate including all protocol traffic.
+type LiveBench struct {
+	Name       string  `json:"name"`
+	Iterations int     `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+}
+
+// LiveBenchReport is the BENCH_live.json schema.
+type LiveBenchReport struct {
+	GoVersion string      `json:"go_version"`
+	GOARCH    string      `json:"goarch"`
+	NumCPU    int         `json:"num_cpu"`
+	Benches   []LiveBench `json:"benches"`
+}
+
+// RunLiveBenchmarks measures the live runtime's protocol rounds over
+// the in-process chanloop transport: a 4-node barrier episode, a
+// cross-node lock handoff, and shared-counter update throughput (the
+// synthetic benchmark's inner loop). Every message crosses the wire
+// codec, so these numbers include the encode/decode cost a networked
+// transport would pay.
+func RunLiveBenchmarks() []LiveBench {
+	var out []LiveBench
+	add := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		if r.N == 0 {
+			// b.Fatal inside the benchmark yields a zero result; surface
+			// the failure instead of emitting NaN into the JSON report.
+			panic(fmt.Sprintf("bench: live benchmark %s failed (see its b.Fatal output)", name))
+		}
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		out = append(out, LiveBench{
+			Name:       name,
+			Iterations: r.N,
+			NsPerOp:    ns,
+			OpsPerSec:  1e9 / ns,
+		})
+	}
+
+	add("live_barrier_episode", func(b *testing.B) {
+		const nodes = 4
+		c := live.New(live.DefaultConfig(nodes))
+		bar := c.AddBarrier(0, nodes)
+		var ws []proto.Worker
+		for i := 0; i < nodes; i++ {
+			ws = append(ws, proto.Worker{Node: memory.NodeID(i), Name: fmt.Sprintf("w%d", i),
+				Fn: func(th proto.Thread) {
+					for i := 0; i < b.N; i++ {
+						th.Barrier(bar)
+					}
+				}})
+		}
+		b.ResetTimer()
+		if _, err := c.Run(ws); err != nil {
+			b.Fatal(err)
+		}
+	})
+
+	add("live_lock_handoff", func(b *testing.B) {
+		c := live.New(live.DefaultConfig(3))
+		l := c.AddLock(0)
+		var ws []proto.Worker
+		for _, nd := range []memory.NodeID{1, 2} {
+			ws = append(ws, proto.Worker{Node: nd, Name: fmt.Sprintf("w%d", nd),
+				Fn: func(th proto.Thread) {
+					for i := 0; i < b.N; i++ {
+						th.Acquire(l)
+						th.Release(l)
+					}
+				}})
+		}
+		b.ResetTimer()
+		if _, err := c.Run(ws); err != nil {
+			b.Fatal(err)
+		}
+	})
+
+	add("live_locked_update_throughput", func(b *testing.B) {
+		const nodes = 4
+		c := live.New(live.DefaultConfig(nodes))
+		obj := c.AddObject(8, 0)
+		l := c.AddLock(0)
+		per := b.N/nodes + 1
+		var ws []proto.Worker
+		for i := 0; i < nodes; i++ {
+			ws = append(ws, proto.Worker{Node: memory.NodeID(i), Name: fmt.Sprintf("w%d", i),
+				Fn: func(th proto.Thread) {
+					for k := 0; k < per; k++ {
+						th.Acquire(l)
+						th.Write(obj, k%8, th.Read(obj, k%8)+1)
+						th.Release(l)
+					}
+				}})
+		}
+		b.ResetTimer()
+		if _, err := c.Run(ws); err != nil {
+			b.Fatal(err)
+		}
+	})
+
+	return out
+}
+
+// WriteLiveBenchJSON runs the live benchmarks and writes the report to
+// path (stdout when path is "-").
+func WriteLiveBenchJSON(path string) error {
+	rep := LiveBenchReport{
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Benches:   RunLiveBenchmarks(),
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return fmt.Errorf("bench: writing %s: %w", path, err)
+	}
+	return nil
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/locator"
 	"repro/internal/memory"
 	"repro/internal/migration"
+	"repro/internal/proto"
 )
 
 // Micro-benchmarks of the simulated protocol's building blocks. ns/op is
@@ -16,7 +17,7 @@ func BenchmarkFaultRoundTrip(b *testing.B) {
 	obj := c.AddObject(64, 0)
 	l := c.AddLock(1)
 	b.ResetTimer()
-	_, err := c.Run([]Worker{{Node: 1, Name: "w", Fn: func(th *Thread) {
+	_, err := c.Run([]Worker{{Node: 1, Name: "w", Fn: func(th proto.Thread) {
 		for i := 0; i < b.N; i++ {
 			th.Acquire(l) // local lock: invalidates the cached copy
 			_ = th.Read(obj, 0)
@@ -32,7 +33,7 @@ func BenchmarkLockRoundTrip(b *testing.B) {
 	c := New(testConfig(2, migration.NoHM{}, locator.ForwardingPointer))
 	l := c.AddLock(0)
 	b.ResetTimer()
-	_, err := c.Run([]Worker{{Node: 1, Name: "w", Fn: func(th *Thread) {
+	_, err := c.Run([]Worker{{Node: 1, Name: "w", Fn: func(th proto.Thread) {
 		for i := 0; i < b.N; i++ {
 			th.Acquire(l)
 			th.Release(l)
@@ -48,7 +49,7 @@ func BenchmarkWriteFaultAndDiffFlush(b *testing.B) {
 	obj := c.AddObject(512, 0)
 	l := c.AddLock(1)
 	b.ResetTimer()
-	_, err := c.Run([]Worker{{Node: 1, Name: "w", Fn: func(th *Thread) {
+	_, err := c.Run([]Worker{{Node: 1, Name: "w", Fn: func(th proto.Thread) {
 		for i := 0; i < b.N; i++ {
 			th.Acquire(l)
 			th.Write(obj, i%512, uint64(i+1))
@@ -67,7 +68,7 @@ func BenchmarkLocalAccess(b *testing.B) {
 	obj := c.AddObject(64, 0)
 	b.ResetTimer()
 	var sink uint64
-	_, err := c.Run([]Worker{{Node: 0, Name: "w", Fn: func(th *Thread) {
+	_, err := c.Run([]Worker{{Node: 0, Name: "w", Fn: func(th proto.Thread) {
 		for i := 0; i < b.N; i++ {
 			sink += th.Read(obj, i%64)
 		}
@@ -85,7 +86,7 @@ func BenchmarkBarrierEpisode(b *testing.B) {
 	b.ResetTimer()
 	var ws []Worker
 	for i := 0; i < nodes; i++ {
-		ws = append(ws, Worker{Node: memory.NodeID(i), Name: "w", Fn: func(th *Thread) {
+		ws = append(ws, Worker{Node: memory.NodeID(i), Name: "w", Fn: func(th proto.Thread) {
 			for i := 0; i < b.N; i++ {
 				th.Barrier(bar)
 			}

@@ -1,13 +1,18 @@
-// Package gos implements the Global Object Space: the home-based,
-// object-granularity software DSM of the paper (§3), running on the
-// simulated cluster. Each node runs a protocol daemon serving object
-// fault-ins, diff propagation, lock/barrier management and home
-// migration; application threads access shared objects through software
-// access checks exactly as the distributed JVM's JIT-inlined checks do.
+// Package gos runs the Global Object Space — the home-based,
+// object-granularity software DSM of the paper (§3) — on the
+// deterministic virtual-time simulation kernel. Each node runs a
+// protocol daemon serving object fault-ins, diff propagation,
+// lock/barrier management and home migration; application threads
+// access shared objects through software access checks exactly as the
+// distributed JVM's JIT-inlined checks do.
+//
+// The protocol state machines themselves live in internal/proto and are
+// shared with the live goroutine engine (internal/live); this package
+// contributes the virtual-time scheduling, Hockney-model message costs
+// and the deterministic event ordering behind the paper's figures.
 package gos
 
 import (
-	"errors"
 	"fmt"
 
 	"repro/internal/cnet"
@@ -16,18 +21,39 @@ import (
 	"repro/internal/locator"
 	"repro/internal/memory"
 	"repro/internal/migration"
+	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/stats"
-	"repro/internal/syncmgr"
 	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
 // LockID names a distributed lock.
-type LockID uint32
+type LockID = proto.LockID
 
 // BarrierID names a distributed barrier.
-type BarrierID uint32
+type BarrierID = proto.BarrierID
+
+// Observer receives protocol-level correctness events (see
+// proto.Observer; the interface lives with the shared state machines so
+// both engines expose the same hook surface).
+type Observer = proto.Observer
+
+// Worker is one application thread to run.
+type Worker = proto.Worker
+
+// Sentinel invariant violations (see proto.CheckInvariants).
+var (
+	ErrHomeCount     = proto.ErrHomeCount
+	ErrMissingState  = proto.ErrMissingState
+	ErrMissingData   = proto.ErrMissingData
+	ErrDirtyCopy     = proto.ErrDirtyCopy
+	ErrTwinLeak      = proto.ErrTwinLeak
+	ErrStaleCopyset  = proto.ErrStaleCopyset
+	ErrOwnerMismatch = proto.ErrOwnerMismatch
+	ErrForwardCycle  = proto.ErrForwardCycle
+	ErrDeadEndChain  = proto.ErrDeadEndChain
+)
 
 // Config parameterizes one DSM run.
 type Config struct {
@@ -106,13 +132,6 @@ func DefaultConfig(nodes int) Config {
 	}
 }
 
-// Worker is one application thread to run.
-type Worker struct {
-	Node memory.NodeID
-	Name string
-	Fn   func(*Thread)
-}
-
 // Cluster is a configured DSM instance. Build it with New, declare shared
 // objects, locks and barriers, then call Run.
 type Cluster struct {
@@ -120,14 +139,8 @@ type Cluster struct {
 	env      *sim.Env
 	net      *cnet.Network
 	Counters stats.Counters
+	space    *proto.Space
 	nodes    []*Node
-
-	objWords []int
-	objHome0 []memory.NodeID
-
-	lockHome   []memory.NodeID
-	barHome    []memory.NodeID
-	barParties []int
 
 	started bool
 	endTime sim.Time
@@ -165,6 +178,17 @@ func New(cfg Config) *Cluster {
 	}
 	c := &Cluster{cfg: cfg, env: sim.NewEnv()}
 	c.net = cnet.New(c.env, cnet.Config{Model: cfg.Net, Jitter: cfg.Jitter, DebugCheck: cfg.DebugWire}, cfg.Nodes, &c.Counters)
+	c.space = proto.NewSpace(&proto.Shared{
+		Nodes:        cfg.Nodes,
+		Policy:       cfg.Policy,
+		Locator:      cfg.Locator,
+		Params:       cfg.Params,
+		Piggyback:    cfg.Piggyback,
+		PathCompress: cfg.PathCompress,
+		DropDiffs:    cfg.DropDiffs,
+		Trace:        cfg.Trace,
+		Observer:     cfg.Observer,
+	})
 	for i := 0; i < cfg.Nodes; i++ {
 		c.nodes = append(c.nodes, newNode(c, memory.NodeID(i)))
 	}
@@ -177,32 +201,16 @@ func (c *Cluster) Config() Config { return c.cfg }
 // Env exposes the simulation environment (read-only use: clock, stats).
 func (c *Cluster) Env() *sim.Env { return c.env }
 
+// shared returns the engine-independent configuration/layout.
+func (c *Cluster) shared() *proto.Shared { return c.space.S }
+
 // AddObject declares a shared object of words 64-bit words homed at home.
 // Must be called before Run. The home node's copy is authoritative from
 // the start ("when an object is created, the creation node becomes its
 // default home node", §5).
 func (c *Cluster) AddObject(words int, home memory.NodeID) memory.ObjectID {
 	c.mustNotBeStarted()
-	if home < 0 || int(home) >= c.cfg.Nodes {
-		panic(fmt.Sprintf("gos: object home %d out of range", home))
-	}
-	id := memory.ObjectID(len(c.objWords))
-	c.objWords = append(c.objWords, words)
-	c.objHome0 = append(c.objHome0, home)
-	for _, n := range c.nodes {
-		n.growObjects(len(c.objWords))
-		n.loc.SetInitialHome(id, home)
-	}
-	hn := c.nodes[home]
-	o := memory.NewObject(id, words)
-	o.State = memory.ReadOnly
-	hn.cache[id] = o
-	hn.isHome[id] = true
-	hn.homeSt[id] = core.NewState(c.cfg.Params, 8*words)
-	hn.homeList = append(hn.homeList, id)
-	// The manager locator's designated node learns the initial home.
-	c.nodes[locator.ManagerOf(id, c.cfg.Nodes)].mgrHome[id] = home
-	return id
+	return c.space.AddObject(words, home)
 }
 
 // InitObject populates an object's home copy before the run, free of
@@ -210,50 +218,29 @@ func (c *Cluster) AddObject(words int, home memory.NodeID) memory.ObjectID {
 // graph of ASP).
 func (c *Cluster) InitObject(id memory.ObjectID, fn func(words []uint64)) {
 	c.mustNotBeStarted()
-	home := c.objHome0[id]
-	fn(c.nodes[home].cache[id].Data)
+	c.space.InitObject(id, fn)
 }
 
 // AddLock declares a distributed lock managed by node home.
 func (c *Cluster) AddLock(home memory.NodeID) LockID {
 	c.mustNotBeStarted()
-	id := LockID(len(c.lockHome))
-	c.lockHome = append(c.lockHome, home)
-	c.nodes[home].locks[uint32(id)] = syncmgr.NewLock()
-	return id
+	return c.space.AddLock(home)
 }
 
 // AddBarrier declares a barrier of parties threads managed by node home.
 func (c *Cluster) AddBarrier(home memory.NodeID, parties int) BarrierID {
 	c.mustNotBeStarted()
-	id := BarrierID(len(c.barHome))
-	c.barHome = append(c.barHome, home)
-	c.barParties = append(c.barParties, parties)
-	c.nodes[home].bars[uint32(id)] = syncmgr.NewBarrier(parties)
-	return id
+	return c.space.AddBarrier(home, parties)
 }
 
 // NumObjects reports the number of declared shared objects.
-func (c *Cluster) NumObjects() int { return len(c.objWords) }
+func (c *Cluster) NumObjects() int { return c.space.NumObjects() }
 
 // HomeOf reports the current home of obj (post-run inspection).
-func (c *Cluster) HomeOf(obj memory.ObjectID) memory.NodeID {
-	for _, n := range c.nodes {
-		if n.isHome[obj] {
-			return n.id
-		}
-	}
-	return memory.NoNode
-}
+func (c *Cluster) HomeOf(obj memory.ObjectID) memory.NodeID { return c.space.HomeOf(obj) }
 
 // ObjectData returns the authoritative (home) copy of obj's data.
-func (c *Cluster) ObjectData(obj memory.ObjectID) []uint64 {
-	h := c.HomeOf(obj)
-	if h == memory.NoNode {
-		panic(fmt.Sprintf("gos: object %d has no home", obj))
-	}
-	return c.nodes[h].cache[obj].Data
-}
+func (c *Cluster) ObjectData(obj memory.ObjectID) []uint64 { return c.space.ObjectData(obj) }
 
 // Run executes the workers to completion and returns the run metrics.
 func (c *Cluster) Run(workers []Worker) (stats.Metrics, error) {
@@ -314,149 +301,13 @@ func (c *Cluster) mustNotBeStarted() {
 	}
 }
 
-// Sentinel invariant violations, one per violation class CheckInvariants
-// detects. Tests match them with errors.Is; the wrapping message carries
-// the object and node involved.
-var (
-	// ErrHomeCount: an object has zero or several homes.
-	ErrHomeCount = errors.New("object must have exactly one home")
-	// ErrMissingState: a home node lacks the per-object migration state.
-	ErrMissingState = errors.New("home lacks migration state")
-	// ErrMissingData: a home node lacks the authoritative data copy.
-	ErrMissingData = errors.New("home lacks data")
-	// ErrDirtyCopy: a cached copy still holds unflushed writes after the
-	// post-run quiesce.
-	ErrDirtyCopy = errors.New("dirty cached copy after quiesce")
-	// ErrTwinLeak: a clean copy (or a home copy, which never twins)
-	// retains a twin buffer.
-	ErrTwinLeak = errors.New("twin retained on clean copy")
-	// ErrStaleCopyset: a copyset survives where none may exist (on a
-	// non-home node) or names an impossible sharer (the home itself, or
-	// a node outside the cluster).
-	ErrStaleCopyset = errors.New("stale copyset entry")
-	// ErrOwnerMismatch: home/ownership metadata disagree — migration
-	// state on a non-home node, or (under the manager locator) a manager
-	// table entry that does not name the true home.
-	ErrOwnerMismatch = errors.New("home/ownership metadata mismatch")
-	// ErrForwardCycle: a forwarding chain revisits a node.
-	ErrForwardCycle = errors.New("forwarding cycle")
-	// ErrDeadEndChain: a forwarding chain ends before the home under the
-	// forwarding-pointer locator (which has no miss recovery).
-	ErrDeadEndChain = errors.New("forwarding chain dead end")
-)
+// CheckInvariants validates global protocol invariants after a run (see
+// proto.Space.CheckInvariants).
+func (c *Cluster) CheckInvariants() error { return c.space.CheckInvariants() }
 
-// CheckInvariants validates global protocol invariants after a run:
-// every object has exactly one home, with migration state and data there
-// and nowhere else; no dirty cached copies or leaked twins remain; home
-// copysets name only plausible sharers; the manager locator's table
-// resolves to the true home; and every node's hint chain terminates at
-// the home without cycles. It returns the first violation, wrapping the
-// matching sentinel error (ErrHomeCount, ErrTwinLeak, ...).
-func (c *Cluster) CheckInvariants() error {
-	for obj := 0; obj < len(c.objWords); obj++ {
-		id := memory.ObjectID(obj)
-		homes := 0
-		var home memory.NodeID
-		for _, n := range c.nodes {
-			if n.isHome[id] {
-				homes++
-				home = n.id
-				if n.homeSt[id] == nil {
-					return fmt.Errorf("gos: object %d home on node %d: %w", obj, n.id, ErrMissingState)
-				}
-				if n.cache[id] == nil {
-					return fmt.Errorf("gos: object %d home on node %d: %w", obj, n.id, ErrMissingData)
-				}
-			}
-		}
-		if homes != 1 {
-			return fmt.Errorf("gos: object %d has %d homes: %w", obj, homes, ErrHomeCount)
-		}
-		for _, n := range c.nodes {
-			if o := n.cache[id]; o != nil {
-				if o.Dirty {
-					return fmt.Errorf("gos: object %d on node %d: %w", obj, n.id, ErrDirtyCopy)
-				}
-				if o.Twin != nil {
-					return fmt.Errorf("gos: object %d on node %d: %w", obj, n.id, ErrTwinLeak)
-				}
-			}
-			if !n.isHome[id] {
-				if n.homeSt[id] != nil {
-					return fmt.Errorf("gos: object %d: migration state on non-home node %d: %w",
-						obj, n.id, ErrOwnerMismatch)
-				}
-				if len(n.copyset[id]) > 0 {
-					return fmt.Errorf("gos: object %d: copyset on non-home node %d: %w",
-						obj, n.id, ErrStaleCopyset)
-				}
-			} else {
-				for sharer, ok := range n.copyset[id] {
-					if !ok {
-						continue
-					}
-					if sharer == n.id || sharer < 0 || int(sharer) >= c.cfg.Nodes {
-						return fmt.Errorf("gos: object %d: copyset of home %d names node %d: %w",
-							obj, n.id, sharer, ErrStaleCopyset)
-					}
-				}
-			}
-			// Chase the forwarding chain from this node's belief.
-			cur := n.loc.Hint(id)
-			if cur == memory.NoNode {
-				cur = c.objHome0[id]
-			}
-			for hops := 0; cur != home; hops++ {
-				if hops > c.cfg.Nodes {
-					return fmt.Errorf("gos: object %d from node %d: %w", obj, n.id, ErrForwardCycle)
-				}
-				next := c.nodes[cur].loc.Forward(id)
-				if next == memory.NoNode {
-					if c.cfg.Locator == locator.ForwardingPointer {
-						return fmt.Errorf("gos: object %d from node %d at node %d: %w",
-							obj, n.id, cur, ErrDeadEndChain)
-					}
-					break // manager/broadcast locators recover via miss
-				}
-				cur = next
-			}
-		}
-		if c.cfg.Locator == locator.Manager {
-			mgr := c.nodes[locator.ManagerOf(id, c.cfg.Nodes)]
-			if got := mgr.mgrHome[id]; got != home {
-				return fmt.Errorf("gos: object %d: manager %d believes home %d, actual %d: %w",
-					obj, mgr.id, got, home, ErrOwnerMismatch)
-			}
-		}
-	}
-	return nil
-}
-
-// Digest fingerprints the final shared-memory contents: an FNV-1a hash
-// over every object's authoritative (home) copy, in object order. Two
-// runs of the same deterministic program must produce equal digests
-// under every migration policy and locator — the policy-independence
-// invariant the oracle and `dsmbench -check` enforce.
-func (c *Cluster) Digest() uint64 {
-	const prime = 1099511628211
-	h := uint64(14695981039346656037)
-	mix := func(v uint64) {
-		for i := 0; i < 8; i++ {
-			h ^= v & 0xff
-			h *= prime
-			v >>= 8
-		}
-	}
-	for obj := range c.objWords {
-		data := c.ObjectData(memory.ObjectID(obj))
-		mix(uint64(obj))
-		mix(uint64(len(data)))
-		for _, w := range data {
-			mix(w)
-		}
-	}
-	return h
-}
+// Digest fingerprints the final shared-memory contents (see
+// proto.Space.Digest).
+func (c *Cluster) Digest() uint64 { return c.space.Digest() }
 
 // quiesced reports whether no protocol activity remains anywhere.
 func (c *Cluster) quiesced() bool {

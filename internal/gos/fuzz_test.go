@@ -9,6 +9,7 @@ import (
 	"repro/internal/memory"
 	"repro/internal/migration"
 	"repro/internal/prng"
+	"repro/internal/proto"
 )
 
 // fuzzProgram is a randomly generated, barrier-structured shared-memory
@@ -89,7 +90,7 @@ func (p fuzzProgram) run(t *testing.T, pol migration.Policy, loc locator.Kind) [
 	for th := 0; th < p.nodes; th++ {
 		th := th
 		workers = append(workers, Worker{Node: memory.NodeID(th), Name: fmt.Sprintf("f%d", th),
-			Fn: func(tt *Thread) {
+			Fn: func(tt proto.Thread) {
 				for ph := 0; ph < p.phases; ph++ {
 					// Verify one value from a previous phase. Only objects
 					// with no writer in the *current* phase are race-free:
@@ -250,7 +251,7 @@ func TestLockFuzz(t *testing.T) {
 			for th := 0; th < nodes; th++ {
 				seq := targets[th]
 				workers = append(workers, Worker{Node: memory.NodeID(th), Name: fmt.Sprintf("l%d", th),
-					Fn: func(tt *Thread) {
+					Fn: func(tt proto.Thread) {
 						for _, obj := range seq {
 							tt.Acquire(lock)
 							tt.Write(objs[obj], 0, tt.Read(objs[obj], 0)+1)

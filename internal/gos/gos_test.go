@@ -8,6 +8,7 @@ import (
 	"repro/internal/locator"
 	"repro/internal/memory"
 	"repro/internal/migration"
+	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -34,7 +35,7 @@ func TestLocalAccessNoMessages(t *testing.T) {
 	c := New(testConfig(1, migration.NoHM{}, locator.ForwardingPointer))
 	obj := c.AddObject(4, 0)
 	l := c.AddLock(0)
-	m := mustRun(t, c, []Worker{{Node: 0, Name: "t0", Fn: func(th *Thread) {
+	m := mustRun(t, c, []Worker{{Node: 0, Name: "t0", Fn: func(th proto.Thread) {
 		th.Acquire(l)
 		th.Write(obj, 0, 42)
 		th.Release(l)
@@ -56,7 +57,7 @@ func TestRemoteFaultInAndDiff(t *testing.T) {
 	c := New(testConfig(2, migration.NoHM{}, locator.ForwardingPointer))
 	obj := c.AddObject(8, 0) // homed at node 0
 	l := c.AddLock(1)        // lock managed elsewhere so diffs don't piggyback
-	m := mustRun(t, c, []Worker{{Node: 1, Name: "t1", Fn: func(th *Thread) {
+	m := mustRun(t, c, []Worker{{Node: 1, Name: "t1", Fn: func(th proto.Thread) {
 		th.Acquire(l)
 		th.Write(obj, 3, 7)
 		th.Release(l)
@@ -82,7 +83,7 @@ func TestPiggybackWhenLockAndObjectShareHome(t *testing.T) {
 	c := New(testConfig(2, migration.NoHM{}, locator.ForwardingPointer))
 	obj := c.AddObject(8, 0)
 	l := c.AddLock(0) // lock home == object home == node 0 (§5.2)
-	m := mustRun(t, c, []Worker{{Node: 1, Name: "t1", Fn: func(th *Thread) {
+	m := mustRun(t, c, []Worker{{Node: 1, Name: "t1", Fn: func(th proto.Thread) {
 		th.Acquire(l)
 		th.Write(obj, 0, 1)
 		th.Release(l)
@@ -102,7 +103,7 @@ func TestFT1MigratesToSingleWriter(t *testing.T) {
 	c := New(testConfig(2, migration.Fixed{T: 1}, locator.ForwardingPointer))
 	obj := c.AddObject(8, 0)
 	l := c.AddLock(1)
-	m := mustRun(t, c, []Worker{{Node: 1, Name: "t1", Fn: func(th *Thread) {
+	m := mustRun(t, c, []Worker{{Node: 1, Name: "t1", Fn: func(th proto.Thread) {
 		for i := 0; i < 4; i++ {
 			th.Acquire(l)
 			th.Write(obj, 0, uint64(i+1))
@@ -132,7 +133,7 @@ func TestForwardingChainCountsRedirections(t *testing.T) {
 	obj := c.AddObject(8, 0)
 	l := c.AddLock(3)
 	b := c.AddBarrier(3, 3)
-	step := func(th *Thread, times int) {
+	step := func(th proto.Thread, times int) {
 		for i := 0; i < times; i++ {
 			th.Acquire(l)
 			th.Write(obj, 0, uint64(th.ID()*100+i+1)) // non-zero: empty diffs are skipped
@@ -141,24 +142,24 @@ func TestForwardingChainCountsRedirections(t *testing.T) {
 	}
 	var hops3 int64
 	m := mustRun(t, c, []Worker{
-		{Node: 1, Name: "w1", Fn: func(th *Thread) {
+		{Node: 1, Name: "w1", Fn: func(th proto.Thread) {
 			step(th, 2) // drags home to node 1
 			th.Barrier(b)
 			th.Barrier(b)
 		}},
-		{Node: 2, Name: "w2", Fn: func(th *Thread) {
+		{Node: 2, Name: "w2", Fn: func(th proto.Thread) {
 			th.Barrier(b) // wait for w1's episode
 			step(th, 2)   // drags home to node 2
 			th.Barrier(b)
 		}},
-		{Node: 3, Name: "r3", Fn: func(th *Thread) {
+		{Node: 3, Name: "r3", Fn: func(th proto.Thread) {
 			th.Barrier(b)
 			th.Barrier(b)
-			before := th.c.Counters.RedirectHops
+			before := c.Counters.RedirectHops
 			th.Acquire(l)
 			_ = th.Read(obj, 0)
 			th.Release(l)
-			hops3 = th.c.Counters.RedirectHops - before
+			hops3 = c.Counters.RedirectHops - before
 		}},
 	})
 	if home := c.HomeOf(obj); home != 2 {
@@ -187,7 +188,7 @@ func runTwoWriterPingPong(t *testing.T, pol migration.Policy, rounds int) (stats
 	obj := c.AddObject(8, 0)
 	l0 := c.AddLock(0)
 	l1 := c.AddLock(0)
-	worker := func(th *Thread) {
+	worker := func(th proto.Thread) {
 		for i := 0; i < rounds; i++ {
 			th.Acquire(l0)
 			for j := 0; j < 2; j++ {
@@ -234,7 +235,7 @@ func TestAdaptiveMatchesFT1OnLastingPattern(t *testing.T) {
 		c := New(testConfig(2, pol, locator.ForwardingPointer))
 		obj := c.AddObject(8, 0)
 		l := c.AddLock(1)
-		m := mustRun(t, c, []Worker{{Node: 1, Name: "w", Fn: func(th *Thread) {
+		m := mustRun(t, c, []Worker{{Node: 1, Name: "w", Fn: func(th proto.Thread) {
 			for i := 0; i < 10; i++ {
 				th.Acquire(l)
 				th.Write(obj, 0, uint64(i+1))
@@ -260,7 +261,7 @@ func TestLockMutualExclusion(t *testing.T) {
 	var workers []Worker
 	for i := 0; i < 4; i++ {
 		workers = append(workers, Worker{Node: memory.NodeID(i), Name: fmt.Sprintf("w%d", i),
-			Fn: func(th *Thread) {
+			Fn: func(th proto.Thread) {
 				for k := 0; k < perThread; k++ {
 					th.Acquire(l)
 					th.Write(obj, 0, th.Read(obj, 0)+1)
@@ -289,7 +290,7 @@ func TestBarrierCoherence(t *testing.T) {
 	for i := 0; i < nodes; i++ {
 		i := i
 		workers = append(workers, Worker{Node: memory.NodeID(i), Name: fmt.Sprintf("w%d", i),
-			Fn: func(th *Thread) {
+			Fn: func(th proto.Thread) {
 				// Write my object (homed elsewhere for i>0).
 				th.Write(objs[(i+1)%nodes], 0, uint64(100+i))
 				th.Barrier(b) // flush + global sync
@@ -316,7 +317,7 @@ func TestManagerLocator(t *testing.T) {
 	l := c.AddLock(0)
 	b := c.AddBarrier(0, 2)
 	m := mustRun(t, c, []Worker{
-		{Node: 1, Name: "w", Fn: func(th *Thread) {
+		{Node: 1, Name: "w", Fn: func(th proto.Thread) {
 			for i := 0; i < 3; i++ {
 				th.Acquire(l)
 				th.Write(obj, 0, uint64(i+1))
@@ -324,7 +325,7 @@ func TestManagerLocator(t *testing.T) {
 			}
 			th.Barrier(b)
 		}},
-		{Node: 2, Name: "r", Fn: func(th *Thread) {
+		{Node: 2, Name: "r", Fn: func(th proto.Thread) {
 			th.Barrier(b)
 			th.Acquire(l)
 			if got := th.Read(obj, 0); got != 3 {
@@ -350,7 +351,7 @@ func TestBroadcastLocator(t *testing.T) {
 	l := c.AddLock(0)
 	b := c.AddBarrier(0, 2)
 	m := mustRun(t, c, []Worker{
-		{Node: 1, Name: "w", Fn: func(th *Thread) {
+		{Node: 1, Name: "w", Fn: func(th proto.Thread) {
 			for i := 0; i < 3; i++ {
 				th.Acquire(l)
 				th.Write(obj, 0, uint64(i+10))
@@ -358,7 +359,7 @@ func TestBroadcastLocator(t *testing.T) {
 			}
 			th.Barrier(b)
 		}},
-		{Node: 2, Name: "r", Fn: func(th *Thread) {
+		{Node: 2, Name: "r", Fn: func(th proto.Thread) {
 			th.Barrier(b)
 			th.Acquire(l)
 			if got := th.Read(obj, 0); got != 12 {
@@ -380,14 +381,14 @@ func TestJUMPMigratesOnEveryRemoteFetch(t *testing.T) {
 	obj := c.AddObject(8, 0)
 	l := c.AddLock(0)
 	m := mustRun(t, c, []Worker{
-		{Node: 1, Name: "a", Fn: func(th *Thread) {
+		{Node: 1, Name: "a", Fn: func(th proto.Thread) {
 			for i := 0; i < 3; i++ {
 				th.Acquire(l)
 				_ = th.Read(obj, 0)
 				th.Release(l)
 			}
 		}},
-		{Node: 2, Name: "b", Fn: func(th *Thread) {
+		{Node: 2, Name: "b", Fn: func(th proto.Thread) {
 			for i := 0; i < 3; i++ {
 				th.Acquire(l)
 				_ = th.Read(obj, 0)
@@ -415,24 +416,24 @@ func TestJiajiaConcurrentBarriersKeepPins(t *testing.T) {
 	barB := c.AddBarrier(1, 2)
 	l := c.AddLock(1)
 	m := mustRun(t, c, []Worker{
-		{Node: 0, Name: "t0", Fn: func(th *Thread) {
+		{Node: 0, Name: "t0", Fn: func(th proto.Thread) {
 			th.Write(obj, 0, 7) // sole writer: A's go will move the home here
 			th.Barrier(barA)
 			if got := th.Read(obj, 0); got != 7 {
 				t.Errorf("read %d after home transfer, want 7", got)
 			}
 		}},
-		{Node: 1, Name: "t1", Fn: func(th *Thread) {
+		{Node: 1, Name: "t1", Fn: func(th proto.Thread) {
 			th.Compute(50 * sim.Millisecond) // barrier A completes last
 			th.Barrier(barA)
 		}},
-		{Node: 0, Name: "t2", Fn: func(th *Thread) {
+		{Node: 0, Name: "t2", Fn: func(th proto.Thread) {
 			th.Compute(5 * sim.Millisecond)
 			th.Barrier(barB) // B's go reaches node 0 while t0 is parked at A
 			th.Acquire(l)    // begins an interval: clean unpinned copies drop
 			th.Release(l)
 		}},
-		{Node: 1, Name: "t3", Fn: func(th *Thread) {
+		{Node: 1, Name: "t3", Fn: func(th proto.Thread) {
 			th.Compute(5 * sim.Millisecond)
 			th.Barrier(barB)
 		}},
@@ -455,11 +456,11 @@ func TestJiajiaBarrierMigration(t *testing.T) {
 	obj := c.AddObject(8, 0)
 	b := c.AddBarrier(0, 2)
 	m := mustRun(t, c, []Worker{
-		{Node: 0, Name: "idle", Fn: func(th *Thread) {
+		{Node: 0, Name: "idle", Fn: func(th proto.Thread) {
 			th.Barrier(b)
 			th.Barrier(b)
 		}},
-		{Node: 1, Name: "w", Fn: func(th *Thread) {
+		{Node: 1, Name: "w", Fn: func(th proto.Thread) {
 			th.Write(obj, 0, 5)
 			th.Barrier(b)
 			// Next interval: writes are now local home writes.
@@ -505,7 +506,7 @@ func TestExecTimeAdvances(t *testing.T) {
 
 func TestComputeAccountsTime(t *testing.T) {
 	c := New(testConfig(1, migration.NoHM{}, locator.ForwardingPointer))
-	m := mustRun(t, c, []Worker{{Node: 0, Name: "t", Fn: func(th *Thread) {
+	m := mustRun(t, c, []Worker{{Node: 0, Name: "t", Fn: func(th proto.Thread) {
 		th.Compute(5_000_000) // 5 ms
 	}}})
 	if m.ExecTime < 5_000_000 {
@@ -519,7 +520,7 @@ func TestHomeReadMonitoring(t *testing.T) {
 	c := New(testConfig(2, migration.NoHM{}, locator.ForwardingPointer))
 	obj := c.AddObject(4, 0)
 	l := c.AddLock(1)
-	m := mustRun(t, c, []Worker{{Node: 0, Name: "t", Fn: func(th *Thread) {
+	m := mustRun(t, c, []Worker{{Node: 0, Name: "t", Fn: func(th proto.Thread) {
 		for i := 0; i < 3; i++ {
 			th.Acquire(l)
 			_ = th.Read(obj, 0)
@@ -538,7 +539,7 @@ func TestExclusiveHomeWriteFeedback(t *testing.T) {
 	c := New(testConfig(2, migration.Fixed{T: 1}, locator.ForwardingPointer))
 	obj := c.AddObject(4, 0)
 	l := c.AddLock(1)
-	m := mustRun(t, c, []Worker{{Node: 1, Name: "w", Fn: func(th *Thread) {
+	m := mustRun(t, c, []Worker{{Node: 1, Name: "w", Fn: func(th proto.Thread) {
 		for i := 0; i < 6; i++ {
 			th.Acquire(l)
 			th.Write(obj, 0, uint64(i+1))
@@ -579,7 +580,7 @@ func TestInitObjectSeedsHomeCopy(t *testing.T) {
 	obj := c.AddObject(4, 0)
 	c.InitObject(obj, func(w []uint64) { w[2] = 99 })
 	l := c.AddLock(0)
-	mustRun(t, c, []Worker{{Node: 1, Name: "r", Fn: func(th *Thread) {
+	mustRun(t, c, []Worker{{Node: 1, Name: "r", Fn: func(th proto.Thread) {
 		th.Acquire(l)
 		if got := th.Read(obj, 2); got != 99 {
 			t.Errorf("read %d, want 99", got)
@@ -594,7 +595,7 @@ func TestViewAccessorsShareBacking(t *testing.T) {
 	c := New(testConfig(2, migration.NoHM{}, locator.ForwardingPointer))
 	obj := c.AddObject(4, 0)
 	l := c.AddLock(1)
-	mustRun(t, c, []Worker{{Node: 1, Name: "t", Fn: func(th *Thread) {
+	mustRun(t, c, []Worker{{Node: 1, Name: "t", Fn: func(th proto.Thread) {
 		th.Acquire(l)
 		w := th.WriteView(obj)
 		w[2] = 9
@@ -611,7 +612,7 @@ func TestViewAccessorsShareBacking(t *testing.T) {
 
 func TestComputeNegativeIgnored(t *testing.T) {
 	c := New(testConfig(1, migration.NoHM{}, locator.ForwardingPointer))
-	m := mustRun(t, c, []Worker{{Node: 0, Name: "t", Fn: func(th *Thread) {
+	m := mustRun(t, c, []Worker{{Node: 0, Name: "t", Fn: func(th proto.Thread) {
 		th.Compute(-5)
 		th.Compute(1000)
 	}}})
@@ -622,7 +623,7 @@ func TestComputeNegativeIgnored(t *testing.T) {
 
 func TestThreadIdentity(t *testing.T) {
 	c := New(testConfig(2, migration.NoHM{}, locator.ForwardingPointer))
-	mustRun(t, c, []Worker{{Node: 1, Name: "ident", Fn: func(th *Thread) {
+	mustRun(t, c, []Worker{{Node: 1, Name: "ident", Fn: func(th proto.Thread) {
 		if th.ID() != 0 || th.Node() != 1 || th.Name() != "ident" {
 			t.Errorf("identity: id=%d node=%d name=%q", th.ID(), th.Node(), th.Name())
 		}
@@ -662,7 +663,7 @@ func TestMultipleThreadsPerNode(t *testing.T) {
 	var ws []Worker
 	for i := 0; i < 4; i++ {
 		ws = append(ws, Worker{Node: memory.NodeID(i % 2), Name: fmt.Sprintf("t%d", i),
-			Fn: func(th *Thread) {
+			Fn: func(th proto.Thread) {
 				for k := 0; k < per; k++ {
 					th.Acquire(l)
 					th.Write(obj, 0, th.Read(obj, 0)+1)
@@ -687,7 +688,7 @@ func TestComputeOrdersBeforeMessages(t *testing.T) {
 	c := New(testConfig(2, migration.NoHM{}, locator.ForwardingPointer))
 	l := c.AddLock(0)
 	var granted sim.Time
-	mustRun(t, c, []Worker{{Node: 1, Name: "t", Fn: func(th *Thread) {
+	mustRun(t, c, []Worker{{Node: 1, Name: "t", Fn: func(th proto.Thread) {
 		th.Compute(sim.Millisecond)
 		th.Acquire(l)
 		granted = th.Now()

@@ -8,6 +8,7 @@ import (
 	"repro/internal/locator"
 	"repro/internal/memory"
 	"repro/internal/migration"
+	"repro/internal/proto"
 )
 
 // invariantCluster runs a minimal two-node workload that leaves the
@@ -19,12 +20,12 @@ func invariantCluster(t *testing.T, loc locator.Kind) (*Cluster, memory.ObjectID
 	c := New(testConfig(2, migration.NoHM{}, loc))
 	obj := c.AddObject(4, 0)
 	l := c.AddLock(0)
-	mustRun(t, c, []Worker{{Node: 1, Name: "t1", Fn: func(th *Thread) {
+	mustRun(t, c, []Worker{{Node: 1, Name: "t1", Fn: func(th proto.Thread) {
 		th.Acquire(l)
 		th.Write(obj, 1, 99)
 		th.Release(l)
 	}}})
-	if c.nodes[1].cache[obj] == nil {
+	if c.nodes[1].Cache[obj] == nil {
 		t.Fatal("workload did not leave a cached copy on node 1")
 	}
 	return c, obj
@@ -47,65 +48,65 @@ func TestCheckInvariantsViolations(t *testing.T) {
 		},
 		{
 			name:   "zero homes",
-			mutate: func(c *Cluster, obj memory.ObjectID) { c.nodes[0].isHome[obj] = false },
+			mutate: func(c *Cluster, obj memory.ObjectID) { c.nodes[0].IsHome[obj] = false },
 			want:   ErrHomeCount,
 		},
 		{
 			name: "two homes",
 			mutate: func(c *Cluster, obj memory.ObjectID) {
 				n1 := c.nodes[1]
-				n1.isHome[obj] = true
-				n1.homeSt[obj] = core.NewState(c.cfg.Params, 32)
+				n1.IsHome[obj] = true
+				n1.HomeSt[obj] = core.NewState(c.cfg.Params, 32)
 			},
 			want: ErrHomeCount,
 		},
 		{
 			name:   "home without migration state",
-			mutate: func(c *Cluster, obj memory.ObjectID) { c.nodes[0].homeSt[obj] = nil },
+			mutate: func(c *Cluster, obj memory.ObjectID) { c.nodes[0].HomeSt[obj] = nil },
 			want:   ErrMissingState,
 		},
 		{
 			name:   "home without data",
-			mutate: func(c *Cluster, obj memory.ObjectID) { c.nodes[0].cache[obj] = nil },
+			mutate: func(c *Cluster, obj memory.ObjectID) { c.nodes[0].Cache[obj] = nil },
 			want:   ErrMissingData,
 		},
 		{
 			name:   "dirty cached copy after quiesce",
-			mutate: func(c *Cluster, obj memory.ObjectID) { c.nodes[1].cache[obj].Dirty = true },
+			mutate: func(c *Cluster, obj memory.ObjectID) { c.nodes[1].Cache[obj].Dirty = true },
 			want:   ErrDirtyCopy,
 		},
 		{
 			name: "twin leaked on a clean copy",
 			mutate: func(c *Cluster, obj memory.ObjectID) {
-				c.nodes[1].cache[obj].Twin = make([]uint64, 4)
+				c.nodes[1].Cache[obj].Twin = make([]uint64, 4)
 			},
 			want: ErrTwinLeak,
 		},
 		{
 			name: "copyset surviving on a non-home node",
 			mutate: func(c *Cluster, obj memory.ObjectID) {
-				c.nodes[1].copyset[obj] = map[memory.NodeID]bool{0: true}
+				c.nodes[1].Copyset[obj] = map[memory.NodeID]bool{0: true}
 			},
 			want: ErrStaleCopyset,
 		},
 		{
 			name: "copyset naming the home itself",
 			mutate: func(c *Cluster, obj memory.ObjectID) {
-				c.nodes[0].copyset[obj] = map[memory.NodeID]bool{0: true}
+				c.nodes[0].Copyset[obj] = map[memory.NodeID]bool{0: true}
 			},
 			want: ErrStaleCopyset,
 		},
 		{
 			name: "copyset naming a node outside the cluster",
 			mutate: func(c *Cluster, obj memory.ObjectID) {
-				c.nodes[0].copyset[obj] = map[memory.NodeID]bool{7: true}
+				c.nodes[0].Copyset[obj] = map[memory.NodeID]bool{7: true}
 			},
 			want: ErrStaleCopyset,
 		},
 		{
 			name: "migration state on a non-home node",
 			mutate: func(c *Cluster, obj memory.ObjectID) {
-				c.nodes[1].homeSt[obj] = core.NewState(c.cfg.Params, 32)
+				c.nodes[1].HomeSt[obj] = core.NewState(c.cfg.Params, 32)
 			},
 			want: ErrOwnerMismatch,
 		},
@@ -114,7 +115,7 @@ func TestCheckInvariantsViolations(t *testing.T) {
 			locator: locator.Manager,
 			mutate: func(c *Cluster, obj memory.ObjectID) {
 				mgr := locator.ManagerOf(obj, c.cfg.Nodes)
-				c.nodes[mgr].mgrHome[obj] = 1
+				c.nodes[mgr].MgrHome[obj] = 1
 			},
 			want: ErrOwnerMismatch,
 		},
@@ -122,8 +123,8 @@ func TestCheckInvariantsViolations(t *testing.T) {
 			name: "forwarding cycle",
 			mutate: func(c *Cluster, obj memory.ObjectID) {
 				n1 := c.nodes[1]
-				n1.loc.Learn(obj, 1)
-				n1.loc.SetForward(obj, 1)
+				n1.Loc.Learn(obj, 1)
+				n1.Loc.SetForward(obj, 1)
 			},
 			want: ErrForwardCycle,
 		},
@@ -131,8 +132,8 @@ func TestCheckInvariantsViolations(t *testing.T) {
 			name: "forwarding chain dead end",
 			mutate: func(c *Cluster, obj memory.ObjectID) {
 				n1 := c.nodes[1]
-				n1.loc.Learn(obj, 1) // believes itself, but holds no pointer
-				n1.loc.ClearForward(obj)
+				n1.Loc.Learn(obj, 1) // believes itself, but holds no pointer
+				n1.Loc.ClearForward(obj)
 			},
 			want: ErrDeadEndChain,
 		},
@@ -166,7 +167,7 @@ func TestDigestSensitivity(t *testing.T) {
 	if d1 != c.Digest() {
 		t.Fatal("digest not stable")
 	}
-	c.nodes[0].cache[obj].Data[3] ^= 1
+	c.nodes[0].Cache[obj].Data[3] ^= 1
 	if c.Digest() == d1 {
 		t.Fatal("digest ignored a one-bit change")
 	}

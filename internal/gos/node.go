@@ -2,53 +2,22 @@ package gos
 
 import (
 	"fmt"
-	"slices"
 
-	"repro/internal/core"
-	"repro/internal/locator"
 	"repro/internal/memory"
+	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/stats"
-	"repro/internal/syncmgr"
-	"repro/internal/trace"
-	"repro/internal/twindiff"
 	"repro/internal/wire"
 )
 
-// Node is one cluster node: its object copies, home bookkeeping, locator
-// tables, managed locks/barriers and the protocol daemon.
+// Node is one simulated cluster node: the shared protocol state
+// (proto.Node) plus the virtual-time daemon that drives it. The Node
+// itself is the proto.Engine: sends go through the simulated
+// interconnect with Hockney costs, local thread handoffs through pooled
+// sim queues.
 type Node struct {
-	id memory.NodeID
-	c  *Cluster
-
-	cache    []*memory.Object // local copy (home or cached) per object
-	isHome   []bool
-	homeSt   []*core.State            // migration state, non-nil iff home
-	copyset  []map[memory.NodeID]bool // nodes holding copies (home-side)
-	myWrites []memory.ObjectID        // objects this node wrote this interval (Jiajia)
-	mgrHome  []memory.NodeID          // manager-locator current-home table
-	loc      *locator.Table
-
-	homeList   []memory.ObjectID // objects homed here
-	cachedList []memory.ObjectID // cached (non-home) copies, possibly stale entries
-	dirtyList  []memory.ObjectID // cached copies with unflushed writes
-
-	locks    map[uint32]*syncmgr.Lock
-	bars     map[uint32]*syncmgr.Barrier
-	jjWriter map[uint32]map[memory.ObjectID][]memory.NodeID
-	barWait  map[uint32][]int32 // local thread slots parked per barrier
-	// jjPending are this node's self-reported single-writer candidates
-	// between a barrier arrival and the matching barrier go, keyed by
-	// barrier so a concurrent episode of another barrier cannot unpin
-	// them early. Together with myWrites they pin local copies (see
-	// beginInterval): a Jiajia home transfer moves no data, so the
-	// prospective new home must not discard its copy before the
-	// reassignment resolves.
-	jjPending map[uint32][]memory.ObjectID
-
-	// pool recycles twin buffers, diff run storage and invalidated cached
-	// copies' data so the steady-state write/flush cycle is allocation-free.
-	pool twindiff.Pool
+	*proto.Node
+	c *Cluster
 
 	threads []*Thread
 	inbox   *sim.Queue
@@ -56,32 +25,30 @@ type Node struct {
 }
 
 func newNode(c *Cluster, id memory.NodeID) *Node {
-	return &Node{
-		id:        id,
-		c:         c,
-		loc:       locator.NewTable(0),
-		locks:     make(map[uint32]*syncmgr.Lock),
-		bars:      make(map[uint32]*syncmgr.Barrier),
-		jjWriter:  make(map[uint32]map[memory.ObjectID][]memory.NodeID),
-		barWait:   make(map[uint32][]int32),
-		jjPending: make(map[uint32][]memory.ObjectID),
-		inbox:     c.net.Inbox(id),
-	}
+	n := &Node{c: c, inbox: c.net.Inbox(id)}
+	n.Node = c.space.NewNode(id)
+	n.Node.Eng = n
+	n.Node.Counters = &c.Counters
+	return n
 }
 
-func (n *Node) growObjects(total int) {
-	for len(n.cache) < total {
-		n.cache = append(n.cache, nil)
-		n.isHome = append(n.isHome, false)
-		n.homeSt = append(n.homeSt, nil)
-		n.copyset = append(n.copyset, nil)
-		n.mgrHome = append(n.mgrHome, memory.NoNode)
-	}
-	n.loc.Grow(total)
+// Send implements proto.Engine: transmit over the simulated network.
+func (n *Node) Send(msg wire.Msg, cat stats.Category) { n.c.send(msg, cat) }
+
+// ToThread implements proto.Engine: local daemon→thread handoff,
+// bypassing the network.
+func (n *Node) ToThread(slot int32, msg wire.Msg) {
+	n.c.deliver(n.threads[slot].reply, msg)
+}
+
+// Broadcast implements proto.Engine: one message to every node but the
+// sender, charged as N−1 point-to-point sends.
+func (n *Node) Broadcast(msg wire.Msg, cat stats.Category) {
+	n.c.net.Broadcast(msg, cat)
 }
 
 func (n *Node) spawnDaemon() {
-	n.c.env.Spawn(fmt.Sprintf("daemon-n%d", n.id), n.daemon)
+	n.c.env.Spawn(fmt.Sprintf("daemon-n%d", n.ID), n.daemon)
 }
 
 func (n *Node) daemon(p *sim.Proc) {
@@ -92,524 +59,13 @@ func (n *Node) daemon(p *sim.Proc) {
 			if _, quit := raw.(quitMsg); quit {
 				return
 			}
-			panic(fmt.Sprintf("gos: daemon %d: stray token %T", n.id, raw))
+			panic(fmt.Sprintf("gos: daemon %d: stray token %T", n.ID, raw))
 		}
 		n.busy = true
 		msg := *pm
 		n.c.net.FreeMsg(pm)
 		p.Sleep(n.c.cfg.MsgProcCost)
-		n.handle(msg)
+		n.Handle(msg)
 		n.busy = false
-	}
-}
-
-// handle dispatches one protocol message in daemon context. Handlers never
-// block: requests needing remote work are forwarded, not awaited.
-func (n *Node) handle(msg wire.Msg) {
-	switch msg.Kind {
-	case wire.ObjReq:
-		n.handleObjReq(msg)
-	case wire.DiffMsg:
-		n.handleDiff(msg)
-	case wire.DiffAck:
-		if msg.ReplySlot >= 0 {
-			n.toThread(msg)
-		} else {
-			n.handleDaemonDiffAck(msg)
-		}
-	case wire.LockReq:
-		lk := n.locks[msg.Lock]
-		w := syncmgr.Waiter{Node: msg.ReplyNode, Slot: msg.ReplySlot}
-		if lk.Acquire(w) {
-			n.grantLock(msg.Lock, w)
-		}
-	case wire.LockRel:
-		n.handleLockRel(msg)
-	case wire.BarrierArrive:
-		w := syncmgr.Waiter{Node: msg.ReplyNode, Slot: msg.ReplySlot}
-		n.barrierArrive(msg.Barrier, w, msg.Diffs, msg.Reports)
-	case wire.BarrierGo:
-		n.applyBarrierGo(msg)
-	case wire.MgrUpdate:
-		n.mgrHome[msg.Obj] = msg.Home
-	case wire.MgrQuery:
-		n.c.send(wire.Msg{
-			Kind: wire.MgrReply, From: n.id, To: msg.ReplyNode,
-			Obj: msg.Obj, Home: n.mgrHome[msg.Obj], ReplySlot: msg.ReplySlot,
-		}, stats.MgrMsg)
-	case wire.MgrReply, wire.ObjReply, wire.LockGrant, wire.HomeMiss:
-		n.toThread(msg)
-	case wire.HomeBcast:
-		n.loc.Learn(msg.Obj, msg.Home)
-	case wire.PtrUpdate:
-		// Path compression: short-circuit this node's forwarding pointer.
-		// A stale update racing with this node becoming home again is
-		// ignored entirely — the home's own knowledge is authoritative.
-		if !n.isHome[msg.Obj] {
-			if n.loc.Forward(msg.Obj) != memory.NoNode {
-				n.loc.SetForward(msg.Obj, msg.Home)
-			}
-			n.loc.Learn(msg.Obj, msg.Home)
-		}
-	default:
-		panic(fmt.Sprintf("gos: node %d cannot handle %v", n.id, msg.Kind))
-	}
-}
-
-// toThread routes a thread-addressed message to its reply queue.
-func (n *Node) toThread(msg wire.Msg) {
-	n.c.deliver(n.threads[msg.ReplySlot].reply, msg)
-}
-
-// handleObjReq serves a fault-in at the object's (believed) home.
-func (n *Node) handleObjReq(msg wire.Msg) {
-	obj := msg.Obj
-	if n.isHome[obj] {
-		n.serveFault(msg)
-		return
-	}
-	if fwd := n.loc.Forward(obj); fwd != memory.NoNode {
-		// Forwarding-pointer redirection: one more hop of accumulation.
-		msg.Hops++
-		msg.From, msg.To = n.id, fwd
-		n.c.send(msg, stats.Redir)
-		return
-	}
-	// Obsolete home under the manager/broadcast locators.
-	n.c.send(wire.Msg{
-		Kind: wire.HomeMiss, From: n.id, To: msg.ReplyNode,
-		Obj: obj, Home: n.loc.Hint(obj), ReplySlot: msg.ReplySlot, Seq: msg.Seq,
-	}, stats.HomeMiss)
-}
-
-// serveFault replies with the object and, when the policy calls for it,
-// the home itself (§3.3: "not only the object is replied, but also its
-// home is migrated").
-func (n *Node) serveFault(msg wire.Msg) {
-	obj := msg.Obj
-	st := n.homeSt[obj]
-	requester := msg.ReplyNode
-	cs := &n.c.Counters
-	if msg.Hops > 0 {
-		st.Redirected(int(msg.Hops))
-		cs.RedirectHops += int64(msg.Hops)
-	}
-	cs.FaultIns++
-	if tr := n.c.cfg.Trace; tr != nil {
-		tr.Record(trace.Event{Obj: obj, Kind: trace.Request, Node: requester, Hops: int(msg.Hops)})
-	}
-
-	o := n.cache[obj]
-	data := twindiff.TwinInto(&n.pool, o.Data)
-	reply := wire.Msg{
-		Kind: wire.ObjReply, From: n.id, To: requester, Obj: obj,
-		ReplyNode: requester, ReplySlot: msg.ReplySlot, Seq: msg.Seq,
-		Data: data, Home: n.id, Hops: msg.Hops,
-	}
-
-	sharers := 0
-	for nd, ok := range n.copyset[obj] {
-		if ok && nd != requester && nd != n.id {
-			sharers++
-		}
-	}
-	if n.c.cfg.Policy.ShouldMigrate(st, requester, sharers) {
-		rec := st.Migrate(n.c.cfg.Params)
-		reply.Migrate, reply.HasRec, reply.Rec, reply.Home = true, true, rec, requester
-		cs.Migrations++
-		n.demote(obj, requester)
-		if n.c.cfg.Locator == locator.ForwardingPointer {
-			n.loc.SetForward(obj, requester)
-		}
-		n.c.send(reply, stats.MigReply)
-		return
-	}
-	if n.copyset[obj] == nil {
-		n.copyset[obj] = make(map[memory.NodeID]bool)
-	}
-	n.copyset[obj][requester] = true
-	n.c.send(reply, stats.ObjReply)
-}
-
-// demote strips home status, keeping the (currently valid) data as a
-// cached read-only copy.
-func (n *Node) demote(obj memory.ObjectID, newHome memory.NodeID) {
-	n.isHome[obj] = false
-	n.homeSt[obj] = nil
-	n.copyset[obj] = nil
-	for i, id := range n.homeList {
-		if id == obj {
-			n.homeList = append(n.homeList[:i], n.homeList[i+1:]...)
-			break
-		}
-	}
-	o := n.cache[obj]
-	o.State = memory.ReadOnly
-	o.Twin = nil
-	o.Dirty = false
-	n.cachedList = append(n.cachedList, obj)
-	n.loc.Learn(obj, newHome)
-}
-
-// promote installs home status over the local (current) copy.
-func (n *Node) promote(obj memory.ObjectID, rec *core.Record) {
-	o := n.cache[obj]
-	if o == nil {
-		panic(fmt.Sprintf("gos: node %d promoting object %d without a copy", n.id, obj))
-	}
-	n.isHome[obj] = true
-	if rec != nil {
-		n.homeSt[obj] = core.FromRecord(n.c.cfg.Params, 8*len(o.Data), *rec)
-	} else {
-		n.homeSt[obj] = core.NewState(n.c.cfg.Params, 8*len(o.Data))
-	}
-	n.homeList = append(n.homeList, obj)
-	n.loc.ClearForward(obj)
-	n.loc.Learn(obj, n.id)
-	// Home-access monitoring: the access that faulted us here must be
-	// trapped and recorded as a home read/write.
-	o.State = memory.Invalid
-	o.Twin = nil
-	o.Dirty = false
-}
-
-// handleDiff applies (or routes) a propagated diff. The writer's node id
-// travels in msg.Home, surviving forwarding hops (msg.From changes at
-// each hop).
-func (n *Node) handleDiff(msg wire.Msg) {
-	obj := msg.Obj
-	if n.isHome[obj] {
-		n.applyRemoteDiff(obj, msg.Diff, msg.Home)
-		ack := wire.Msg{
-			Kind: wire.DiffAck, From: n.id, To: msg.ReplyNode, Obj: obj,
-			ReplySlot: msg.ReplySlot, Lock: msg.Lock, Barrier: msg.Barrier,
-		}
-		// For daemon-forwarded piggybacked diffs the ack returns to the
-		// sync manager's daemon (ReplySlot −1), not to a thread.
-		n.c.send(ack, stats.DiffAck)
-		return
-	}
-	if fwd := n.loc.Forward(obj); fwd != memory.NoNode {
-		msg.Hops++
-		msg.From, msg.To = n.id, fwd
-		n.c.send(msg, stats.Diff)
-		return
-	}
-	if msg.ReplySlot < 0 {
-		// Daemon-forwarded piggyback can only exist under the forwarding-
-		// pointer locator, which never misses.
-		panic(fmt.Sprintf("gos: daemon diff for object %d hit a dead end on node %d", obj, n.id))
-	}
-	n.c.send(wire.Msg{
-		Kind: wire.HomeMiss, From: n.id, To: msg.ReplyNode,
-		Obj: obj, Home: n.loc.Hint(obj), ReplySlot: msg.ReplySlot,
-	}, stats.HomeMiss)
-}
-
-// applyRemoteDiff applies a diff from node writer to the home copy and
-// feeds the migration state (a diff receipt is one "consecutive remote
-// write" observation, §3.3).
-func (n *Node) applyRemoteDiff(obj memory.ObjectID, d twindiff.Diff, writer memory.NodeID) {
-	o := n.cache[obj]
-	d.Apply(o.Data)
-	n.homeSt[obj].RemoteWrite(writer, d.WireSize())
-	cs := &n.c.Counters
-	cs.RemoteWrites++
-	cs.DiffWords += int64(d.WordCount())
-	if tr := n.c.cfg.Trace; tr != nil {
-		tr.Record(trace.Event{Obj: obj, Kind: trace.RemoteWrite, Node: writer, Size: d.WireSize()})
-	}
-	// After a write by writer, every other cached copy is stale under LRC;
-	// approximate the copyset as {writer} (it certainly has a current copy).
-	// Reuse the existing map rather than allocating one per diff receipt.
-	set := n.copyset[obj]
-	if set == nil {
-		set = make(map[memory.NodeID]bool, 1)
-		n.copyset[obj] = set
-	} else {
-		clear(set)
-	}
-	// A diff can boomerang back to its own writer: with multiple threads
-	// per node, one thread's in-flight diff chases a forwarding chain
-	// while another thread's fault migrates the home here. The home's own
-	// copy is authoritative, so the copyset must stay free of self
-	// entries (CheckInvariants enforces this).
-	if writer != n.id {
-		set[writer] = true
-	}
-}
-
-// noteMyWrite records a first-write-of-interval for Jiajia's barrier-time
-// single-writer detection: nodes self-report what they wrote, and the
-// barrier manager intersects the reports (§2 [9]).
-func (n *Node) noteMyWrite(obj memory.ObjectID) {
-	if !n.c.cfg.Policy.BarrierDriven() {
-		return
-	}
-	for _, o := range n.myWrites {
-		if o == obj {
-			return
-		}
-	}
-	n.myWrites = append(n.myWrites, obj)
-}
-
-// handleLockRel applies piggybacked diffs and releases the lock. Diffs
-// whose home migrated away are forwarded; the next grant waits for their
-// acks (LRC release visibility).
-func (n *Node) handleLockRel(msg wire.Msg) {
-	lk := n.locks[msg.Lock]
-	blocked := n.applyPiggyback(msg.Diffs, msg.From, msg.Lock+1, 0)
-	if blocked > 0 {
-		lk.Block(blocked)
-	}
-	if next, ok := lk.Release(); ok {
-		n.grantLock(msg.Lock, next)
-	}
-}
-
-// applyPiggyback applies sync-message diffs, forwarding stale ones. It
-// returns the number of forwarded diffs whose acks must gate the sync
-// operation. lockTag/barTag are id+1 (0 = unset) for ack routing.
-func (n *Node) applyPiggyback(diffs []wire.ObjDiff, writer memory.NodeID, lockTag, barTag uint32) int {
-	blocked := 0
-	for _, od := range diffs {
-		if n.isHome[od.Obj] {
-			n.applyRemoteDiff(od.Obj, od.D, writer)
-			continue
-		}
-		fwd := n.loc.Forward(od.Obj)
-		if fwd == memory.NoNode {
-			panic(fmt.Sprintf("gos: piggybacked diff for %d has no forward on node %d", od.Obj, n.id))
-		}
-		n.c.send(wire.Msg{
-			Kind: wire.DiffMsg, From: n.id, To: fwd, Obj: od.Obj, Diff: od.D,
-			Home: writer, ReplyNode: n.id, ReplySlot: -1,
-			Lock: lockTag, Barrier: barTag, Hops: 1,
-		}, stats.Diff)
-		blocked++
-	}
-	return blocked
-}
-
-// handleDaemonDiffAck resumes a sync operation gated on forwarded diffs.
-func (n *Node) handleDaemonDiffAck(msg wire.Msg) {
-	switch {
-	case msg.Lock > 0:
-		lk := n.locks[msg.Lock-1]
-		if next, ok := lk.Unblock(); ok {
-			n.grantLock(msg.Lock-1, next)
-		}
-	case msg.Barrier > 0:
-		b := n.bars[msg.Barrier-1]
-		if b.Unblock() {
-			n.barrierRelease(msg.Barrier - 1)
-		}
-	default:
-		panic("gos: daemon diff ack without sync tag")
-	}
-}
-
-// grantLock hands the lock to w, locally or over the network.
-func (n *Node) grantLock(lock uint32, w syncmgr.Waiter) {
-	if obs := n.c.cfg.Observer; obs != nil {
-		obs.OnLockGrant(lock, w.Node)
-	}
-	msg := wire.Msg{Kind: wire.LockGrant, From: n.id, To: w.Node, Lock: lock, ReplySlot: w.Slot}
-	if w.Node == n.id {
-		n.c.deliver(n.threads[w.Slot].reply, msg)
-		return
-	}
-	n.c.send(msg, stats.LockMsg)
-}
-
-// barrierArrive registers one arrival at this (manager) node.
-func (n *Node) barrierArrive(bid uint32, w syncmgr.Waiter, diffs []wire.ObjDiff, reports []wire.WriteReport) {
-	b := n.bars[bid]
-	if blocked := n.applyPiggyback(diffs, w.Node, 0, bid+1); blocked > 0 {
-		b.Block(blocked)
-	}
-	if len(reports) > 0 {
-		ws := n.jjWriter[bid]
-		if ws == nil {
-			ws = make(map[memory.ObjectID][]memory.NodeID)
-			n.jjWriter[bid] = ws
-		}
-		for _, r := range reports {
-			ws[r.Obj] = append(ws[r.Obj], r.Writer)
-		}
-	}
-	if b.Arrive(w) {
-		n.barrierRelease(bid)
-	}
-}
-
-// barrierRelease broadcasts the go (with any Jiajia home reassignments)
-// to every node and rearms the barrier.
-func (n *Node) barrierRelease(bid uint32) {
-	if obs := n.c.cfg.Observer; obs != nil {
-		obs.OnBarrierRelease(bid)
-	}
-	b := n.bars[bid]
-	ws := b.Reset()
-	if len(ws) != n.c.barParties[bid] {
-		panic("gos: barrier released with wrong arrival count")
-	}
-	var assigns []wire.HomeAssign
-	if ws := n.jjWriter[bid]; len(ws) > 0 {
-		ids := make([]memory.ObjectID, 0, len(ws))
-		for obj := range ws {
-			if len(ws[obj]) == 1 { // written by exactly one node
-				ids = append(ids, obj)
-			}
-		}
-		slices.Sort(ids)
-		for _, obj := range ids {
-			assigns = append(assigns, wire.HomeAssign{Obj: obj, Home: ws[obj][0]})
-		}
-		delete(n.jjWriter, bid)
-	}
-	goMsg := wire.Msg{Kind: wire.BarrierGo, From: n.id, Barrier: bid, Assigns: assigns}
-	for _, nd := range n.c.nodes {
-		if nd.id == n.id {
-			continue
-		}
-		m := goMsg
-		m.To = nd.id
-		n.c.send(m, stats.BarrierMsg)
-	}
-	n.applyBarrierGo(goMsg)
-}
-
-// applyBarrierGo applies Jiajia reassignments, wakes local waiters, and
-// opens a new synchronization interval.
-func (n *Node) applyBarrierGo(msg wire.Msg) {
-	for _, a := range msg.Assigns {
-		n.applyAssign(a)
-	}
-	// This barrier's reassignments are resolved; unpin only its own
-	// candidates — another barrier's episode may still be in flight.
-	n.jjPending[msg.Barrier] = n.jjPending[msg.Barrier][:0]
-	slots := n.barWait[msg.Barrier]
-	n.barWait[msg.Barrier] = slots[:0] // keep the backing array for the next episode
-	for _, s := range slots {
-		n.c.deliver(n.threads[s].reply, msg)
-	}
-}
-
-// applyAssign performs one Jiajia barrier-time home transfer. The new home
-// was the interval's only writer, so its copy equals the home copy and no
-// data moves (§2 [9]: new home notifications piggyback on barrier
-// messages).
-func (n *Node) applyAssign(a wire.HomeAssign) {
-	// Under the manager locator the designated manager must track
-	// barrier-time transfers too; the barrier-go broadcast reaches every
-	// node, so the manager updates its table locally. (Without this the
-	// manager keeps answering with the pre-barrier home: a requester then
-	// alternates between the stale manager answer and the demoted home's
-	// hint, and a post-barrier fault-in livelocks.)
-	if n.c.cfg.Locator == locator.Manager && locator.ManagerOf(a.Obj, n.c.cfg.Nodes) == n.id {
-		n.mgrHome[a.Obj] = a.Home
-	}
-	switch {
-	case n.isHome[a.Obj] && a.Home != n.id:
-		n.c.Counters.Migrations++
-		n.demote(a.Obj, a.Home)
-	case !n.isHome[a.Obj] && a.Home == n.id:
-		n.promote(a.Obj, nil)
-	default:
-		n.loc.Learn(a.Obj, a.Home)
-	}
-}
-
-// jjProtected reports whether obj is pinned as a Jiajia reassignment
-// candidate: written by this node in the current interval (myWrites) or
-// reported and awaiting the barrier's verdict (jjPending).
-func (n *Node) jjProtected(obj memory.ObjectID) bool {
-	for _, o := range n.myWrites {
-		if o == obj {
-			return true
-		}
-	}
-	for _, pending := range n.jjPending {
-		for _, o := range pending {
-			if o == obj {
-				return true
-			}
-		}
-	}
-	return false
-}
-
-// jiajiaReports lists the objects this node wrote since the previous
-// barrier (self-reported; the barrier manager intersects reports from all
-// nodes to find single-writer objects) and opens a fresh write interval.
-func (n *Node) jiajiaReports(bid uint32) []wire.WriteReport {
-	if !n.c.cfg.Policy.BarrierDriven() {
-		return nil
-	}
-	out := make([]wire.WriteReport, 0, len(n.myWrites))
-	for _, obj := range n.myWrites {
-		out = append(out, wire.WriteReport{Obj: obj, Writer: n.id})
-	}
-	// The reported objects stay pinned until this barrier's go applies
-	// (or declines) the reassignment: another local thread may run
-	// acquires — or complete a different barrier — in the meantime, and
-	// those must not discard a copy the node might be about to become
-	// home of.
-	n.jjPending[bid] = append(n.jjPending[bid], n.myWrites...)
-	n.myWrites = n.myWrites[:0]
-	return out
-}
-
-// endInterval flips home copies to read-only at a release (§3.3: "the
-// access state of the home copy will be set to ... read-only on releasing
-// a lock"), so the next interval's first home access is trapped again.
-func (n *Node) endInterval() {
-	for _, obj := range n.homeList {
-		n.cache[obj].State = memory.ReadOnly
-	}
-}
-
-// beginInterval implements acquire semantics: cached clean copies are
-// invalidated (LRC: the acquirer must observe preceding releases), and
-// home copies are set to invalid for access monitoring (§3.3).
-func (n *Node) beginInterval() {
-	kept := n.cachedList[:0]
-	for _, obj := range n.cachedList {
-		if n.isHome[obj] {
-			continue // promoted since; tracked in homeList now
-		}
-		o := n.cache[obj]
-		if o == nil {
-			continue // already dropped (duplicate entry)
-		}
-		if o.Dirty {
-			kept = append(kept, obj) // unflushed writes survive acquires
-			continue
-		}
-		if n.c.cfg.Policy.BarrierDriven() && n.jjProtected(obj) {
-			// This node is the interval's (so far) only writer of obj and
-			// may be handed its home at the next barrier — a transfer
-			// that moves no data. Keep the copy but make it Invalid, so
-			// reads still refetch (no stale-read hazard) while the data
-			// survives for a potential promote. If the object was in fact
-			// written elsewhere too, the barrier manager's intersection
-			// never reassigns it and the copy is simply replaced on the
-			// next fault-in.
-			o.State = memory.Invalid
-			kept = append(kept, obj)
-			n.c.Counters.InvalidatedObjs++
-			continue
-		}
-		// The dropped copy's data (installed from a fault-in reply) feeds
-		// the pool; the next twin, diff or served fault reuses it.
-		n.pool.PutWords(o.Data)
-		n.cache[obj] = nil
-		n.c.Counters.InvalidatedObjs++
-	}
-	n.cachedList = kept
-	for _, obj := range n.homeList {
-		n.cache[obj].State = memory.Invalid
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/locator"
 	"repro/internal/migration"
+	"repro/internal/proto"
 	"repro/internal/wire"
 )
 
@@ -19,8 +20,8 @@ func dragHomeThroughChain(t *testing.T, compress bool) (hops3, hops4 int64) {
 	obj := c.AddObject(8, 0)
 	l := c.AddLock(0)
 	b := c.AddBarrier(0, 4)
-	writer := func(times int) func(*Thread) {
-		return func(th *Thread) {
+	writer := func(times int) func(proto.Thread) {
+		return func(th proto.Thread) {
 			for i := 0; i < times; i++ {
 				th.Acquire(l)
 				th.Write(obj, 0, uint64(th.ID()*100+i+1))
@@ -30,33 +31,33 @@ func dragHomeThroughChain(t *testing.T, compress bool) (hops3, hops4 int64) {
 	}
 	var h3, h4 int64
 	_, err := c.Run([]Worker{
-		{Node: 1, Name: "w1", Fn: func(th *Thread) {
+		{Node: 1, Name: "w1", Fn: func(th proto.Thread) {
 			writer(2)(th)
 			th.Barrier(b)
 			th.Barrier(b)
 			th.Barrier(b)
 		}},
-		{Node: 2, Name: "w2", Fn: func(th *Thread) {
+		{Node: 2, Name: "w2", Fn: func(th proto.Thread) {
 			th.Barrier(b)
 			writer(2)(th)
 			th.Barrier(b)
 			th.Barrier(b)
 		}},
-		{Node: 3, Name: "r3", Fn: func(th *Thread) {
+		{Node: 3, Name: "r3", Fn: func(th proto.Thread) {
 			th.Barrier(b)
 			th.Barrier(b)
-			before := th.c.Counters.RedirectHops
+			before := c.Counters.RedirectHops
 			_ = th.Read(obj, 0)
-			h3 = th.c.Counters.RedirectHops - before
+			h3 = c.Counters.RedirectHops - before
 			th.Barrier(b)
 		}},
-		{Node: 4, Name: "r4", Fn: func(th *Thread) {
+		{Node: 4, Name: "r4", Fn: func(th proto.Thread) {
 			th.Barrier(b)
 			th.Barrier(b)
 			th.Barrier(b) // after r3's fault (and its PtrUpdate)
-			before := th.c.Counters.RedirectHops
+			before := c.Counters.RedirectHops
 			_ = th.Read(obj, 0)
-			h4 = th.c.Counters.RedirectHops - before
+			h4 = c.Counters.RedirectHops - before
 		}},
 	})
 	if err != nil {
@@ -117,7 +118,7 @@ func TestPtrUpdateIgnoredAtCurrentHome(t *testing.T) {
 	c := New(cfg)
 	obj := c.AddObject(2, 0)
 	l := c.AddLock(1)
-	_, err := c.Run([]Worker{{Node: 1, Name: "w", Fn: func(th *Thread) {
+	_, err := c.Run([]Worker{{Node: 1, Name: "w", Fn: func(th proto.Thread) {
 		th.Acquire(l)
 		th.Write(obj, 0, 5)
 		th.Release(l)
@@ -127,8 +128,8 @@ func TestPtrUpdateIgnoredAtCurrentHome(t *testing.T) {
 	}
 	// Deliver a forged stale update directly.
 	n := c.nodes[0]
-	n.handle(wire.Msg{Kind: wire.PtrUpdate, From: 1, To: 0, Obj: obj, Home: 1})
-	if !n.isHome[obj] {
+	n.Handle(wire.Msg{Kind: wire.PtrUpdate, From: 1, To: 0, Obj: obj, Home: 1})
+	if !n.IsHome[obj] {
 		t.Fatal("home status lost")
 	}
 	if err := c.CheckInvariants(); err != nil {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/locator"
 	"repro/internal/memory"
 	"repro/internal/migration"
+	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -37,7 +38,7 @@ func TestStalePiggybackForwarded(t *testing.T) {
 	l := c.AddLock(2)
 	l2 := c.AddLock(2)
 	m := mustRun(t, c, []Worker{
-		{Node: 1, Name: "A", Fn: func(th *Thread) {
+		{Node: 1, Name: "A", Fn: func(th proto.Thread) {
 			th.Acquire(l)
 			th.Write(obj, 0, 77) // fault from node 2, twin, write
 			th.Compute(10 * sim.Millisecond)
@@ -49,7 +50,7 @@ func TestStalePiggybackForwarded(t *testing.T) {
 			}
 			th.Release(l)
 		}},
-		{Node: 3, Name: "B", Fn: func(th *Thread) {
+		{Node: 3, Name: "B", Fn: func(th proto.Thread) {
 			th.Compute(5 * sim.Millisecond)
 			// Unsynchronized read mid-interval: JUMP migrates the home
 			// here. (Value is racy by design; only the migration matters.)
@@ -90,12 +91,12 @@ func TestBroadcastRetryPath(t *testing.T) {
 	obj := c.AddObject(4, 0)
 	l := c.AddLock(0)
 	m := mustRun(t, c, []Worker{
-		{Node: 1, Name: "thief", Fn: func(th *Thread) {
+		{Node: 1, Name: "thief", Fn: func(th proto.Thread) {
 			th.Acquire(l)
 			th.Write(obj, 0, 9) // JUMP: home migrates to node 1, bcast follows
 			th.Release(l)
 		}},
-		{Node: 2, Name: "racer", Fn: func(th *Thread) {
+		{Node: 2, Name: "racer", Fn: func(th proto.Thread) {
 			// Time the fault to land at node 0 after the migration but
 			// potentially before the broadcast reaches node 2.
 			th.Compute(180 * sim.Microsecond)
@@ -134,13 +135,13 @@ func staleDiffScenario(t *testing.T, loc locator.Kind, hold sim.Time) stats.Metr
 	l := c.AddLock(1) // lock home differs from object home: no piggyback
 	l2 := c.AddLock(1)
 	m := mustRun(t, c, []Worker{
-		{Node: 1, Name: "A", Fn: func(th *Thread) {
+		{Node: 1, Name: "A", Fn: func(th proto.Thread) {
 			th.Acquire(l)
 			th.Write(obj, 0, 55)
 			th.Compute(hold)
 			th.Release(l) // diff to node 2 — home already moved to node 3
 		}},
-		{Node: 3, Name: "B", Fn: func(th *Thread) {
+		{Node: 3, Name: "B", Fn: func(th proto.Thread) {
 			th.Compute(5 * sim.Millisecond)
 			th.Acquire(l2)
 			_ = th.Read(obj, 0) // steals the home

@@ -2,21 +2,23 @@ package gos
 
 import (
 	"fmt"
-	"slices"
 
 	"repro/internal/locator"
 	"repro/internal/memory"
+	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/syncmgr"
-	"repro/internal/trace"
 	"repro/internal/twindiff"
 	"repro/internal/wire"
 )
 
-// Thread is one application thread running on a cluster node. All shared
-// accesses go through the thread: Read/Write are the software access
-// checks; Acquire/Release/Barrier drive the consistency protocol.
+// Thread is one application thread running on a simulated cluster node.
+// All shared accesses go through the thread: Read/Write are the software
+// access checks; Acquire/Release/Barrier drive the consistency protocol.
+// It implements proto.Thread; the engine-independent state transitions
+// live on proto.Node, this type contributes virtual-time costs and the
+// blocking message rendezvous on sim queues.
 type Thread struct {
 	c     *Cluster
 	node  *Node
@@ -29,10 +31,12 @@ type Thread struct {
 	pending sim.Time // accumulated local compute, materialized lazily
 	seq     uint32
 
-	// outstanding/pendingQuery are flushDirty's working state, kept on the
-	// thread so the maps are allocated once and reused across flushes.
+	// outstanding/pendingQuery/sendScratch are flushDirty's working
+	// state, kept on the thread so the buffers are allocated once and
+	// reused across flushes.
 	outstanding  map[memory.ObjectID]twindiff.Diff
 	pendingQuery map[memory.ObjectID]bool
+	sendScratch  []wire.ObjDiff
 }
 
 // retryDiff is an internal timer token: re-send the diff for obj after a
@@ -43,7 +47,7 @@ type retryDiff struct{ obj memory.ObjectID }
 func (t *Thread) ID() int { return t.id }
 
 // Node returns the cluster node this thread runs on.
-func (t *Thread) Node() memory.NodeID { return t.node.id }
+func (t *Thread) Node() memory.NodeID { return t.node.ID }
 
 // Name returns the thread's name.
 func (t *Thread) Name() string { return t.name }
@@ -102,21 +106,11 @@ func (t *Thread) WriteView(obj memory.ObjectID) []uint64 {
 
 // objForRead implements the read-side access check.
 func (t *Thread) objForRead(obj memory.ObjectID) *memory.Object {
-	n := t.node
-	if n.isHome[obj] {
-		o := n.cache[obj]
-		if o.State == memory.Invalid {
-			// Trapped home read (§3.3): record and continue locally.
-			t.c.Counters.HomeReads++
-			if tr := t.c.cfg.Trace; tr != nil {
-				tr.Record(trace.Event{Obj: obj, Kind: trace.HomeRead, Node: n.id})
-			}
-			o.State = memory.ReadOnly
-			t.Compute(t.c.cfg.FaultCost)
-		}
-		return o
+	o, trapped := t.node.ReadCheck(obj)
+	if trapped {
+		t.Compute(t.c.cfg.FaultCost)
 	}
-	if o := n.cache[obj]; o != nil && o.State != memory.Invalid {
+	if o != nil {
 		return o
 	}
 	return t.fault(obj)
@@ -125,40 +119,14 @@ func (t *Thread) objForRead(obj memory.ObjectID) *memory.Object {
 // objForWrite implements the write-side access check.
 func (t *Thread) objForWrite(obj memory.ObjectID) *memory.Object {
 	for {
-		n := t.node
-		if n.isHome[obj] {
-			o := n.cache[obj]
-			if o.State != memory.ReadWrite {
-				// Trapped home write: the positive-feedback observation.
-				st := n.homeSt[obj]
-				if st.HomeWrite(t.c.cfg.Params) {
-					t.c.Counters.ExclHomeWrites++
-				}
-				t.c.Counters.HomeWrites++
-				if tr := t.c.cfg.Trace; tr != nil {
-					tr.Record(trace.Event{Obj: obj, Kind: trace.HomeWrite, Node: n.id})
-				}
-				n.noteMyWrite(obj)
-				o.State = memory.ReadWrite
-				t.Compute(t.c.cfg.FaultCost)
-			}
-			return o
-		}
-		o := n.cache[obj]
-		if o == nil || o.State == memory.Invalid {
-			t.fault(obj)
-			continue // the fault may have migrated the home to us
-		}
-		if o.State == memory.ReadOnly {
-			o.Twin = twindiff.TwinInto(&n.pool, o.Data)
-			o.Dirty = true
-			o.State = memory.ReadWrite
-			n.dirtyList = append(n.dirtyList, obj)
-			n.noteMyWrite(obj)
-			t.c.Counters.TwinsCreated++
+		o, trapped := t.node.WriteCheck(obj)
+		if trapped {
 			t.Compute(t.c.cfg.FaultCost)
 		}
-		return o
+		if o != nil {
+			return o
+		}
+		t.fault(obj) // the fault may have migrated the home to us
 	}
 }
 
@@ -169,34 +137,28 @@ func (t *Thread) fault(obj memory.ObjectID) *memory.Object {
 	t.Compute(t.c.cfg.SendCost)
 	t.flushCompute()
 	for {
-		if n.isHome[obj] {
-			return n.cache[obj]
+		if n.IsHome[obj] {
+			return n.Cache[obj]
 		}
-		h := n.loc.Hint(obj)
-		if h == n.id || h == memory.NoNode {
+		h := n.Loc.Hint(obj)
+		if h == n.ID || h == memory.NoNode {
 			// Defensive: a stale self-hint after demotion falls back to
 			// the well-known initial home.
-			h = t.c.objHome0[obj]
+			h = t.c.shared().ObjHome0[obj]
 		}
 		t.seq++
 		t.c.send(wire.Msg{
-			Kind: wire.ObjReq, From: n.id, To: h, Obj: obj,
-			ReplyNode: n.id, ReplySlot: t.slot, Seq: t.seq,
+			Kind: wire.ObjReq, From: n.ID, To: h, Obj: obj,
+			ReplyNode: n.ID, ReplySlot: t.slot, Seq: t.seq,
 		}, stats.ObjReq)
 		msg := t.recvMsg()
 		switch msg.Kind {
 		case wire.ObjReply:
-			if t.c.cfg.PathCompress && msg.Hops > 0 && h != msg.Home && h != n.id {
-				// Path compression: teach the stale entry point the true
-				// home so future chains through it collapse to one hop.
-				t.c.send(wire.Msg{
-					Kind: wire.PtrUpdate, From: n.id, To: h, Obj: obj, Home: msg.Home,
-				}, stats.HomeBcast)
-			}
-			return t.install(msg)
+			n.MaybeCompressPath(h, msg)
+			return n.Install(msg)
 		case wire.HomeMiss:
-			if msg.Home != memory.NoNode && msg.Home != n.id {
-				n.loc.Learn(obj, msg.Home)
+			if msg.Home != memory.NoNode && msg.Home != n.ID {
+				n.Loc.Learn(obj, msg.Home)
 			}
 			switch t.c.cfg.Locator {
 			case locator.Manager:
@@ -213,72 +175,25 @@ func (t *Thread) fault(obj memory.ObjectID) *memory.Object {
 	}
 }
 
-// install places a fault-in reply into the local cache (and takes over
-// the home when the reply migrates it).
-func (t *Thread) install(msg wire.Msg) *memory.Object {
-	n := t.node
-	obj := msg.Obj
-	o := &memory.Object{ID: obj, Data: msg.Data, State: memory.ReadOnly}
-	wasCached := n.cache[obj] != nil
-	if wasCached {
-		// A kept Invalid copy (a Jiajia reassignment candidate the
-		// barrier declined) is being replaced: recycle its buffer so
-		// the refetch stays allocation-free.
-		n.pool.PutWords(n.cache[obj].Data)
-	}
-	n.cache[obj] = o
-	n.loc.Learn(obj, msg.Home)
-	if msg.Migrate {
-		rec := msg.Rec
-		n.promote(obj, &rec)
-		n.notifyNewHome(obj)
-		return o
-	}
-	if !wasCached {
-		n.cachedList = append(n.cachedList, obj)
-	}
-	return o
-}
-
-// notifyNewHome performs the locator-specific announcement after this
-// node became an object's home.
-func (n *Node) notifyNewHome(obj memory.ObjectID) {
-	switch n.c.cfg.Locator {
-	case locator.Manager:
-		mgr := locator.ManagerOf(obj, n.c.cfg.Nodes)
-		if mgr == n.id {
-			n.mgrHome[obj] = n.id
-			return
-		}
-		n.c.send(wire.Msg{
-			Kind: wire.MgrUpdate, From: n.id, To: mgr, Obj: obj, Home: n.id,
-		}, stats.MgrMsg)
-	case locator.Broadcast:
-		n.c.net.Broadcast(wire.Msg{
-			Kind: wire.HomeBcast, From: n.id, Obj: obj, Home: n.id,
-		}, stats.HomeBcast)
-	}
-}
-
 // queryManager resolves the current home through the manager node (§3.2:
 // old home, manager, new home in sequence). Runs synchronously: no other
 // messages can be outstanding for this thread during a fault.
 func (t *Thread) queryManager(obj memory.ObjectID) {
 	n := t.node
 	mgr := locator.ManagerOf(obj, t.c.cfg.Nodes)
-	if mgr == n.id {
-		n.loc.Learn(obj, n.mgrHome[obj])
+	if mgr == n.ID {
+		n.Loc.Learn(obj, n.MgrHome[obj])
 		return
 	}
 	t.c.send(wire.Msg{
-		Kind: wire.MgrQuery, From: n.id, To: mgr, Obj: obj,
-		ReplyNode: n.id, ReplySlot: t.slot,
+		Kind: wire.MgrQuery, From: n.ID, To: mgr, Obj: obj,
+		ReplyNode: n.ID, ReplySlot: t.slot,
 	}, stats.MgrMsg)
 	msg := t.recvMsg()
 	if msg.Kind != wire.MgrReply {
 		panic(fmt.Sprintf("gos: thread %s: unexpected %v during manager query", t.name, msg.Kind))
 	}
-	n.loc.Learn(obj, msg.Home)
+	n.Loc.Learn(obj, msg.Home)
 }
 
 // recvMsg blocks for the next protocol message addressed to this thread.
@@ -297,20 +212,20 @@ func (t *Thread) recvMsg() wire.Msg {
 func (t *Thread) Acquire(l LockID) {
 	t.flushCompute()
 	n := t.node
-	home := t.c.lockHome[l]
-	w := syncmgr.Waiter{Node: n.id, Slot: t.slot}
-	if home == n.id {
-		if !n.locks[uint32(l)].Acquire(w) {
+	home := t.c.shared().LockHome[l]
+	w := syncmgr.Waiter{Node: n.ID, Slot: t.slot}
+	if home == n.ID {
+		if !n.Locks[uint32(l)].Acquire(w) {
 			t.awaitGrant(l)
 		}
 	} else {
 		t.c.send(wire.Msg{
-			Kind: wire.LockReq, From: n.id, To: home, Lock: uint32(l),
-			ReplyNode: n.id, ReplySlot: t.slot,
+			Kind: wire.LockReq, From: n.ID, To: home, Lock: uint32(l),
+			ReplyNode: n.ID, ReplySlot: t.slot,
 		}, stats.LockMsg)
 		t.awaitGrant(l)
 	}
-	n.beginInterval()
+	n.BeginInterval()
 	if obs := t.c.cfg.Observer; obs != nil {
 		obs.OnAcquire(t.id, uint32(l))
 	}
@@ -329,9 +244,9 @@ func (t *Thread) awaitGrant(l LockID) {
 func (t *Thread) Release(l LockID) {
 	t.flushCompute()
 	n := t.node
-	home := t.c.lockHome[l]
+	home := t.c.shared().LockHome[l]
 	piggy := t.flushDirty(home)
-	n.endInterval()
+	n.EndInterval()
 	// The release point: flushes are acknowledged (or piggybacked on the
 	// release message below, which the manager applies before regranting),
 	// and the lock has not yet been handed on — so in the observer's total
@@ -340,16 +255,16 @@ func (t *Thread) Release(l LockID) {
 	if obs := t.c.cfg.Observer; obs != nil {
 		obs.OnRelease(t.id, uint32(l))
 	}
-	if home == n.id {
-		lk := n.locks[uint32(l)]
+	if home == n.ID {
+		lk := n.Locks[uint32(l)]
 		if next, ok := lk.Release(); ok {
-			n.grantLock(uint32(l), next)
+			n.GrantLock(uint32(l), next)
 		}
 		return
 	}
 	t.c.send(wire.Msg{
-		Kind: wire.LockRel, From: n.id, To: home, Lock: uint32(l),
-		ReplyNode: n.id, ReplySlot: t.slot, Diffs: piggy,
+		Kind: wire.LockRel, From: n.ID, To: home, Lock: uint32(l),
+		ReplyNode: n.ID, ReplySlot: t.slot, Diffs: piggy,
 	}, stats.LockMsg)
 }
 
@@ -359,28 +274,28 @@ func (t *Thread) Release(l LockID) {
 func (t *Thread) Barrier(b BarrierID) {
 	t.flushCompute()
 	n := t.node
-	home := t.c.barHome[b]
+	home := t.c.shared().BarHome[b]
 	piggy := t.flushDirty(home)
-	n.endInterval()
+	n.EndInterval()
 	if obs := t.c.cfg.Observer; obs != nil {
 		obs.OnBarrierArrive(t.id, uint32(b))
 	}
-	reports := n.jiajiaReports(uint32(b))
-	n.barWait[uint32(b)] = append(n.barWait[uint32(b)], t.slot)
-	w := syncmgr.Waiter{Node: n.id, Slot: t.slot}
-	if home == n.id {
-		n.barrierArrive(uint32(b), w, piggy, reports)
+	reports := n.JiajiaReports(uint32(b))
+	n.BarWait[uint32(b)] = append(n.BarWait[uint32(b)], t.slot)
+	w := syncmgr.Waiter{Node: n.ID, Slot: t.slot}
+	if home == n.ID {
+		n.BarrierArrive(uint32(b), w, piggy, reports)
 	} else {
 		t.c.send(wire.Msg{
-			Kind: wire.BarrierArrive, From: n.id, To: home, Barrier: uint32(b),
-			ReplyNode: n.id, ReplySlot: t.slot, Diffs: piggy, Reports: reports,
+			Kind: wire.BarrierArrive, From: n.ID, To: home, Barrier: uint32(b),
+			ReplyNode: n.ID, ReplySlot: t.slot, Diffs: piggy, Reports: reports,
 		}, stats.BarrierMsg)
 	}
 	msg := t.recvMsg()
 	if msg.Kind != wire.BarrierGo || msg.Barrier != uint32(b) {
 		panic(fmt.Sprintf("gos: thread %s: expected barrier go, got %v", t.name, msg.Kind))
 	}
-	n.beginInterval()
+	n.BeginInterval()
 	if obs := t.c.cfg.Observer; obs != nil {
 		obs.OnBarrierDepart(t.id, uint32(b))
 	}
@@ -388,63 +303,33 @@ func (t *Thread) Barrier(b BarrierID) {
 
 // flushDirty propagates every dirty cached object's diff to its home and
 // waits for all acknowledgments (release visibility). Diffs homed at
-// syncHome are returned for piggybacking instead (forwarding-pointer
-// locator only — under manager/broadcast a stale piggyback could not be
-// re-routed by the daemon).
+// syncHome are returned for piggybacking instead (see
+// proto.Node.FlushCollect).
 func (t *Thread) flushDirty(syncHome memory.NodeID) []wire.ObjDiff {
 	n := t.node
-	if len(n.dirtyList) == 0 {
-		return nil
+	sends, piggy := n.FlushCollect(syncHome, t.sendScratch)
+	if sends != nil {
+		t.sendScratch = sends[:0]
 	}
-	slices.Sort(n.dirtyList)
-	canPiggy := t.c.cfg.Piggyback && t.c.cfg.Locator == locator.ForwardingPointer &&
-		syncHome != n.id
-	var piggy []wire.ObjDiff
+	if len(sends) == 0 {
+		return piggy
+	}
 	if t.outstanding == nil {
 		t.outstanding = make(map[memory.ObjectID]twindiff.Diff)
 		t.pendingQuery = make(map[memory.ObjectID]bool)
 	}
 	outstanding := t.outstanding
-	for _, obj := range n.dirtyList {
-		o := n.cache[obj]
-		if o == nil || !o.Dirty {
-			continue
-		}
-		if n.isHome[obj] {
-			panic(fmt.Sprintf("gos: home copy of %d is dirty on node %d", obj, n.id))
-		}
-		d := twindiff.ComputeInto(&n.pool, o.Twin, o.Data)
-		n.pool.PutWords(o.Twin) // the twin's job is done; recycle it
-		o.Twin = nil
-		o.Dirty = false
-		o.State = memory.ReadOnly
-		t.c.Counters.DiffsComputed++
-		if d.Empty() {
-			continue
-		}
-		if t.c.cfg.DropDiffs {
-			// Deliberate protocol sabotage (see Config.DropDiffs): the
-			// writes silently vanish instead of reaching the home.
-			n.pool.PutDiff(d)
-			continue
-		}
-		t.c.Counters.DiffWords += int64(d.WordCount())
-		if canPiggy && n.loc.Hint(obj) == syncHome {
-			piggy = append(piggy, wire.ObjDiff{Obj: obj, D: d})
-			t.c.Counters.PiggybackDiffs++
-			continue
-		}
-		t.sendDiff(obj, d)
-		outstanding[obj] = d
+	for _, od := range sends {
+		n.SendDiff(t.slot, od.Obj, od.D)
+		outstanding[od.Obj] = od.D
 	}
-	n.dirtyList = n.dirtyList[:0]
 
 	pendingQuery := t.pendingQuery
 	for len(outstanding) > 0 {
 		switch raw := t.reply.Recv(t.proc).(type) {
 		case retryDiff:
 			if d, ok := outstanding[raw.obj]; ok {
-				t.sendDiff(raw.obj, d)
+				n.SendDiff(t.slot, raw.obj, d)
 			}
 		case *wire.Msg:
 			msg := *raw
@@ -454,26 +339,26 @@ func (t *Thread) flushDirty(syncHome memory.NodeID) []wire.ObjDiff {
 				// The ack means the home applied the diff; nothing holds
 				// its buffers any more, so they can be recycled.
 				if d, ok := outstanding[msg.Obj]; ok {
-					n.pool.PutDiff(d)
+					n.Pool.PutDiff(d)
 				}
 				delete(outstanding, msg.Obj)
 			case wire.HomeMiss:
-				if msg.Home != memory.NoNode && msg.Home != n.id {
-					n.loc.Learn(msg.Obj, msg.Home)
+				if msg.Home != memory.NoNode && msg.Home != n.ID {
+					n.Loc.Learn(msg.Obj, msg.Home)
 				}
 				switch t.c.cfg.Locator {
 				case locator.Manager:
 					if !pendingQuery[msg.Obj] {
 						pendingQuery[msg.Obj] = true
 						mgr := locator.ManagerOf(msg.Obj, t.c.cfg.Nodes)
-						if mgr == n.id {
-							n.loc.Learn(msg.Obj, n.mgrHome[msg.Obj])
+						if mgr == n.ID {
+							n.Loc.Learn(msg.Obj, n.MgrHome[msg.Obj])
 							pendingQuery[msg.Obj] = false
-							t.sendDiff(msg.Obj, outstanding[msg.Obj])
+							n.SendDiff(t.slot, msg.Obj, outstanding[msg.Obj])
 						} else {
 							t.c.send(wire.Msg{
-								Kind: wire.MgrQuery, From: n.id, To: mgr, Obj: msg.Obj,
-								ReplyNode: n.id, ReplySlot: t.slot,
+								Kind: wire.MgrQuery, From: n.ID, To: mgr, Obj: msg.Obj,
+								ReplyNode: n.ID, ReplySlot: t.slot,
 							}, stats.MgrMsg)
 						}
 					}
@@ -485,10 +370,10 @@ func (t *Thread) flushDirty(syncHome memory.NodeID) []wire.ObjDiff {
 					panic("gos: diff home miss under forwarding-pointer locator")
 				}
 			case wire.MgrReply:
-				n.loc.Learn(msg.Obj, msg.Home)
+				n.Loc.Learn(msg.Obj, msg.Home)
 				pendingQuery[msg.Obj] = false
 				if d, ok := outstanding[msg.Obj]; ok {
-					t.sendDiff(msg.Obj, d)
+					n.SendDiff(t.slot, msg.Obj, d)
 				}
 			default:
 				panic(fmt.Sprintf("gos: thread %s: unexpected %v during flush", t.name, msg.Kind))
@@ -500,17 +385,5 @@ func (t *Thread) flushDirty(syncHome memory.NodeID) []wire.ObjDiff {
 	return piggy
 }
 
-func (t *Thread) sendDiff(obj memory.ObjectID, d twindiff.Diff) {
-	n := t.node
-	to := n.loc.Hint(obj)
-	if to == n.id || to == memory.NoNode {
-		to = t.c.objHome0[obj]
-	}
-	if to == n.id {
-		panic(fmt.Sprintf("gos: diff for %d addressed to self on node %d", obj, n.id))
-	}
-	t.c.send(wire.Msg{
-		Kind: wire.DiffMsg, From: n.id, To: to, Obj: obj, Diff: d,
-		Home: n.id, ReplyNode: n.id, ReplySlot: t.slot,
-	}, stats.Diff)
-}
+// compile-time check: the sim thread implements the shared interface.
+var _ proto.Thread = (*Thread)(nil)

@@ -1,0 +1,81 @@
+package live
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/memory"
+	"repro/internal/proto"
+)
+
+// BenchmarkLiveBarrierEpisode measures one full barrier episode
+// (arrive, release broadcast, depart) across 4 real goroutine nodes —
+// the live counterpart of the sim engine's BenchmarkBarrierEpisode.
+func BenchmarkLiveBarrierEpisode(b *testing.B) {
+	const nodes = 4
+	c := New(DefaultConfig(nodes))
+	bar := c.AddBarrier(0, nodes)
+	var ws []proto.Worker
+	for i := 0; i < nodes; i++ {
+		ws = append(ws, proto.Worker{Node: memory.NodeID(i), Name: fmt.Sprintf("w%d", i),
+			Fn: func(th proto.Thread) {
+				for i := 0; i < b.N; i++ {
+					th.Barrier(bar)
+				}
+			}})
+	}
+	b.ResetTimer()
+	if _, err := c.Run(ws); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkLiveLockHandoff measures a remote lock acquire/release pair
+// ping-ponging between two nodes through the manager on a third.
+func BenchmarkLiveLockHandoff(b *testing.B) {
+	c := New(DefaultConfig(3))
+	l := c.AddLock(0)
+	var ws []proto.Worker
+	for _, nd := range []memory.NodeID{1, 2} {
+		ws = append(ws, proto.Worker{Node: nd, Name: fmt.Sprintf("w%d", nd),
+			Fn: func(th proto.Thread) {
+				for i := 0; i < b.N; i++ {
+					th.Acquire(l)
+					th.Release(l)
+				}
+			}})
+	}
+	b.ResetTimer()
+	if _, err := c.Run(ws); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkLiveLockedThroughput measures end-to-end shared-counter
+// update throughput (fault-in + twin/diff + lock handoff per update)
+// with one thread per node, reporting updates/sec.
+func BenchmarkLiveLockedThroughput(b *testing.B) {
+	const nodes = 4
+	c := New(DefaultConfig(nodes))
+	obj := c.AddObject(8, 0)
+	l := c.AddLock(0)
+	per := b.N/nodes + 1
+	var ws []proto.Worker
+	for i := 0; i < nodes; i++ {
+		ws = append(ws, proto.Worker{Node: memory.NodeID(i), Name: fmt.Sprintf("w%d", i),
+			Fn: func(th proto.Thread) {
+				for k := 0; k < per; k++ {
+					th.Acquire(l)
+					th.Write(obj, k%8, th.Read(obj, k%8)+1)
+					th.Release(l)
+				}
+			}})
+	}
+	b.ResetTimer()
+	m, err := c.Run(ws)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ops := float64(nodes * per)
+	b.ReportMetric(ops/m.Wall.Seconds(), "updates/sec")
+}

@@ -1,0 +1,439 @@
+// Package live runs the Global Object Space protocol on real
+// goroutines: one protocol daemon goroutine per node, application
+// threads as goroutines with channel-style rendezvous for fault-in
+// replies, lock grants and diff acks. Messages between nodes cross a
+// pluggable transport (internal/live/transport) and are always encoded
+// through the internal/wire binary codec — even in-process — so a
+// networked backend is a drop-in.
+//
+// The protocol state machines are the same code the virtual-time
+// simulator runs (internal/proto): this package contributes real
+// scheduling (a mutex serializes each node's state between its daemon
+// and its local threads), real nondeterminism, and wall-clock metrics.
+// A live run is not reproducible event-for-event — that is the point —
+// but for the deterministic programs the scenario engine generates, its
+// final memory digest must equal the sim engine's under every policy,
+// and every run must satisfy the same invariants and LRC oracle.
+//
+// Scalar Read/Write accesses are fully synchronized (they run under the
+// node's state lock) and carry no restrictions. The bulk ReadView/
+// WriteView slices are weaker than under sim, whose cooperative
+// scheduler makes a view atomic until the thread's next protocol
+// action: live, a view is raw memory shared with the node's daemon.
+// Write views of home objects are pinned against migration until the
+// holder's next synchronization (so a mid-view demote cannot silently
+// drop writes), and serving a fault-in may read an object concurrently
+// with the holder's writes — a torn read the LRC model permits between
+// unsynchronized threads, but a Go-level data race the race detector
+// can flag; workloads that must be race-clean live should phase their
+// views so no remote node faults an object while it is being bulk-
+// written (the paper's applications are structured this way). With
+// several threads on one node there is one further caveat: a view must
+// not be held while *another* thread of the same node synchronizes
+// (the acquire may recycle a clean copy's buffer).
+package live
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hockney"
+	"repro/internal/live/transport"
+	"repro/internal/locator"
+	"repro/internal/memory"
+	"repro/internal/migration"
+	"repro/internal/proto"
+	"repro/internal/stats"
+	"repro/internal/wire"
+)
+
+// Config parameterizes one live DSM run. The zero values of
+// Policy/Locator/Params follow the paper defaults, like gos.Config.
+type Config struct {
+	// Nodes is the cluster size.
+	Nodes int
+	// Policy decides home migration (default: the adaptive protocol).
+	Policy migration.Policy
+	// Locator is the home-location mechanism (default forwarding pointer).
+	Locator locator.Kind
+	// Params are the adaptive-threshold constants (λ, T_init, α). The
+	// threshold formula needs a message-cost model even on a live
+	// cluster; the default keeps the Fast-Ethernet calibration so policy
+	// decisions match the simulation's.
+	Params core.Params
+	// Piggyback enables the §5.2 optimization (diffs ride on sync
+	// messages to the manager's node).
+	Piggyback bool
+	// PathCompress enables forwarding-chain compression.
+	PathCompress bool
+	// DropDiffs deliberately breaks the protocol (oracle self-test).
+	DropDiffs bool
+	// Observer receives coherence-oracle events. The engine serializes
+	// the hooks behind one mutex, so any sim-compatible observer (e.g.
+	// oracle.Recorder) works unchanged.
+	Observer proto.Observer
+	// Transport carries encoded frames between nodes; nil selects the
+	// in-process ChanLoop backend.
+	Transport transport.Transport
+	// RetryDelay is the requester back-off after an obsolete-home miss
+	// under the broadcast locator. Zero means 100µs.
+	RetryDelay time.Duration
+}
+
+// DefaultConfig returns the paper's setup on the live engine: AT policy
+// over forwarding pointers, piggybacking on.
+func DefaultConfig(nodes int) Config {
+	alpha := hockney.FastEthernet().Alpha
+	return Config{
+		Nodes:      nodes,
+		Policy:     migration.Adaptive{P: core.DefaultParams(alpha)},
+		Locator:    locator.ForwardingPointer,
+		Params:     core.DefaultParams(alpha),
+		Piggyback:  true,
+		RetryDelay: 100 * time.Microsecond,
+	}
+}
+
+// Cluster is a configured live DSM instance. Build it with New, declare
+// shared objects, locks and barriers, then call Run (once).
+type Cluster struct {
+	cfg   Config
+	space *proto.Space
+	tr    transport.Transport
+	nodes []*node
+
+	started  bool
+	start    time.Time
+	inflight atomic.Int64 // frames sent, not yet fully handled
+	frames   atomic.Int64
+	frameB   atomic.Int64
+	obs      proto.Observer // already serialized; nil when unset
+
+	daemons sync.WaitGroup
+}
+
+// New builds a live cluster per cfg, filling zero values with defaults.
+func New(cfg Config) *Cluster {
+	def := DefaultConfig(cfg.Nodes)
+	if cfg.Nodes <= 0 {
+		panic("live: cluster needs at least one node")
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = def.Policy
+	}
+	if cfg.Params.Alpha == nil {
+		cfg.Params = def.Params
+	}
+	if cfg.RetryDelay == 0 {
+		cfg.RetryDelay = def.RetryDelay
+	}
+	c := &Cluster{cfg: cfg}
+	if cfg.Transport != nil {
+		c.tr = cfg.Transport
+	} else {
+		c.tr = transport.NewChanLoop(cfg.Nodes)
+	}
+	if cfg.Observer != nil {
+		c.obs = &lockedObserver{o: cfg.Observer}
+	}
+	c.space = proto.NewSpace(&proto.Shared{
+		Nodes:        cfg.Nodes,
+		Policy:       cfg.Policy,
+		Locator:      cfg.Locator,
+		Params:       cfg.Params,
+		Piggyback:    cfg.Piggyback,
+		PathCompress: cfg.PathCompress,
+		DropDiffs:    cfg.DropDiffs,
+		Observer:     c.obs,
+	})
+	for i := 0; i < cfg.Nodes; i++ {
+		n := &node{c: c}
+		n.ps = c.space.NewNode(memory.NodeID(i))
+		n.ps.Eng = n
+		n.ps.Counters = &n.counters
+		c.nodes = append(c.nodes, n)
+	}
+	return c
+}
+
+// Config returns the effective configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+func (c *Cluster) shared() *proto.Shared { return c.space.S }
+
+// AddObject declares a shared object of words 64-bit words homed at
+// home. Must be called before Run.
+func (c *Cluster) AddObject(words int, home memory.NodeID) memory.ObjectID {
+	c.mustNotBeStarted()
+	return c.space.AddObject(words, home)
+}
+
+// InitObject populates an object's home copy before the run.
+func (c *Cluster) InitObject(id memory.ObjectID, fn func(words []uint64)) {
+	c.mustNotBeStarted()
+	c.space.InitObject(id, fn)
+}
+
+// AddLock declares a distributed lock managed by node home.
+func (c *Cluster) AddLock(home memory.NodeID) proto.LockID {
+	c.mustNotBeStarted()
+	return c.space.AddLock(home)
+}
+
+// AddBarrier declares a barrier of parties threads managed by node home.
+func (c *Cluster) AddBarrier(home memory.NodeID, parties int) proto.BarrierID {
+	c.mustNotBeStarted()
+	return c.space.AddBarrier(home, parties)
+}
+
+// NumObjects reports the number of declared shared objects.
+func (c *Cluster) NumObjects() int { return c.space.NumObjects() }
+
+// HomeOf reports the current home of obj (post-run inspection).
+func (c *Cluster) HomeOf(obj memory.ObjectID) memory.NodeID { return c.space.HomeOf(obj) }
+
+// ObjectData returns the authoritative (home) copy of obj's data.
+func (c *Cluster) ObjectData(obj memory.ObjectID) []uint64 { return c.space.ObjectData(obj) }
+
+// CheckInvariants validates global protocol invariants after a run (see
+// proto.Space.CheckInvariants). Call it only after Run returned.
+func (c *Cluster) CheckInvariants() error { return c.space.CheckInvariants() }
+
+// Digest fingerprints the final shared-memory contents (see
+// proto.Space.Digest). Call it only after Run returned.
+func (c *Cluster) Digest() uint64 { return c.space.Digest() }
+
+func (c *Cluster) mustNotBeStarted() {
+	if c.started {
+		panic("live: cluster already running")
+	}
+}
+
+// Run executes the workers to completion on real goroutines and returns
+// the run metrics. ExecTime/FinalTime stay zero (there is no virtual
+// clock); Wall and the LiveMsgs/LiveBytes frame counters report the
+// run's real cost, and Counters classify the protocol traffic exactly
+// as the sim engine does.
+func (c *Cluster) Run(workers []proto.Worker) (stats.Metrics, error) {
+	c.mustNotBeStarted()
+	c.started = true
+	c.start = time.Now()
+	// Register every thread before any goroutine starts: daemons read
+	// the per-node thread tables (ToThread) without locks.
+	threads := make([]*Thread, len(workers))
+	for i, w := range workers {
+		if w.Node < 0 || int(w.Node) >= c.cfg.Nodes {
+			panic(fmt.Sprintf("live: worker %d on invalid node %d", i, w.Node))
+		}
+		n := c.nodes[w.Node]
+		t := &Thread{
+			c: c, node: n, id: i, slot: int32(len(n.threads)),
+			name: w.Name, mbox: newMailbox(),
+		}
+		n.threads = append(n.threads, t)
+		threads[i] = t
+	}
+	for _, n := range c.nodes {
+		c.daemons.Add(1)
+		go n.daemon()
+	}
+	var wg sync.WaitGroup
+	for i, w := range workers {
+		t, fn := threads[i], w.Fn
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn(t)
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(c.start)
+	// Quiesce: fire-and-forget traffic (lock releases with piggybacked
+	// diffs, manager updates, broadcasts) may still be crossing the
+	// transport or being handled. Every frame increments inflight at
+	// send and decrements after its handler completed — including any
+	// frames the handler itself sent — so inflight can only reach zero
+	// once no causally-pending protocol work remains.
+	for c.inflight.Load() != 0 {
+		time.Sleep(20 * time.Microsecond)
+	}
+	c.tr.Close()
+	c.daemons.Wait()
+	var m stats.Metrics
+	for _, n := range c.nodes {
+		m.Counters.Add(&n.counters)
+	}
+	m.Wall = wall
+	m.LiveMsgs = c.frames.Load()
+	m.LiveBytes = c.frameB.Load()
+	return m, nil
+}
+
+// node is one live cluster node: the shared protocol state plus the
+// mutex that serializes it between the node's daemon goroutine and its
+// local application threads. The node itself is the proto.Engine.
+type node struct {
+	c  *Cluster
+	ps *proto.Node
+	// mu guards ps (and counters) — held by the daemon around Handle
+	// and by local threads around access checks and sync operations,
+	// released while a thread blocks on its mailbox.
+	mu       sync.Mutex
+	threads  []*Thread
+	counters stats.Counters
+}
+
+// Send implements proto.Engine: encode through the wire codec and hand
+// the frame to the transport. Same-node sends are a protocol bug, as on
+// the simulated interconnect.
+func (n *node) Send(msg wire.Msg, cat stats.Category) {
+	if msg.From == msg.To {
+		panic(fmt.Sprintf("live: same-node send of %v on node %d", msg.Kind, msg.From))
+	}
+	frame := msg.Encode(nil)
+	n.counters.Record(cat, len(frame))
+	n.c.frames.Add(1)
+	n.c.frameB.Add(int64(len(frame)))
+	n.c.inflight.Add(1)
+	n.c.tr.Send(msg.To, frame)
+}
+
+// ToThread implements proto.Engine: local daemon→thread handoff,
+// bypassing the transport (within a node there is no wire).
+func (n *node) ToThread(slot int32, msg wire.Msg) {
+	n.threads[slot].mbox.put(msg)
+}
+
+// Broadcast implements proto.Engine: one frame to every node but the
+// sender, charged as N−1 point-to-point sends like cnet.Broadcast.
+func (n *node) Broadcast(msg wire.Msg, cat stats.Category) {
+	for id := 0; id < n.c.cfg.Nodes; id++ {
+		if memory.NodeID(id) == msg.From {
+			continue
+		}
+		m := msg
+		m.To = memory.NodeID(id)
+		n.Send(m, cat)
+	}
+}
+
+// daemon is the node's protocol daemon goroutine: decode each incoming
+// frame and dispatch it under the node lock. A decode failure is fatal —
+// the transport delivered a corrupt frame, which in-process means a
+// codec bug (the FuzzWireDecode target keeps Decode error-clean for
+// genuinely untrusted bytes).
+func (n *node) daemon() {
+	defer n.c.daemons.Done()
+	for {
+		frame, ok := n.c.tr.Recv(n.ps.ID)
+		if !ok {
+			return
+		}
+		msg, err := wire.Decode(frame)
+		if err != nil {
+			panic(fmt.Sprintf("live: node %d received corrupt frame: %v", n.ps.ID, err))
+		}
+		n.mu.Lock()
+		if !n.ps.CanRoute(msg) {
+			// The home transfer that makes this message routable is
+			// still in flight — our thread holds the migrating reply in
+			// its mailbox, or the barrier-go carrying the reassignment
+			// is behind this frame in the inbox. Requeue and retry; the
+			// message stays counted as in flight, so quiescence waits.
+			// The short sleep keeps the retry from becoming a hot loop
+			// contending on the very node lock the transfer needs
+			// (transfers land within microseconds).
+			n.mu.Unlock()
+			time.Sleep(5 * time.Microsecond)
+			n.c.tr.Send(n.ps.ID, frame)
+			continue
+		}
+		n.ps.Handle(msg)
+		n.mu.Unlock()
+		n.c.inflight.Add(-1)
+	}
+}
+
+// lockedObserver serializes observer hooks behind one mutex, turning
+// concurrent per-node events into the single total order the oracle's
+// Check expects. Each hook fires at its protocol point while the
+// issuing node's lock is held, so causally ordered events (a release
+// and the acquire its grant enables, a write and the read its diff
+// feeds) always append in causal order; only genuinely concurrent
+// events race for log positions, and LRC places no obligation between
+// those.
+type lockedObserver struct {
+	mu sync.Mutex
+	o  proto.Observer
+}
+
+func (l *lockedObserver) OnRead(thread int, obj memory.ObjectID, idx int, val uint64) {
+	l.mu.Lock()
+	l.o.OnRead(thread, obj, idx, val)
+	l.mu.Unlock()
+}
+
+func (l *lockedObserver) OnWrite(thread int, obj memory.ObjectID, idx int, val uint64) {
+	l.mu.Lock()
+	l.o.OnWrite(thread, obj, idx, val)
+	l.mu.Unlock()
+}
+
+func (l *lockedObserver) OnAcquire(thread int, lock uint32) {
+	l.mu.Lock()
+	l.o.OnAcquire(thread, lock)
+	l.mu.Unlock()
+}
+
+func (l *lockedObserver) OnRelease(thread int, lock uint32) {
+	l.mu.Lock()
+	l.o.OnRelease(thread, lock)
+	l.mu.Unlock()
+}
+
+func (l *lockedObserver) OnBarrierArrive(thread int, barrier uint32) {
+	l.mu.Lock()
+	l.o.OnBarrierArrive(thread, barrier)
+	l.mu.Unlock()
+}
+
+func (l *lockedObserver) OnBarrierDepart(thread int, barrier uint32) {
+	l.mu.Lock()
+	l.o.OnBarrierDepart(thread, barrier)
+	l.mu.Unlock()
+}
+
+func (l *lockedObserver) OnBarrierRelease(barrier uint32) {
+	l.mu.Lock()
+	l.o.OnBarrierRelease(barrier)
+	l.mu.Unlock()
+}
+
+func (l *lockedObserver) OnLockGrant(lock uint32, node memory.NodeID) {
+	l.mu.Lock()
+	l.o.OnLockGrant(lock, node)
+	l.mu.Unlock()
+}
+
+// mailbox is a thread's unbounded reply queue: the daemon (or a local
+// sync manager path) puts protocol messages and retry tokens, the
+// owning thread blocks in get. Unbounded so ToThread never blocks a
+// daemon holding a node lock; never closed (it dies with the run).
+type mailbox struct {
+	q *transport.Queue[any]
+}
+
+func newMailbox() *mailbox { return &mailbox{q: transport.NewQueue[any]()} }
+
+func (m *mailbox) put(v any) { m.q.Put(v) }
+
+func (m *mailbox) get() any {
+	v, ok := m.q.Get()
+	if !ok {
+		panic("live: thread mailbox closed mid-run")
+	}
+	return v
+}

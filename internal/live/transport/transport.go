@@ -1,0 +1,150 @@
+// Package transport is the pluggable message-movement layer of the live
+// DSM engine (internal/live): it carries encoded protocol frames between
+// node daemons. The engine encodes every message through the
+// internal/wire binary codec before handing it to a Transport and
+// decodes on receipt — even for the in-process backend — so the frame
+// boundary is exactly what a TCP (or RDMA, or shared-memory-ring)
+// backend would see, and a networked implementation is a drop-in.
+//
+// Contract:
+//
+//   - Send must not block indefinitely and must be safe for concurrent
+//     use: node daemons call it while processing a message, and two
+//     nodes sending to each other over a bounded channel would
+//     deadlock.
+//   - Frames between one (sender, receiver) pair are delivered in send
+//     order (FIFO per pair, as a TCP connection would provide). The
+//     ChanLoop backend is strictly FIFO per receiver.
+//   - The transport owns the frame after Send; the caller must not
+//     reuse the buffer. Recv transfers ownership to the caller.
+package transport
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/memory"
+)
+
+// Transport moves encoded protocol frames between nodes.
+type Transport interface {
+	// Send delivers frame to node to's daemon. It must not block
+	// indefinitely and may be called concurrently from any goroutine.
+	Send(to memory.NodeID, frame []byte)
+	// Recv blocks for the next frame addressed to node id. ok reports
+	// false when the transport has been closed and no frames remain.
+	Recv(id memory.NodeID) (frame []byte, ok bool)
+	// Close shuts delivery down: blocked and future Recv calls drain
+	// what was already sent, then return ok=false.
+	Close()
+}
+
+// Queue is an unbounded, closable FIFO guarded by a mutex and
+// condition variable: Put never blocks (at any fan-in), Get blocks
+// until an element or Close arrives. It backs ChanLoop's per-node
+// inboxes and the live engine's per-thread mailboxes — one
+// implementation of the subtle blocking-queue logic, not two.
+type Queue[T any] struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []T
+	closed bool
+}
+
+// NewQueue returns an empty open queue.
+func NewQueue[T any]() *Queue[T] {
+	q := &Queue[T]{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Put appends v; it reports false (dropping v) when the queue is
+// closed. It never blocks.
+func (q *Queue[T]) Put(v T) bool {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return false
+	}
+	q.q = append(q.q, v)
+	q.mu.Unlock()
+	q.cond.Signal()
+	return true
+}
+
+// Get blocks for the next element; ok reports false once the queue is
+// closed and drained.
+func (q *Queue[T]) Get() (v T, ok bool) {
+	q.mu.Lock()
+	for len(q.q) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.q) == 0 {
+		q.mu.Unlock()
+		return v, false
+	}
+	var zero T
+	v = q.q[0]
+	q.q[0] = zero
+	q.q = q.q[1:]
+	if len(q.q) == 0 {
+		q.q = nil // release the drained backing array
+	}
+	q.mu.Unlock()
+	return v, true
+}
+
+// Close marks the queue closed: pending elements drain, then Get
+// reports false; further Puts are dropped.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// ChanLoop is the in-process loopback backend: one unbounded FIFO inbox
+// per node. An unbounded queue (rather than a raw buffered channel)
+// keeps Send non-blocking at any fan-in, which the Transport contract
+// requires of every backend.
+type ChanLoop struct {
+	inboxes []*Queue[[]byte]
+}
+
+// NewChanLoop builds the loopback transport for a cluster of n nodes.
+func NewChanLoop(n int) *ChanLoop {
+	if n <= 0 {
+		panic(fmt.Sprintf("transport: chanloop over %d nodes", n))
+	}
+	t := &ChanLoop{inboxes: make([]*Queue[[]byte], n)}
+	for i := range t.inboxes {
+		t.inboxes[i] = NewQueue[[]byte]()
+	}
+	return t
+}
+
+// Nodes reports the cluster size.
+func (t *ChanLoop) Nodes() int { return len(t.inboxes) }
+
+// Send implements Transport.
+func (t *ChanLoop) Send(to memory.NodeID, frame []byte) {
+	if to < 0 || int(to) >= len(t.inboxes) {
+		panic(fmt.Sprintf("transport: send to invalid node %d", to))
+	}
+	if !t.inboxes[to].Put(frame) {
+		panic(fmt.Sprintf("transport: send to node %d after Close", to))
+	}
+}
+
+// Recv implements Transport.
+func (t *ChanLoop) Recv(id memory.NodeID) ([]byte, bool) {
+	return t.inboxes[id].Get()
+}
+
+// Close implements Transport: daemons drain their inboxes, then their
+// Recv returns false.
+func (t *ChanLoop) Close() {
+	for _, b := range t.inboxes {
+		b.Close()
+	}
+}

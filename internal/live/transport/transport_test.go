@@ -1,0 +1,87 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestFIFOPerReceiver: frames from one sender arrive in send order.
+func TestFIFOPerReceiver(t *testing.T) {
+	tr := NewChanLoop(2)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		tr.Send(1, []byte{byte(i), byte(i >> 8)})
+	}
+	for i := 0; i < n; i++ {
+		f, ok := tr.Recv(1)
+		if !ok {
+			t.Fatalf("closed after %d frames", i)
+		}
+		if got := int(f[0]) | int(f[1])<<8; got != i {
+			t.Fatalf("frame %d out of order: got %d", i, got)
+		}
+	}
+}
+
+// TestConcurrentSenders: many goroutines sending to one receiver while
+// it drains; every frame must arrive exactly once.
+func TestConcurrentSenders(t *testing.T) {
+	tr := NewChanLoop(3)
+	const senders, per = 8, 500
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.Send(2, []byte{byte(s)})
+			}
+		}(s)
+	}
+	counts := make([]int, senders)
+	for i := 0; i < senders*per; i++ {
+		f, ok := tr.Recv(2)
+		if !ok {
+			t.Fatalf("closed after %d frames", i)
+		}
+		counts[f[0]]++
+	}
+	wg.Wait()
+	for s, c := range counts {
+		if c != per {
+			t.Fatalf("sender %d delivered %d frames, want %d", s, c, per)
+		}
+	}
+}
+
+// TestCloseDrains: frames sent before Close are still delivered, then
+// Recv reports closed.
+func TestCloseDrains(t *testing.T) {
+	tr := NewChanLoop(1)
+	tr.Send(0, []byte{1})
+	tr.Send(0, []byte{2})
+	tr.Close()
+	for want := byte(1); want <= 2; want++ {
+		f, ok := tr.Recv(0)
+		if !ok || f[0] != want {
+			t.Fatalf("drain: got %v %v, want [%d] true", f, ok, want)
+		}
+	}
+	if _, ok := tr.Recv(0); ok {
+		t.Fatal("Recv did not report closed after drain")
+	}
+}
+
+// TestCloseWakesBlockedReceiver: a parked Recv returns when Close runs.
+func TestCloseWakesBlockedReceiver(t *testing.T) {
+	tr := NewChanLoop(1)
+	done := make(chan bool)
+	go func() {
+		_, ok := tr.Recv(0)
+		done <- ok
+	}()
+	tr.Close()
+	if ok := <-done; ok {
+		t.Fatal("blocked Recv returned a frame after Close")
+	}
+}

@@ -1,0 +1,675 @@
+package proto
+
+import (
+	"fmt"
+	"slices"
+
+	"repro/internal/core"
+	"repro/internal/locator"
+	"repro/internal/memory"
+	"repro/internal/stats"
+	"repro/internal/syncmgr"
+	"repro/internal/trace"
+	"repro/internal/twindiff"
+	"repro/internal/wire"
+)
+
+// Node is one cluster node's engine-independent protocol state: its
+// object copies, home bookkeeping, locator tables, managed locks and
+// barriers, and the handlers the protocol daemon dispatches. The
+// execution engine owns scheduling (virtual-time daemon proc or real
+// goroutine plus mutex) and message movement (Eng); this struct owns
+// what the messages mean.
+type Node struct {
+	ID memory.NodeID
+	S  *Shared
+	// Eng is how messages leave this node; set by the engine.
+	Eng Engine
+	// Counters receives this node's protocol statistics. The sim engine
+	// points every node at one cluster-wide struct (single-threaded);
+	// the live engine gives each node its own and merges after the run.
+	Counters *stats.Counters
+
+	Cache    []*memory.Object // local copy (home or cached) per object
+	IsHome   []bool
+	HomeSt   []*core.State            // migration state, non-nil iff home
+	Copyset  []map[memory.NodeID]bool // nodes holding copies (home-side)
+	MyWrites []memory.ObjectID        // objects this node wrote this interval (Jiajia)
+	MgrHome  []memory.NodeID          // manager-locator current-home table
+	Loc      *locator.Table
+
+	HomeList   []memory.ObjectID // objects homed here
+	CachedList []memory.ObjectID // cached (non-home) copies, possibly stale entries
+	DirtyList  []memory.ObjectID // cached copies with unflushed writes
+
+	Locks   map[uint32]*syncmgr.Lock
+	Bars    map[uint32]*syncmgr.Barrier
+	BarWait map[uint32][]int32 // local thread slots parked per barrier
+
+	jjWriter map[uint32]map[memory.ObjectID][]memory.NodeID
+	// jjPending are this node's self-reported single-writer candidates
+	// between a barrier arrival and the matching barrier go, keyed by
+	// barrier so a concurrent episode of another barrier cannot unpin
+	// them early. Together with MyWrites they pin local copies (see
+	// BeginInterval): a Jiajia home transfer moves no data, so the
+	// prospective new home must not discard its copy before the
+	// reassignment resolves.
+	jjPending map[uint32][]memory.ObjectID
+
+	// Pool recycles twin buffers, diff run storage and invalidated cached
+	// copies' data so the steady-state write/flush cycle is allocation-free.
+	Pool twindiff.Pool
+
+	// ViewPins counts outstanding bulk write views per home object (live
+	// engine only; nil under sim, whose cooperatively scheduled threads
+	// never yield between a WriteView and their next protocol action).
+	// serveFault refuses to migrate a pinned object's home: a demote
+	// would flip the copy the view holder is still writing through to a
+	// clean cached state, silently losing every subsequent view write.
+	// Serving the data itself stays allowed — LRC places no obligation
+	// between unsynchronized threads. Pins clear at the holder's next
+	// synchronization operation.
+	ViewPins map[memory.ObjectID]int
+}
+
+func (n *Node) growObjects(total int) {
+	for len(n.Cache) < total {
+		n.Cache = append(n.Cache, nil)
+		n.IsHome = append(n.IsHome, false)
+		n.HomeSt = append(n.HomeSt, nil)
+		n.Copyset = append(n.Copyset, nil)
+		n.MgrHome = append(n.MgrHome, memory.NoNode)
+	}
+	n.Loc.Grow(total)
+}
+
+// CanRoute reports whether the node can make progress on msg right now.
+// Under the forwarding-pointer locator a fault-in or diff for an object
+// this node is neither home of nor holds a pointer for has exactly one
+// legal explanation: the home transfer that will make it routable (a
+// migrating fault reply awaiting install, or a Jiajia barrier-go) is
+// still in flight. The virtual-time engine cannot observe that window
+// (message costs order the transfer before any dependent request), but
+// the live engine can — its daemon requeues the message until the
+// transfer lands. Manager/broadcast locators recover through HomeMiss
+// instead and always route.
+func (n *Node) CanRoute(msg wire.Msg) bool {
+	if n.S.Locator != locator.ForwardingPointer {
+		return true
+	}
+	switch msg.Kind {
+	case wire.ObjReq, wire.DiffMsg:
+		return n.IsHome[msg.Obj] || n.Loc.Forward(msg.Obj) != memory.NoNode
+	case wire.LockRel, wire.BarrierArrive:
+		// Piggybacked diffs must each be applicable here or forwardable;
+		// a dead end means the transfer that re-homes one of them is
+		// still in flight, and the whole sync message waits for it.
+		for _, od := range msg.Diffs {
+			if !n.IsHome[od.Obj] && n.Loc.Forward(od.Obj) == memory.NoNode {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Handle dispatches one protocol message in daemon context. Handlers
+// never block: requests needing remote work are forwarded, not awaited.
+func (n *Node) Handle(msg wire.Msg) {
+	switch msg.Kind {
+	case wire.ObjReq:
+		n.handleObjReq(msg)
+	case wire.DiffMsg:
+		n.handleDiff(msg)
+	case wire.DiffAck:
+		if msg.ReplySlot >= 0 {
+			n.Eng.ToThread(msg.ReplySlot, msg)
+		} else {
+			n.handleDaemonDiffAck(msg)
+		}
+	case wire.LockReq:
+		lk := n.Locks[msg.Lock]
+		w := syncmgr.Waiter{Node: msg.ReplyNode, Slot: msg.ReplySlot}
+		if lk.Acquire(w) {
+			n.GrantLock(msg.Lock, w)
+		}
+	case wire.LockRel:
+		n.handleLockRel(msg)
+	case wire.BarrierArrive:
+		w := syncmgr.Waiter{Node: msg.ReplyNode, Slot: msg.ReplySlot}
+		n.BarrierArrive(msg.Barrier, w, msg.Diffs, msg.Reports)
+	case wire.BarrierGo:
+		n.ApplyBarrierGo(msg)
+	case wire.MgrUpdate:
+		n.MgrHome[msg.Obj] = msg.Home
+	case wire.MgrQuery:
+		n.Eng.Send(wire.Msg{
+			Kind: wire.MgrReply, From: n.ID, To: msg.ReplyNode,
+			Obj: msg.Obj, Home: n.MgrHome[msg.Obj], ReplySlot: msg.ReplySlot,
+		}, stats.MgrMsg)
+	case wire.MgrReply, wire.ObjReply, wire.LockGrant, wire.HomeMiss:
+		n.Eng.ToThread(msg.ReplySlot, msg)
+	case wire.HomeBcast:
+		n.Loc.Learn(msg.Obj, msg.Home)
+	case wire.PtrUpdate:
+		// Path compression: short-circuit this node's forwarding pointer.
+		// A stale update racing with this node becoming home again is
+		// ignored entirely — the home's own knowledge is authoritative.
+		if !n.IsHome[msg.Obj] {
+			if n.Loc.Forward(msg.Obj) != memory.NoNode {
+				n.Loc.SetForward(msg.Obj, msg.Home)
+			}
+			n.Loc.Learn(msg.Obj, msg.Home)
+		}
+	default:
+		panic(fmt.Sprintf("proto: node %d cannot handle %v", n.ID, msg.Kind))
+	}
+}
+
+// handleObjReq serves a fault-in at the object's (believed) home.
+func (n *Node) handleObjReq(msg wire.Msg) {
+	obj := msg.Obj
+	if n.IsHome[obj] {
+		n.serveFault(msg)
+		return
+	}
+	if fwd := n.Loc.Forward(obj); fwd != memory.NoNode {
+		// Forwarding-pointer redirection: one more hop of accumulation.
+		msg.Hops++
+		msg.From, msg.To = n.ID, fwd
+		n.Eng.Send(msg, stats.Redir)
+		return
+	}
+	// Obsolete home under the manager/broadcast locators.
+	n.Eng.Send(wire.Msg{
+		Kind: wire.HomeMiss, From: n.ID, To: msg.ReplyNode,
+		Obj: obj, Home: n.Loc.Hint(obj), ReplySlot: msg.ReplySlot, Seq: msg.Seq,
+	}, stats.HomeMiss)
+}
+
+// serveFault replies with the object and, when the policy calls for it,
+// the home itself (§3.3: "not only the object is replied, but also its
+// home is migrated").
+func (n *Node) serveFault(msg wire.Msg) {
+	obj := msg.Obj
+	st := n.HomeSt[obj]
+	requester := msg.ReplyNode
+	cs := n.Counters
+	if msg.Hops > 0 {
+		st.Redirected(int(msg.Hops))
+		cs.RedirectHops += int64(msg.Hops)
+	}
+	cs.FaultIns++
+	if tr := n.S.Trace; tr != nil {
+		tr.Record(trace.Event{Obj: obj, Kind: trace.Request, Node: requester, Hops: int(msg.Hops)})
+	}
+
+	o := n.Cache[obj]
+	data := twindiff.TwinInto(&n.Pool, o.Data)
+	reply := wire.Msg{
+		Kind: wire.ObjReply, From: n.ID, To: requester, Obj: obj,
+		ReplyNode: requester, ReplySlot: msg.ReplySlot, Seq: msg.Seq,
+		Data: data, Home: n.ID, Hops: msg.Hops,
+	}
+
+	if requester == n.ID {
+		// Request boomerang: another thread of the requester's node
+		// migrated the home here while this fault-in was chasing the old
+		// forwarding chain. Serve locally — no migration decision (the
+		// object already lives on the requester's node), no copyset
+		// entry (the home's own node is never a sharer), and no network
+		// (same-node traffic bypasses it). The virtual-time engine's
+		// cost structure never lines this window up; the live engine's
+		// real scheduler does. The data snapshot stays in the reply even
+		// though Install usually drops it (IsHome guard): if the home
+		// migrates away again before the thread installs, the snapshot
+		// becomes the thread's cached copy, and a nil-Data reply would
+		// install an empty object.
+		n.Eng.ToThread(reply.ReplySlot, reply)
+		return
+	}
+
+	sharers := 0
+	for nd, ok := range n.Copyset[obj] {
+		if ok && nd != requester && nd != n.ID {
+			sharers++
+		}
+	}
+	if n.S.Policy.ShouldMigrate(st, requester, sharers) && n.ViewPins[obj] == 0 {
+		rec := st.Migrate(n.S.Params)
+		reply.Migrate, reply.HasRec, reply.Rec, reply.Home = true, true, rec, requester
+		cs.Migrations++
+		n.demote(obj, requester)
+		if n.S.Locator == locator.ForwardingPointer {
+			n.Loc.SetForward(obj, requester)
+		}
+		n.Eng.Send(reply, stats.MigReply)
+		return
+	}
+	if n.Copyset[obj] == nil {
+		n.Copyset[obj] = make(map[memory.NodeID]bool)
+	}
+	n.Copyset[obj][requester] = true
+	n.Eng.Send(reply, stats.ObjReply)
+}
+
+// demote strips home status, keeping the (currently valid) data as a
+// cached read-only copy.
+func (n *Node) demote(obj memory.ObjectID, newHome memory.NodeID) {
+	n.IsHome[obj] = false
+	n.HomeSt[obj] = nil
+	n.Copyset[obj] = nil
+	for i, id := range n.HomeList {
+		if id == obj {
+			n.HomeList = append(n.HomeList[:i], n.HomeList[i+1:]...)
+			break
+		}
+	}
+	o := n.Cache[obj]
+	o.State = memory.ReadOnly
+	o.Twin = nil
+	o.Dirty = false
+	n.CachedList = append(n.CachedList, obj)
+	n.Loc.Learn(obj, newHome)
+}
+
+// promote installs home status over the local (current) copy.
+func (n *Node) promote(obj memory.ObjectID, rec *core.Record) {
+	o := n.Cache[obj]
+	if o == nil {
+		panic(fmt.Sprintf("proto: node %d promoting object %d without a copy", n.ID, obj))
+	}
+	n.IsHome[obj] = true
+	if rec != nil {
+		n.HomeSt[obj] = core.FromRecord(n.S.Params, 8*len(o.Data), *rec)
+	} else {
+		n.HomeSt[obj] = core.NewState(n.S.Params, 8*len(o.Data))
+	}
+	n.HomeList = append(n.HomeList, obj)
+	n.Loc.ClearForward(obj)
+	n.Loc.Learn(obj, n.ID)
+	// Home-access monitoring: the access that faulted us here must be
+	// trapped and recorded as a home read/write.
+	o.State = memory.Invalid
+	o.Twin = nil
+	o.Dirty = false
+}
+
+// handleDiff applies (or routes) a propagated diff. The writer's node id
+// travels in msg.Home, surviving forwarding hops (msg.From changes at
+// each hop).
+func (n *Node) handleDiff(msg wire.Msg) {
+	obj := msg.Obj
+	if n.IsHome[obj] {
+		n.applyRemoteDiff(obj, msg.Diff, msg.Home)
+		ack := wire.Msg{
+			Kind: wire.DiffAck, From: n.ID, To: msg.ReplyNode, Obj: obj,
+			ReplySlot: msg.ReplySlot, Lock: msg.Lock, Barrier: msg.Barrier,
+		}
+		if msg.ReplyNode == n.ID {
+			// Diff boomerang: the home migrated to the writer's (or, for
+			// a forwarded piggyback, the sync manager's) own node while
+			// the diff was in flight. The ack is local — same-node
+			// traffic never touches the network.
+			if ack.ReplySlot >= 0 {
+				n.Eng.ToThread(ack.ReplySlot, ack)
+			} else {
+				n.handleDaemonDiffAck(ack)
+			}
+			return
+		}
+		// For daemon-forwarded piggybacked diffs the ack returns to the
+		// sync manager's daemon (ReplySlot −1), not to a thread.
+		n.Eng.Send(ack, stats.DiffAck)
+		return
+	}
+	if fwd := n.Loc.Forward(obj); fwd != memory.NoNode {
+		msg.Hops++
+		msg.From, msg.To = n.ID, fwd
+		n.Eng.Send(msg, stats.Diff)
+		return
+	}
+	if msg.ReplySlot < 0 {
+		// Daemon-forwarded piggyback can only exist under the forwarding-
+		// pointer locator, which never misses.
+		panic(fmt.Sprintf("proto: daemon diff for object %d hit a dead end on node %d", obj, n.ID))
+	}
+	n.Eng.Send(wire.Msg{
+		Kind: wire.HomeMiss, From: n.ID, To: msg.ReplyNode,
+		Obj: obj, Home: n.Loc.Hint(obj), ReplySlot: msg.ReplySlot,
+	}, stats.HomeMiss)
+}
+
+// applyRemoteDiff applies a diff from node writer to the home copy and
+// feeds the migration state (a diff receipt is one "consecutive remote
+// write" observation, §3.3).
+func (n *Node) applyRemoteDiff(obj memory.ObjectID, d twindiff.Diff, writer memory.NodeID) {
+	o := n.Cache[obj]
+	d.Apply(o.Data)
+	n.HomeSt[obj].RemoteWrite(writer, d.WireSize())
+	cs := n.Counters
+	cs.RemoteWrites++
+	cs.DiffWords += int64(d.WordCount())
+	if tr := n.S.Trace; tr != nil {
+		tr.Record(trace.Event{Obj: obj, Kind: trace.RemoteWrite, Node: writer, Size: d.WireSize()})
+	}
+	// After a write by writer, every other cached copy is stale under LRC;
+	// approximate the copyset as {writer} (it certainly has a current copy).
+	// Reuse the existing map rather than allocating one per diff receipt.
+	set := n.Copyset[obj]
+	if set == nil {
+		set = make(map[memory.NodeID]bool, 1)
+		n.Copyset[obj] = set
+	} else {
+		clear(set)
+	}
+	// A diff can boomerang back to its own writer: with multiple threads
+	// per node, one thread's in-flight diff chases a forwarding chain
+	// while another thread's fault migrates the home here. The home's own
+	// copy is authoritative, so the copyset must stay free of self
+	// entries (CheckInvariants enforces this).
+	if writer != n.ID {
+		set[writer] = true
+	}
+}
+
+// NoteMyWrite records a first-write-of-interval for Jiajia's barrier-time
+// single-writer detection: nodes self-report what they wrote, and the
+// barrier manager intersects the reports (§2 [9]).
+func (n *Node) NoteMyWrite(obj memory.ObjectID) {
+	if !n.S.Policy.BarrierDriven() {
+		return
+	}
+	for _, o := range n.MyWrites {
+		if o == obj {
+			return
+		}
+	}
+	n.MyWrites = append(n.MyWrites, obj)
+}
+
+// handleLockRel applies piggybacked diffs and releases the lock. Diffs
+// whose home migrated away are forwarded; the next grant waits for their
+// acks (LRC release visibility).
+func (n *Node) handleLockRel(msg wire.Msg) {
+	lk := n.Locks[msg.Lock]
+	blocked := n.applyPiggyback(msg.Diffs, msg.From, msg.Lock+1, 0)
+	if blocked > 0 {
+		lk.Block(blocked)
+	}
+	if next, ok := lk.Release(); ok {
+		n.GrantLock(msg.Lock, next)
+	}
+}
+
+// applyPiggyback applies sync-message diffs, forwarding stale ones. It
+// returns the number of forwarded diffs whose acks must gate the sync
+// operation. lockTag/barTag are id+1 (0 = unset) for ack routing.
+func (n *Node) applyPiggyback(diffs []wire.ObjDiff, writer memory.NodeID, lockTag, barTag uint32) int {
+	blocked := 0
+	for _, od := range diffs {
+		if n.IsHome[od.Obj] {
+			n.applyRemoteDiff(od.Obj, od.D, writer)
+			continue
+		}
+		fwd := n.Loc.Forward(od.Obj)
+		if fwd == memory.NoNode {
+			panic(fmt.Sprintf("proto: piggybacked diff for %d has no forward on node %d", od.Obj, n.ID))
+		}
+		n.Eng.Send(wire.Msg{
+			Kind: wire.DiffMsg, From: n.ID, To: fwd, Obj: od.Obj, Diff: od.D,
+			Home: writer, ReplyNode: n.ID, ReplySlot: -1,
+			Lock: lockTag, Barrier: barTag, Hops: 1,
+		}, stats.Diff)
+		blocked++
+	}
+	return blocked
+}
+
+// handleDaemonDiffAck resumes a sync operation gated on forwarded diffs.
+func (n *Node) handleDaemonDiffAck(msg wire.Msg) {
+	switch {
+	case msg.Lock > 0:
+		lk := n.Locks[msg.Lock-1]
+		if next, ok := lk.Unblock(); ok {
+			n.GrantLock(msg.Lock-1, next)
+		}
+	case msg.Barrier > 0:
+		b := n.Bars[msg.Barrier-1]
+		if b.Unblock() {
+			n.barrierRelease(msg.Barrier - 1)
+		}
+	default:
+		panic("proto: daemon diff ack without sync tag")
+	}
+}
+
+// GrantLock hands the lock to w, locally or over the network.
+func (n *Node) GrantLock(lock uint32, w syncmgr.Waiter) {
+	if obs := n.S.Observer; obs != nil {
+		obs.OnLockGrant(lock, w.Node)
+	}
+	msg := wire.Msg{Kind: wire.LockGrant, From: n.ID, To: w.Node, Lock: lock, ReplySlot: w.Slot}
+	if w.Node == n.ID {
+		n.Eng.ToThread(w.Slot, msg)
+		return
+	}
+	n.Eng.Send(msg, stats.LockMsg)
+}
+
+// BarrierArrive registers one arrival at this (manager) node.
+func (n *Node) BarrierArrive(bid uint32, w syncmgr.Waiter, diffs []wire.ObjDiff, reports []wire.WriteReport) {
+	b := n.Bars[bid]
+	if blocked := n.applyPiggyback(diffs, w.Node, 0, bid+1); blocked > 0 {
+		b.Block(blocked)
+	}
+	if len(reports) > 0 {
+		ws := n.jjWriter[bid]
+		if ws == nil {
+			ws = make(map[memory.ObjectID][]memory.NodeID)
+			n.jjWriter[bid] = ws
+		}
+		for _, r := range reports {
+			ws[r.Obj] = append(ws[r.Obj], r.Writer)
+		}
+	}
+	if b.Arrive(w) {
+		n.barrierRelease(bid)
+	}
+}
+
+// barrierRelease broadcasts the go (with any Jiajia home reassignments)
+// to every node and rearms the barrier.
+func (n *Node) barrierRelease(bid uint32) {
+	if obs := n.S.Observer; obs != nil {
+		obs.OnBarrierRelease(bid)
+	}
+	b := n.Bars[bid]
+	ws := b.Reset()
+	if len(ws) != n.S.BarParties[bid] {
+		panic("proto: barrier released with wrong arrival count")
+	}
+	var assigns []wire.HomeAssign
+	if ws := n.jjWriter[bid]; len(ws) > 0 {
+		ids := make([]memory.ObjectID, 0, len(ws))
+		for obj := range ws {
+			if len(ws[obj]) == 1 { // written by exactly one node
+				ids = append(ids, obj)
+			}
+		}
+		slices.Sort(ids)
+		for _, obj := range ids {
+			assigns = append(assigns, wire.HomeAssign{Obj: obj, Home: ws[obj][0]})
+		}
+		delete(n.jjWriter, bid)
+	}
+	goMsg := wire.Msg{Kind: wire.BarrierGo, From: n.ID, Barrier: bid, Assigns: assigns}
+	for id := 0; id < n.S.Nodes; id++ {
+		if memory.NodeID(id) == n.ID {
+			continue
+		}
+		m := goMsg
+		m.To = memory.NodeID(id)
+		n.Eng.Send(m, stats.BarrierMsg)
+	}
+	n.ApplyBarrierGo(goMsg)
+}
+
+// ApplyBarrierGo applies Jiajia reassignments, wakes local waiters, and
+// opens a new synchronization interval.
+func (n *Node) ApplyBarrierGo(msg wire.Msg) {
+	for _, a := range msg.Assigns {
+		n.applyAssign(a)
+	}
+	// This barrier's reassignments are resolved; unpin only its own
+	// candidates — another barrier's episode may still be in flight.
+	n.jjPending[msg.Barrier] = n.jjPending[msg.Barrier][:0]
+	slots := n.BarWait[msg.Barrier]
+	n.BarWait[msg.Barrier] = slots[:0] // keep the backing array for the next episode
+	for _, s := range slots {
+		n.Eng.ToThread(s, msg)
+	}
+}
+
+// applyAssign performs one Jiajia barrier-time home transfer. The new home
+// was the interval's only writer, so its copy equals the home copy and no
+// data moves (§2 [9]: new home notifications piggyback on barrier
+// messages).
+func (n *Node) applyAssign(a wire.HomeAssign) {
+	// Under the manager locator the designated manager must track
+	// barrier-time transfers too; the barrier-go broadcast reaches every
+	// node, so the manager updates its table locally. (Without this the
+	// manager keeps answering with the pre-barrier home: a requester then
+	// alternates between the stale manager answer and the demoted home's
+	// hint, and a post-barrier fault-in livelocks.)
+	if n.S.Locator == locator.Manager && locator.ManagerOf(a.Obj, n.S.Nodes) == n.ID {
+		n.MgrHome[a.Obj] = a.Home
+	}
+	switch {
+	case n.IsHome[a.Obj] && a.Home != n.ID:
+		n.Counters.Migrations++
+		n.demote(a.Obj, a.Home)
+		// Leave a forwarding pointer like a fault-time migration would:
+		// a request already in flight toward this (old) home must still
+		// find a route — the virtual-time engine never sees that window,
+		// the live engine does (subset-party barriers let non-parties
+		// fault while the go is being applied).
+		if n.S.Locator == locator.ForwardingPointer {
+			n.Loc.SetForward(a.Obj, a.Home)
+		}
+		// A live-engine thread may hold a bulk write view on the copy we
+		// just demoted (barrier-time reassignment cannot be refused the
+		// way serveFault refuses to migrate a pinned object — the new
+		// home is already promoting cluster-wide). Re-dirty the demoted
+		// copy with a demote-time twin so the view's subsequent writes
+		// are diffed and flushed to the new home at the holder's next
+		// synchronization instead of silently dying in a clean cached
+		// copy. Writes made before the demote follow Jiajia's own
+		// semantics: the reassigned home's copy is authoritative for the
+		// closing interval.
+		if n.ViewPins[a.Obj] > 0 {
+			o := n.Cache[a.Obj]
+			o.Twin = twindiff.TwinInto(&n.Pool, o.Data)
+			o.Dirty = true
+			o.State = memory.ReadWrite
+			n.DirtyList = append(n.DirtyList, a.Obj)
+			n.NoteMyWrite(a.Obj)
+		}
+	case !n.IsHome[a.Obj] && a.Home == n.ID:
+		n.promote(a.Obj, nil)
+	default:
+		n.Loc.Learn(a.Obj, a.Home)
+	}
+}
+
+// jjProtected reports whether obj is pinned as a Jiajia reassignment
+// candidate: written by this node in the current interval (MyWrites) or
+// reported and awaiting the barrier's verdict (jjPending).
+func (n *Node) jjProtected(obj memory.ObjectID) bool {
+	for _, o := range n.MyWrites {
+		if o == obj {
+			return true
+		}
+	}
+	for _, pending := range n.jjPending {
+		for _, o := range pending {
+			if o == obj {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// JiajiaReports lists the objects this node wrote since the previous
+// barrier (self-reported; the barrier manager intersects reports from all
+// nodes to find single-writer objects) and opens a fresh write interval.
+func (n *Node) JiajiaReports(bid uint32) []wire.WriteReport {
+	if !n.S.Policy.BarrierDriven() {
+		return nil
+	}
+	out := make([]wire.WriteReport, 0, len(n.MyWrites))
+	for _, obj := range n.MyWrites {
+		out = append(out, wire.WriteReport{Obj: obj, Writer: n.ID})
+	}
+	// The reported objects stay pinned until this barrier's go applies
+	// (or declines) the reassignment: another local thread may run
+	// acquires — or complete a different barrier — in the meantime, and
+	// those must not discard a copy the node might be about to become
+	// home of.
+	n.jjPending[bid] = append(n.jjPending[bid], n.MyWrites...)
+	n.MyWrites = n.MyWrites[:0]
+	return out
+}
+
+// EndInterval flips home copies to read-only at a release (§3.3: "the
+// access state of the home copy will be set to ... read-only on releasing
+// a lock"), so the next interval's first home access is trapped again.
+func (n *Node) EndInterval() {
+	for _, obj := range n.HomeList {
+		n.Cache[obj].State = memory.ReadOnly
+	}
+}
+
+// BeginInterval implements acquire semantics: cached clean copies are
+// invalidated (LRC: the acquirer must observe preceding releases), and
+// home copies are set to invalid for access monitoring (§3.3).
+func (n *Node) BeginInterval() {
+	kept := n.CachedList[:0]
+	for _, obj := range n.CachedList {
+		if n.IsHome[obj] {
+			continue // promoted since; tracked in HomeList now
+		}
+		o := n.Cache[obj]
+		if o == nil {
+			continue // already dropped (duplicate entry)
+		}
+		if o.Dirty {
+			kept = append(kept, obj) // unflushed writes survive acquires
+			continue
+		}
+		if n.S.Policy.BarrierDriven() && n.jjProtected(obj) {
+			// This node is the interval's (so far) only writer of obj and
+			// may be handed its home at the next barrier — a transfer
+			// that moves no data. Keep the copy but make it Invalid, so
+			// reads still refetch (no stale-read hazard) while the data
+			// survives for a potential promote. If the object was in fact
+			// written elsewhere too, the barrier manager's intersection
+			// never reassigns it and the copy is simply replaced on the
+			// next fault-in.
+			o.State = memory.Invalid
+			kept = append(kept, obj)
+			n.Counters.InvalidatedObjs++
+			continue
+		}
+		// The dropped copy's data (installed from a fault-in reply) feeds
+		// the pool; the next twin, diff or served fault reuses it.
+		n.Pool.PutWords(o.Data)
+		n.Cache[obj] = nil
+		n.Counters.InvalidatedObjs++
+	}
+	n.CachedList = kept
+	for _, obj := range n.HomeList {
+		n.Cache[obj].State = memory.Invalid
+	}
+}

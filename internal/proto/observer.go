@@ -1,4 +1,4 @@
-package gos
+package proto
 
 import "repro/internal/memory"
 
@@ -9,9 +9,13 @@ import "repro/internal/memory"
 // grant/release chain, and barrier episodes — without the oracle
 // reaching into protocol internals.
 //
-// Ordering contract: the simulation kernel is cooperatively scheduled,
-// so hook invocations form a single total order consistent with virtual
-// time. Within one thread, hooks fire in program order. OnRelease fires
+// Ordering contract: hook invocations form a single total order
+// consistent with causality. Under the sim engine that order is virtual
+// time (the kernel is cooperatively scheduled); under the live engine
+// the hooks are serialized by a global mutex, and each hook fires at
+// its protocol point while the issuing node's state lock is held, so
+// the log order is a linearization consistent with happens-before.
+// Within one thread, hooks fire in program order. OnRelease fires
 // after the release-side flush completed (all diff acks received) and
 // before the lock can be granted to the next holder; OnAcquire fires
 // after the grant arrived. OnBarrierArrive fires before the arrival is

@@ -29,11 +29,13 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/gos"
+	"repro/internal/live"
 	"repro/internal/locator"
 	"repro/internal/memory"
 	"repro/internal/migration"
 	"repro/internal/oracle"
 	"repro/internal/prng"
+	"repro/internal/proto"
 	"repro/internal/stats"
 )
 
@@ -448,6 +450,7 @@ func (g *generator) genStencil() {
 // Result is the outcome of one scenario run.
 type Result struct {
 	Policy  string
+	Engine  string
 	Locator locator.Kind
 	Metrics stats.Metrics
 	// Digest fingerprints the final shared memory (gos.Cluster.Digest).
@@ -478,20 +481,43 @@ type RunOpts struct {
 	// DropDiffs wires the deliberate protocol sabotage through to the
 	// cluster (oracle self-test).
 	DropDiffs bool
+	// Engine selects the execution engine: "sim" (default,
+	// deterministic virtual time) or "live" (real goroutines). The
+	// generated programs are deterministic by construction, so all
+	// three verdicts — engine check, oracle, policy independence — and
+	// the final-memory digest must come out the same on both.
+	Engine string
 }
 
 // Run executes the program under pol and verifies it with the engine
 // check, the oracle, and the protocol invariants. The error return is
 // reserved for runs that could not complete at all.
 func (p *Program) Run(pol migration.Policy, opts RunOpts) (*Result, error) {
-	cfg := gos.DefaultConfig(p.Nodes)
-	cfg.Policy = pol
-	cfg.Locator = opts.Locator
-	cfg.DebugWire = true
-	cfg.DropDiffs = opts.DropDiffs
 	rec := oracle.NewRecorder(p.Threads)
-	cfg.Observer = rec
-	c := gos.New(cfg)
+	var c proto.Cluster
+	engine := opts.Engine
+	if engine == "" {
+		engine = "sim"
+	}
+	switch engine {
+	case "sim":
+		cfg := gos.DefaultConfig(p.Nodes)
+		cfg.Policy = pol
+		cfg.Locator = opts.Locator
+		cfg.DebugWire = true
+		cfg.DropDiffs = opts.DropDiffs
+		cfg.Observer = rec
+		c = gos.New(cfg)
+	case "live":
+		cfg := live.DefaultConfig(p.Nodes)
+		cfg.Policy = pol
+		cfg.Locator = opts.Locator
+		cfg.DropDiffs = opts.DropDiffs
+		cfg.Observer = rec
+		c = live.New(cfg)
+	default:
+		return nil, fmt.Errorf("scenario: unknown engine %q", engine)
+	}
 	objs := make([]memory.ObjectID, len(p.Words))
 	for o, words := range p.Words {
 		objs[o] = c.AddObject(words, memory.NodeID(p.Homes[o]))
@@ -504,7 +530,7 @@ func (p *Program) Run(pol migration.Policy, opts RunOpts) (*Result, error) {
 	}
 	bar := c.AddBarrier(0, p.Threads)
 
-	res := &Result{Policy: pol.Name(), Locator: opts.Locator}
+	res := &Result{Policy: pol.Name(), Engine: engine, Locator: opts.Locator}
 	var mu sync.Mutex
 	mismatch := func(format string, args ...any) {
 		mu.Lock()
@@ -513,14 +539,14 @@ func (p *Program) Run(pol migration.Policy, opts RunOpts) (*Result, error) {
 			res.Mismatches = append(res.Mismatches, fmt.Sprintf(format, args...))
 		}
 	}
-	var workers []gos.Worker
+	var workers []proto.Worker
 	for t := 0; t < p.Threads; t++ {
 		t := t
 		script := p.steps[t]
-		workers = append(workers, gos.Worker{
+		workers = append(workers, proto.Worker{
 			Node: memory.NodeID(t % p.Nodes),
 			Name: fmt.Sprintf("s%d", t),
-			Fn: func(th *gos.Thread) {
+			Fn: func(th proto.Thread) {
 				checked := 0
 				for ph := range script {
 					for _, s := range script[ph] {
@@ -550,8 +576,8 @@ func (p *Program) Run(pol migration.Policy, opts RunOpts) (*Result, error) {
 	}
 	m, err := c.Run(workers)
 	if err != nil {
-		return nil, fmt.Errorf("scenario seed %d (%s) under %s/%s: %w",
-			p.Seed, p.Family, pol.Name(), opts.Locator, err)
+		return nil, fmt.Errorf("scenario seed %d (%s) under %s/%s/%s: %w",
+			p.Seed, p.Family, pol.Name(), opts.Locator, engine, err)
 	}
 	res.Metrics = m
 	res.InvariantErr = c.CheckInvariants()
@@ -677,6 +703,127 @@ func Sweep(base uint64, count, par int, progress func(string)) (SweepStats, erro
 	}
 	if len(st.Failures) > 0 {
 		return st, fmt.Errorf("scenario sweep: %d failure(s), first: %s", len(st.Failures), st.Failures[0])
+	}
+	return st, nil
+}
+
+// CrossStats aggregates a cross-engine equivalence sweep.
+type CrossStats struct {
+	Scenarios    int
+	Runs         int
+	ReadsChecked int
+	OracleOps    int
+	Failures     []string // capped detail lines
+}
+
+// CrossSweep is the cross-engine equivalence gate: count scenarios from
+// seed base, each run under every builtin migration policy on BOTH the
+// virtual-time sim engine and the live goroutine engine (locator
+// rotating per seed, as in Sweep). Every run must pass the engine
+// check, the LRC oracle and the protocol invariants, and for each
+// (seed, policy) the live run's final-memory digest must equal the sim
+// run's — real scheduler and transport nondeterminism may reorder every
+// message, but for these deterministic-by-construction programs it must
+// never change the result. Runs execute on the experiment pool; sim
+// digests are additionally anchored across policies (policy
+// independence), so one sweep exercises all three equalities.
+func CrossSweep(base uint64, count, par int, progress func(string)) (CrossStats, error) {
+	var st CrossStats
+	fail := func(format string, args ...any) {
+		if len(st.Failures) < 32 {
+			st.Failures = append(st.Failures, fmt.Sprintf(format, args...))
+		}
+	}
+	engines := [2]string{"sim", "live"}
+	type runRef struct {
+		p   *Program
+		lc  locator.Kind
+		pol migration.Policy
+		eng string
+	}
+	var refs []runRef
+	var specs []experiment.Spec
+	var results []*Result // sized before the pool runs; slots are per-spec
+	for i := 0; i < count; i++ {
+		seed := base + uint64(i)
+		p := Generate(seed)
+		lc := Locators[seed%uint64(len(Locators))]
+		for _, pol := range Policies(p.Nodes) {
+			for _, eng := range engines {
+				ref := runRef{p: p, lc: lc, pol: pol, eng: eng}
+				idx := len(specs)
+				refs = append(refs, ref)
+				specs = append(specs, experiment.Spec{
+					Label: fmt.Sprintf("cross seed=%d %s nodes=%d %s/%s/%s",
+						seed, p.Family, p.Nodes, pol.Name(), lc, eng),
+					Run: func() (stats.Metrics, error) {
+						res, err := ref.p.Run(ref.pol, RunOpts{Locator: ref.lc, Engine: ref.eng})
+						if err != nil {
+							return stats.Metrics{}, err
+						}
+						results[idx] = res
+						return res.Metrics, nil
+					},
+				})
+			}
+		}
+	}
+	results = make([]*Result, len(specs))
+	pool := &experiment.Pool{Workers: par}
+	if progress != nil {
+		pool.Progress = func(ev experiment.Event) { progress(ev.String()) }
+	}
+	outcomes := pool.Run(specs)
+	// Specs per scenario are consecutive: policy varies, engine fastest
+	// (sim then live). The scenario's first sim run anchors the
+	// policy-independence digest; each live run is compared to its own
+	// policy's sim digest.
+	for i := 0; i < len(refs); {
+		p := refs[i].p
+		st.Scenarios++
+		var anchor *Result
+		for ; i < len(refs) && refs[i].p == p; i += 2 {
+			simRef, liveRef := refs[i], refs[i+1]
+			if outcomes[i].Err != nil {
+				return st, outcomes[i].Err
+			}
+			if outcomes[i+1].Err != nil {
+				return st, outcomes[i+1].Err
+			}
+			simRes, liveRes := results[i], results[i+1]
+			if anchor == nil {
+				anchor = simRes
+			}
+			for _, res := range []*Result{simRes, liveRes} {
+				ref := simRef
+				if res == liveRes {
+					ref = liveRef
+				}
+				st.Runs++
+				st.ReadsChecked += res.ReadsChecked
+				st.OracleOps += res.OracleOps
+				for _, msg := range res.Mismatches {
+					fail("seed %d %s %s/%s/%s: %s", p.Seed, p.Family, ref.pol.Name(), ref.lc, ref.eng, msg)
+				}
+				for _, v := range res.Violations {
+					fail("seed %d %s %s/%s/%s: oracle: %s", p.Seed, p.Family, ref.pol.Name(), ref.lc, ref.eng, v)
+				}
+				if res.InvariantErr != nil {
+					fail("seed %d %s %s/%s/%s: invariants: %v", p.Seed, p.Family, ref.pol.Name(), ref.lc, ref.eng, res.InvariantErr)
+				}
+			}
+			if liveRes.Digest != simRes.Digest {
+				fail("seed %d %s %s/%s: live digest %#x != sim digest %#x — engines disagree on final memory",
+					p.Seed, p.Family, simRef.pol.Name(), simRef.lc, liveRes.Digest, simRes.Digest)
+			}
+			if simRes.Digest != anchor.Digest {
+				fail("seed %d %s %s/%s: digest %#x differs from first policy's %#x — migration changed results",
+					p.Seed, p.Family, simRef.pol.Name(), simRef.lc, simRes.Digest, anchor.Digest)
+			}
+		}
+	}
+	if len(st.Failures) > 0 {
+		return st, fmt.Errorf("cross-engine sweep: %d failure(s), first: %s", len(st.Failures), st.Failures[0])
 	}
 	return st, nil
 }

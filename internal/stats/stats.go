@@ -7,6 +7,7 @@ package stats
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/sim"
 )
@@ -134,6 +135,14 @@ type Metrics struct {
 	FinalTime sim.Time
 	// Kernel reports the simulation kernel's own counters.
 	Kernel sim.EnvStats
+	// Wall is the wall-clock duration of the run under the live engine
+	// (zero under sim, where ExecTime carries virtual time instead).
+	Wall time.Duration
+	// LiveMsgs/LiveBytes count the encoded frames that crossed the live
+	// transport (zero under sim; Counters classify the same traffic by
+	// protocol category on both engines).
+	LiveMsgs  int64
+	LiveBytes int64
 	Counters
 }
 
@@ -176,6 +185,12 @@ func (s *Counters) Add(other *Counters) {
 func (m *Metrics) Summary() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "exec time      %v\n", m.ExecTime)
+	if m.Wall > 0 {
+		fmt.Fprintf(&sb, "wall time      %v\n", m.Wall)
+	}
+	if m.LiveMsgs > 0 {
+		fmt.Fprintf(&sb, "live frames    %d (%d bytes on the transport)\n", m.LiveMsgs, m.LiveBytes)
+	}
 	fmt.Fprintf(&sb, "messages       %d (excl. sync: %d)\n", m.TotalMsgs(true), m.TotalMsgs(false))
 	fmt.Fprintf(&sb, "network bytes  %d (excl. sync: %d)\n", m.TotalBytes(true), m.TotalBytes(false))
 	b := m.Breakdown()

@@ -1,0 +1,79 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/memory"
+	"repro/internal/twindiff"
+)
+
+// fuzzSeeds are valid encodings of representative messages, so the
+// fuzzer starts from the interesting part of the input space.
+func fuzzSeeds() [][]byte {
+	diff := twindiff.Diff{Runs: []twindiff.Run{
+		{Start: 3, Words: []uint64{1, 2, 3}},
+		{Start: 99, Words: []uint64{0xDEADBEEF}},
+	}}
+	msgs := []Msg{
+		{Kind: ObjReq, From: 1, To: 2, Obj: 7, ReplyNode: 1, ReplySlot: 0, Seq: 9},
+		{Kind: ObjReply, From: 2, To: 1, Obj: 7, ReplyNode: 1, Home: 2,
+			Data: []uint64{10, 20, 30}, Hops: 3},
+		{Kind: ObjReply, From: 2, To: 1, Obj: 7, Migrate: true, HasRec: true,
+			Rec:  core.Record{TBase: 2.5, Epoch: 3, AvgDiff: 88.25, DiffObs: 4},
+			Data: []uint64{1}},
+		{Kind: DiffMsg, From: 0, To: 3, Obj: 1, Diff: diff, Home: 0, ReplyNode: 0, ReplySlot: 2},
+		{Kind: LockRel, From: 1, To: 0, Lock: 4, ReplyNode: 1,
+			Diffs: []ObjDiff{{Obj: 5, D: diff}}},
+		{Kind: BarrierGo, From: 0, To: 2, Barrier: 1,
+			Assigns: []HomeAssign{{Obj: 3, Home: 2}},
+			Reports: []WriteReport{{Obj: 3, Writer: 1}}},
+		{Kind: HomeMiss, From: 3, To: 1, Obj: 2, Home: memory.NoNode, ReplySlot: 1},
+	}
+	var out [][]byte
+	for _, m := range msgs {
+		out = append(out, m.Encode(nil))
+	}
+	return out
+}
+
+// FuzzWireDecode hammers the codec with corrupt and truncated frames.
+// The codec is the live engine's transport boundary, where bytes come
+// from outside the process once a networked backend exists, so Decode
+// must return errors — never panic, never over-allocate unchecked —
+// and accepted frames must be canonical: Decode/Encode round-trips to
+// the identical bytes and WireSize agrees with the frame length.
+func FuzzWireDecode(f *testing.F) {
+	for _, seed := range fuzzSeeds() {
+		f.Add(seed)
+		// Also seed truncations and single-byte corruptions of a valid
+		// frame to point the fuzzer at boundary arithmetic.
+		if len(seed) > 8 {
+			f.Add(seed[:len(seed)/2])
+			mut := append([]byte(nil), seed...)
+			mut[0] ^= 0x40
+			f.Add(mut)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return // rejected input: exactly what corrupt bytes deserve
+		}
+		if got := m.WireSize(); got != len(data) {
+			t.Fatalf("accepted frame: WireSize %d != frame length %d", got, len(data))
+		}
+		re := m.Encode(nil)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted frame is not canonical:\n in: %x\nout: %x", data, re)
+		}
+		m2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded frame does not decode: %v", err)
+		}
+		if m2.Kind != m.Kind || len(m2.Data) != len(m.Data) || len(m2.Diffs) != len(m.Diffs) {
+			t.Fatalf("decode/encode/decode drifted: %+v vs %+v", m, m2)
+		}
+	})
+}

@@ -208,6 +208,9 @@ func Decode(buf []byte) (Msg, error) {
 	m.Barrier = le.Uint32(buf[21:])
 	m.Home = memory.NodeID(int16(le.Uint16(buf[25:])))
 	flags := buf[27]
+	if flags&^3 != 0 {
+		return m, fmt.Errorf("wire: unknown flag bits %#x", flags&^3)
+	}
 	m.Migrate = flags&1 != 0
 	m.HasRec = flags&2 != 0
 	m.Seq = le.Uint32(buf[28:])
