@@ -1,0 +1,168 @@
+// dsmnode runs one node of a multi-process DSM cluster: N processes,
+// each started with the same application flags and a distinct -id, find
+// each other over TCP (one connection per node pair), barrier on start,
+// execute the registered application on the live engine with this
+// node's threads, and agree on the outcome — merged metrics, memory
+// digest and (under -check) distributed invariants plus the merged LRC
+// coherence oracle, printed by node 0.
+//
+// Usage (a 4-node localhost cluster; run each line in its own shell or
+// background the first three):
+//
+//	dsmnode -id 0 -peers 127.0.0.1:7700,127.0.0.1:7701,127.0.0.1:7702,127.0.0.1:7703 -app sor -n 64 -iters 4 -check
+//	dsmnode -id 1 -peers ...same list... -app sor -n 64 -iters 4 -check
+//	dsmnode -id 2 -peers ...same list... -app sor -n 64 -iters 4 -check
+//	dsmnode -id 3 -peers ...same list... -app sor -n 64 -iters 4 -check
+//
+// Every member must be started with identical application flags — the
+// bootstrap handshake exchanges a digest of the configuration and
+// rejects mismatches, because each process builds its own replica of
+// the cluster layout (objects, locks, barriers, thread placement) and
+// those replicas must be identical for the protocol to route.
+//
+// The process exits 0 only when the whole cluster succeeded: an
+// application-result mismatch, invariant violation, oracle violation
+// or digest disagreement on any node fails every node. For a
+// deterministic program the digest printed by node 0 equals the
+// digest of a single-process run of the same configuration (dsmrun
+// -engine live -check, or -engine sim), which is the cross-engine
+// equivalence gate extended to its third engine configuration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/live/cluster"
+	"repro/internal/memory"
+)
+
+func main() {
+	var (
+		id      = flag.Int("id", -1, "this node's id (0..nodes-1; node 0 coordinates and prints the merged report)")
+		peers   = flag.String("peers", "", "comma-separated host:port per node, index = node id (required)")
+		nodes   = flag.Int("nodes", 0, "cluster size; 0 derives it from -peers (set it as a cross-check)")
+		app     = flag.String("app", "sor", "application: asp, sor, nbody, tsp, synthetic")
+		n       = flag.Int("n", 64, "problem size (graph nodes / matrix side / bodies)")
+		iters   = flag.Int("iters", 4, "SOR iterations / Nbody steps")
+		cities  = flag.Int("cities", 10, "TSP cities")
+		threads = flag.Int("threads", 0, "total threads across the cluster (0 = one per node)")
+		policy  = flag.String("policy", "AT", "migration policy: AT, FT<k>, NoHM, JUMP, Jackal[k], Jiajia")
+		loc     = flag.String("locator", "fwdptr", "home locator: fwdptr, manager, broadcast")
+		lambda  = flag.Float64("lambda", 0, "feedback coefficient λ (0 = paper's 1)")
+		tinit   = flag.Float64("tinit", 0, "initial threshold (0 = paper's 1)")
+		noPig   = flag.Bool("nopiggyback", false, "disable diff piggybacking on sync messages")
+		seed    = flag.Uint64("seed", 0, "input perturbation seed (0 = canonical paper input)")
+		check   = flag.Bool("check", false, "cluster-wide gate: distributed invariants, merged LRC oracle, digest agreement")
+		rep     = flag.Int("r", 8, "synthetic: repetition of the single-writer pattern")
+		updates = flag.Int("updates", 2048, "synthetic: total counter updates")
+		workers = flag.Int("workers", 0, "synthetic: worker threads (0 = nodes-1, on nodes 1..workers)")
+		timeout = flag.Duration("join-timeout", 20*time.Second, "how long to wait for peers during bootstrap")
+		verbose = flag.Bool("v", false, "log bootstrap progress")
+	)
+	flag.Parse()
+
+	addrs := strings.Split(*peers, ",")
+	if *peers == "" || len(addrs) == 0 {
+		fatal(fmt.Errorf("-peers is required (one host:port per node)"))
+	}
+	if *nodes != 0 && *nodes != len(addrs) {
+		fatal(fmt.Errorf("-nodes %d disagrees with %d peer addresses", *nodes, len(addrs)))
+	}
+	nn := len(addrs)
+	if *id < 0 || *id >= nn {
+		fatal(fmt.Errorf("-id %d outside cluster of %d", *id, nn))
+	}
+	if *app == "synthetic" && *workers == 0 {
+		*workers = nn - 1
+	}
+
+	// The configuration digest: every member must present the same one
+	// at the handshake, since each process independently builds what
+	// must be identical cluster replicas. Peer addresses are excluded —
+	// hostname spellings may legitimately differ per process; the
+	// pair-wise hello already validates ids and cluster size.
+	canon := fmt.Sprintf("v1|app=%s|n=%d|iters=%d|cities=%d|nodes=%d|threads=%d|policy=%s|locator=%s|lambda=%g|tinit=%g|nopig=%t|seed=%d|check=%t|r=%d|updates=%d|workers=%d",
+		*app, *n, *iters, *cities, nn, *threads, *policy, *loc, *lambda, *tinit, *noPig, *seed, *check, *rep, *updates, *workers)
+	h := fnv.New64a()
+	h.Write([]byte(canon))
+
+	cfg := cluster.Config{
+		ID:          memory.NodeID(*id),
+		Addrs:       addrs,
+		Digest:      h.Sum64(),
+		Check:       *check,
+		DialTimeout: *timeout,
+		OnFatal: func(err error) {
+			fmt.Fprintf(os.Stderr, "dsmnode %d: cluster broken: %v\n", *id, err)
+			os.Exit(2)
+		},
+	}
+	if *verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "dsmnode: "+format+"\n", args...)
+		}
+	}
+	member, err := cluster.Join(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	o := apps.Options{
+		Nodes: nn, Threads: *threads, Policy: *policy, Locator: *loc,
+		Lambda: *lambda, TInit: *tinit, NoPiggyback: *noPig, Seed: *seed,
+		Engine: "live", Check: *check, Oracle: *check, Multi: member,
+	}
+	var res apps.Result
+	switch *app {
+	case "asp":
+		res, err = apps.RunASP(*n, o)
+	case "sor":
+		res, err = apps.RunSOR(*n, *iters, o)
+	case "nbody":
+		res, err = apps.RunNBody(*n, *iters, o)
+	case "tsp":
+		res, err = apps.RunTSP(*cities, o)
+	case "synthetic":
+		if nn < *workers+1 {
+			err = fmt.Errorf("synthetic with %d workers needs at least %d nodes", *workers, *workers+1)
+		} else {
+			res, err = apps.RunSynthetic(apps.SyntheticOpts{
+				Repetition: *rep, TotalUpdates: *updates, Workers: *workers,
+			}, o)
+		}
+	default:
+		err = fmt.Errorf("unknown app %q", *app)
+	}
+	if err != nil {
+		// Tell the cluster (unless the error *is* the cluster verdict,
+		// in which case every member already has it).
+		if !member.Completed() {
+			member.AbortApp(err)
+		}
+		fmt.Fprintf(os.Stderr, "dsmnode %d: %v\n", *id, err)
+		member.Leave()
+		os.Exit(1)
+	}
+	if *id == 0 {
+		fmt.Printf("%s over %d processes\n", res.App, nn)
+		fmt.Print(res.Metrics.Summary())
+		if *check {
+			fmt.Printf("check          invariants OK, oracle OK (%d ops), digest %#x\n",
+				res.OracleOps, res.Digest)
+		}
+	} else if *verbose {
+		fmt.Fprintf(os.Stderr, "dsmnode %d: ok (digest %#x)\n", *id, res.Digest)
+	}
+	member.Leave()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dsmnode:", err)
+	os.Exit(1)
+}

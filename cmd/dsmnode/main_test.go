@@ -1,0 +1,187 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+)
+
+// The dsmnode binary is built once in TestMain (a per-test TempDir
+// would vanish when its owning test ends).
+var builtPath string
+var buildErr error
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "dsmnode-test")
+	if err != nil {
+		buildErr = err
+		os.Exit(m.Run())
+	}
+	defer os.RemoveAll(dir)
+	builtPath = filepath.Join(dir, "dsmnode")
+	if out, err := exec.Command("go", "build", "-o", builtPath, ".").CombinedOutput(); err != nil {
+		buildErr = fmt.Errorf("go build: %v\n%s", err, out)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func dsmnodeBinary(t *testing.T) string {
+	t.Helper()
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return builtPath
+}
+
+// freeAddrs reserves n distinct loopback ports and releases them just
+// before the daemons start (Go listeners use SO_REUSEADDR; on loopback
+// the reuse window is not contended in practice).
+func freeAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+var digestRE = regexp.MustCompile(`digest (0x[0-9a-f]+)`)
+
+// runCluster launches one dsmnode process per node with the given app
+// flags and returns node 0's stdout. Any nonzero exit fails the test.
+func runCluster(t *testing.T, nodes int, appFlags ...string) string {
+	t.Helper()
+	bin := dsmnodeBinary(t)
+	peers := strings.Join(freeAddrs(t, nodes), ",")
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	type proc struct {
+		id  int
+		out []byte
+		err error
+	}
+	results := make(chan proc, nodes)
+	for id := 0; id < nodes; id++ {
+		go func(id int) {
+			args := append([]string{
+				"-id", fmt.Sprint(id), "-peers", peers, "-nodes", fmt.Sprint(nodes), "-check",
+			}, appFlags...)
+			out, err := exec.CommandContext(ctx, bin, args...).CombinedOutput()
+			results <- proc{id: id, out: out, err: err}
+		}(id)
+	}
+	var node0 string
+	for i := 0; i < nodes; i++ {
+		p := <-results
+		if p.err != nil {
+			t.Fatalf("dsmnode %d failed: %v\n%s", p.id, p.err, p.out)
+		}
+		if p.id == 0 {
+			node0 = string(p.out)
+		}
+	}
+	return node0
+}
+
+func digestOf(t *testing.T, out string) string {
+	t.Helper()
+	m := digestRE.FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("no digest in node 0 output:\n%s", out)
+	}
+	return m[1]
+}
+
+// TestFourProcessASP is the acceptance gate as a test: a 4-node
+// multi-process localhost cluster runs ASP over the TCP backend with
+// -check clean, and its final-memory digest matches the simulator's
+// for the same configuration (the sim digest equals the in-process
+// live engine's by the PR-4 cross-engine gate).
+func TestFourProcessASP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process smoke skipped in -short")
+	}
+	out := runCluster(t, 4, "-app", "asp", "-n", "24")
+	got := digestOf(t, out)
+	ref, err := apps.RunASP(24, apps.Options{Nodes: 4, Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := fmt.Sprintf("%#x", ref.Digest); got != want {
+		t.Fatalf("cluster digest %s != sim digest %s\n%s", got, want, out)
+	}
+	if !strings.Contains(out, "oracle OK") {
+		t.Fatalf("check line missing oracle verdict:\n%s", out)
+	}
+}
+
+// TestFourProcessSOR: the second registered application over the same
+// path, exercising bulk views and migration under FT1 as well.
+func TestFourProcessSOR(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process smoke skipped in -short")
+	}
+	out := runCluster(t, 4, "-app", "sor", "-n", "20", "-iters", "3", "-policy", "FT1")
+	got := digestOf(t, out)
+	ref, err := apps.RunSOR(20, 3, apps.Options{Nodes: 4, Policy: "FT1", Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := fmt.Sprintf("%#x", ref.Digest); got != want {
+		t.Fatalf("cluster digest %s != sim digest %s\n%s", got, want, out)
+	}
+}
+
+// TestConfigMismatchExitsNonzero: a member started with different app
+// flags must be rejected and exit nonzero — the config-digest path end
+// to end.
+func TestConfigMismatchExitsNonzero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process smoke skipped in -short")
+	}
+	bin := dsmnodeBinary(t)
+	peers := strings.Join(freeAddrs(t, 2), ",")
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	outc := make(chan error, 2)
+	run := func(id int, size string) {
+		out, err := exec.CommandContext(ctx, bin,
+			"-id", fmt.Sprint(id), "-peers", peers, "-app", "asp", "-n", size).CombinedOutput()
+		if err == nil {
+			outc <- fmt.Errorf("node %d exited zero despite config mismatch:\n%s", id, out)
+			return
+		}
+		if !strings.Contains(string(out), "config digest") && !strings.Contains(string(out), "rejected") {
+			outc <- fmt.Errorf("node %d error does not explain the mismatch:\n%s", id, out)
+			return
+		}
+		outc <- nil
+	}
+	go run(0, "24")
+	go run(1, "32") // different problem size → different config digest
+	for i := 0; i < 2; i++ {
+		if err := <-outc; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

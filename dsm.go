@@ -40,6 +40,7 @@ import (
 	"repro/internal/gos"
 	"repro/internal/hockney"
 	"repro/internal/live"
+	"repro/internal/live/transport"
 	"repro/internal/locator"
 	"repro/internal/memory"
 	"repro/internal/migration"
@@ -77,6 +78,9 @@ type (
 	// Observer receives protocol-level correctness events (the coherence
 	// oracle's hook surface); identical on both engines.
 	Observer = proto.Observer
+	// Transport carries encoded protocol frames between live-engine
+	// nodes (see Config.Transport).
+	Transport = transport.Transport
 )
 
 // Convenient time units (virtual time).
@@ -131,6 +135,22 @@ type Config struct {
 	// Observer, when non-nil, receives coherence events (oracle hooks)
 	// on either engine.
 	Observer Observer
+	// Transport injects a custom live-engine transport — e.g. a
+	// multi-process cluster member carrying frames over TCP
+	// (internal/live/cluster). nil selects the in-process chanloop
+	// backend. Live engine only.
+	Transport transport.Transport
+	// LocalNode, when non-nil, makes this process execute only the
+	// workers placed on that node: the multi-process mode of
+	// cmd/dsmnode, where every process builds the identical cluster
+	// (same deterministic setup, guarded by the bootstrap config
+	// digest) and the other nodes' workers are registered but return
+	// immediately. Registration stays symmetric across processes, so
+	// global thread ids, per-node thread slots and message routing are
+	// identical everywhere — the engine needs no awareness of which
+	// process a peer node's threads actually run in. Live engine only,
+	// and it requires a Transport that reaches the peer processes.
+	LocalNode *NodeID
 }
 
 // Cluster is a configured DSM instance: declare shared state, then Run.
@@ -209,9 +229,22 @@ func New(cfg Config) *Cluster {
 			Piggyback:    !cfg.NoPiggyback,
 			PathCompress: cfg.PathCompress,
 			Observer:     cfg.Observer,
+			Transport:    cfg.Transport,
 		})
 	default:
 		panic(fmt.Sprintf("dsm: unknown engine %q (want \"sim\" or \"live\")", cfg.Engine))
+	}
+	if cfg.Engine != "live" && (cfg.Transport != nil || cfg.LocalNode != nil) {
+		panic("dsm: Transport/LocalNode require Engine \"live\"")
+	}
+	if cfg.LocalNode != nil && (*cfg.LocalNode < 0 || int(*cfg.LocalNode) >= cfg.Nodes) {
+		panic(fmt.Sprintf("dsm: LocalNode %d outside cluster of %d", *cfg.LocalNode, cfg.Nodes))
+	}
+	if cfg.LocalNode != nil && cfg.Transport == nil && cfg.Nodes > 1 {
+		// The stubbed remote workers' real counterparts live in peer
+		// processes; without a transport that reaches them the first
+		// barrier would wait forever.
+		panic("dsm: LocalNode requires a Transport that reaches the peer processes")
 	}
 	return c
 }
@@ -266,6 +299,21 @@ func (c *Cluster) Run(threads int, fn func(Thread)) (Metrics, error) {
 // RunWorkers executes explicitly placed workers (e.g. the synthetic
 // benchmark's "threads on all nodes other than the start node", §5.2).
 func (c *Cluster) RunWorkers(ws []Worker) (Metrics, error) {
+	if c.cfg.LocalNode != nil {
+		// Multi-process mode: register every worker (so thread ids and
+		// per-node slot tables match the peer processes exactly) but
+		// stub the remote nodes' bodies — their real counterparts run
+		// in the processes that own those nodes.
+		local := *c.cfg.LocalNode
+		stubbed := make([]Worker, len(ws))
+		copy(stubbed, ws)
+		for i := range stubbed {
+			if stubbed[i].Node != local {
+				stubbed[i].Fn = func(Thread) {}
+			}
+		}
+		ws = stubbed
+	}
 	if c.cfg.Observer != nil && c.initial == nil {
 		// Snapshot the pre-run memory so the oracle can check reads of
 		// never-written words against the true initial values.

@@ -59,6 +59,38 @@ type Options struct {
 	// Engine selects the execution engine: "sim" (default) or "live"
 	// (real goroutines; see dsm.Config.Engine).
 	Engine string
+	// Multi, when non-nil, runs this process as one member of a
+	// multi-process cluster (cmd/dsmnode): only the member's local
+	// node's workers execute here, frames cross the member's transport,
+	// and the post-run gates — oracle, digest, metrics — are evaluated
+	// distributively through the member's control plane instead of
+	// locally. Requires Engine "live".
+	Multi Member
+}
+
+// Member is one process's handle on a multi-process cluster, as the
+// apps layer needs it: it is the live engine's transport, names the
+// node whose workers run here, supplies the observer that records
+// oracle events with cluster-comparable timestamps, and finalizes a run
+// distributively. internal/live/cluster implements it; an interface
+// here keeps the dependency one-way (the cluster layer imports apps for
+// Result, not vice versa).
+type Member interface {
+	dsm.Transport
+	// LocalNode is the node this process executes.
+	LocalNode() dsm.NodeID
+	// Observer returns the member's oracle recorder for a run of
+	// `threads` global threads (Options.Oracle set). The recorded
+	// events carry wall-clock stamps so node 0 can merge the
+	// per-process logs into one LRC-checkable order.
+	Observer(threads int) dsm.Observer
+	// FinishApp completes the run cluster-wide: gathers every
+	// process's status, metrics and (when enabled) oracle log to node
+	// 0, which checks the merged log, compares digests, merges metrics
+	// and broadcasts the verdict. On node 0, res is updated to the
+	// merged cluster view. A non-nil error means the cluster-wide run
+	// failed — on every node.
+	FinishApp(c *dsm.Cluster, res *Result, check, oracle bool) error
 }
 
 // mixSeed combines an app's canonical input seed with a run's trial
@@ -82,7 +114,19 @@ func (o Options) threads() int {
 func (o Options) cluster(threads int) (*dsm.Cluster, *oracle.Recorder) {
 	var rec *oracle.Recorder
 	var obs dsm.Observer
-	if o.Oracle {
+	var tr dsm.Transport
+	var local *dsm.NodeID
+	if o.Multi != nil {
+		if o.Engine != "live" {
+			panic("apps: Options.Multi requires Engine \"live\"")
+		}
+		tr = o.Multi
+		ln := o.Multi.LocalNode()
+		local = &ln
+		if o.Oracle {
+			obs = o.Multi.Observer(threads)
+		}
+	} else if o.Oracle {
 		rec = oracle.NewRecorder(threads)
 		obs = rec
 	}
@@ -99,6 +143,8 @@ func (o Options) cluster(threads int) (*dsm.Cluster, *oracle.Recorder) {
 		PathCompress: o.PathCompress,
 		Engine:       o.Engine,
 		Observer:     obs,
+		Transport:    tr,
+		LocalNode:    local,
 	})
 	return c, rec
 }
@@ -120,6 +166,16 @@ type Result struct {
 // is fingerprinted for policy-independence comparison by the sweep
 // layer; under Options.Oracle the recorded event log must be LRC-legal.
 func finish(c *dsm.Cluster, o Options, rec *oracle.Recorder, res Result) (Result, error) {
+	if o.Multi != nil {
+		// Multi-process run: the local process saw only its node's
+		// share of the events and counters, so every gate runs through
+		// the cluster member's control plane (merged oracle log on
+		// node 0, digest comparison across nodes, metrics merge).
+		if err := o.Multi.FinishApp(c, &res, o.Check, o.Oracle); err != nil {
+			return Result{}, fmt.Errorf("%s: %w", res.App, err)
+		}
+		return res, nil
+	}
 	if rec != nil {
 		res.OracleOps = rec.Len()
 		if viols := rec.Check(c.InitialWord); len(viols) > 0 {

@@ -24,6 +24,11 @@ type LiveBench struct {
 	Iterations int     `json:"iterations"`
 	NsPerOp    float64 `json:"ns_per_op"`
 	OpsPerSec  float64 `json:"ops_per_sec"`
+	// AllocsPerOp/BytesPerOp track the live send path's allocation
+	// behavior (the frame pool's effect shows up here: PR 5 halved
+	// both against the PR 4 numbers).
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
 }
 
 // LiveBenchReport is the BENCH_live.json schema.
@@ -51,14 +56,17 @@ func RunLiveBenchmarks() []LiveBench {
 		}
 		ns := float64(r.T.Nanoseconds()) / float64(r.N)
 		out = append(out, LiveBench{
-			Name:       name,
-			Iterations: r.N,
-			NsPerOp:    ns,
-			OpsPerSec:  1e9 / ns,
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     ns,
+			OpsPerSec:   1e9 / ns,
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
 		})
 	}
 
 	add("live_barrier_episode", func(b *testing.B) {
+		b.ReportAllocs()
 		const nodes = 4
 		c := live.New(live.DefaultConfig(nodes))
 		bar := c.AddBarrier(0, nodes)
@@ -78,6 +86,7 @@ func RunLiveBenchmarks() []LiveBench {
 	})
 
 	add("live_lock_handoff", func(b *testing.B) {
+		b.ReportAllocs()
 		c := live.New(live.DefaultConfig(3))
 		l := c.AddLock(0)
 		var ws []proto.Worker
@@ -97,6 +106,7 @@ func RunLiveBenchmarks() []LiveBench {
 	})
 
 	add("live_locked_update_throughput", func(b *testing.B) {
+		b.ReportAllocs()
 		const nodes = 4
 		c := live.New(live.DefaultConfig(nodes))
 		obj := c.AddObject(8, 0)

@@ -1,0 +1,590 @@
+// Package cluster is the bootstrap and control plane for multi-process
+// DSM clusters: it turns N independent OS processes (cmd/dsmnode) into
+// one live-engine cluster over the TCP transport backend.
+//
+// Responsibilities, in run order:
+//
+//   - Bootstrap: establish one connection per node pair (higher id
+//     dials lower, so there is exactly one link per pair), exchange a
+//     hello — protocol version, node id, cluster size, configuration
+//     digest — and reject mismatches (a member started with different
+//     flags must not silently join), then barrier on start so no
+//     engine runs before every member is wired.
+//   - Quiescence: the live engine's end-of-run wait becomes a
+//     distributed termination detection (the engine's local in-flight
+//     counter cannot see other processes). Node 0 coordinates
+//     two-wave polls in the style of Mattern's four-counter method:
+//     the cluster is quiescent when the per-process in-flight counters
+//     sum to zero over two consecutive waves with no frame delivered
+//     in between.
+//   - End-state reconciliation: each process authoritatively owns only
+//     its node's protocol state; node 0 gathers every node's home
+//     claims (object data), locator tables and local invariant
+//     verdicts, runs the distributed analogues of the in-process
+//     invariant checks (exactly one home per object, truthful manager
+//     tables, terminating forwarding chains), computes the canonical
+//     memory digest, and broadcasts the assembled final memory so
+//     every process can repair its local replicas — after which
+//     per-process application validation and Digest see the
+//     cluster-wide truth.
+//   - Application verdict: oracle event logs (wall-clock stamped),
+//     per-node metrics and digests merge on node 0; the combined
+//     verdict — LRC oracle over the merged log, digest equality,
+//     per-node failures — is broadcast, so every member exits with the
+//     same status.
+//   - Shutdown: a drain barrier (bye/shutdown) so no process tears its
+//     sockets down while a peer still needs them.
+//
+// The live engine itself participates only through the two optional
+// transport hooks (live.Quiescer, live.Finisher); its protocol and
+// message paths are untouched — the property PR 4 designed for.
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/live"
+	"repro/internal/live/transport"
+	"repro/internal/live/transport/tcp"
+	"repro/internal/memory"
+)
+
+// Wire constants of the bootstrap handshake.
+const (
+	helloMagic   = 0x474F5344 // "GOSD"
+	helloVersion = 1
+	helloSize    = 4 + 1 + 2 + 2 + 8 // magic, version, id, nodes, config digest
+)
+
+// Config describes this process's membership.
+type Config struct {
+	// ID is the node this process runs; Addrs[ID] is its listen
+	// address and the other entries are its peers', index = node id.
+	ID    memory.NodeID
+	Addrs []string
+	// Digest fingerprints the run configuration (application, problem
+	// size, cluster size, policy, locator, seed, check mode...). Every
+	// member must present the same digest: the engines are built
+	// independently per process and must be byte-identical replicas.
+	Digest uint64
+	// Check enables the distributed invariant checks at end of run
+	// (the multi-process analogue of dsmrun -check).
+	Check bool
+	// DialTimeout bounds how long Join waits for a peer to come up
+	// (members may start in any order). Zero means 20s.
+	DialTimeout time.Duration
+	// Listener optionally supplies a pre-bound listener for Addrs[ID]
+	// (tests bind :0 first to learn free ports). nil listens.
+	Listener net.Listener
+	// OnFatal handles a mid-run connection failure (a peer process
+	// died). nil panics, which is right for a daemon: a broken cluster
+	// cannot finish and must not hang.
+	OnFatal func(error)
+	// Logf, when non-nil, receives bootstrap progress lines.
+	Logf func(format string, args ...any)
+}
+
+// Member is one process's handle on the cluster: the live engine's
+// transport (with the lifecycle hooks), and the apps layer's
+// distributed finish. Create with Join, pass as dsm.Config.Transport /
+// apps.Options.Multi, and Leave when done.
+type Member struct {
+	cfg Config
+	n   int
+	tr  *tcp.Transport
+
+	rec     *timedRecorder // oracle event log, when Observer was asked
+	threads int
+
+	digest    uint64 // canonical final-memory digest (set by FinishRun)
+	finished  bool   // FinishRun completed cluster-wide
+	hasResult bool
+}
+
+func (m *Member) logf(format string, args ...any) {
+	if m.cfg.Logf != nil {
+		m.cfg.Logf(format, args...)
+	}
+}
+
+// Join bootstraps this process into the cluster: listen, dial every
+// lower-id peer (with retry — members start in any order), accept every
+// higher-id peer, validate hellos both ways, then barrier on start.
+// It returns only when every member of the cluster is connected and
+// ready, or with an error naming what went wrong.
+func Join(cfg Config) (*Member, error) {
+	n := len(cfg.Addrs)
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: no addresses")
+	}
+	if cfg.ID < 0 || int(cfg.ID) >= n {
+		return nil, fmt.Errorf("cluster: node id %d outside cluster of %d", cfg.ID, n)
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 20 * time.Second
+	}
+	m := &Member{cfg: cfg, n: n}
+
+	ln := cfg.Listener
+	if ln == nil && n > 1 {
+		var err error
+		ln, err = net.Listen("tcp", cfg.Addrs[cfg.ID])
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %d listen: %w", cfg.ID, err)
+		}
+	}
+	conns := make([]net.Conn, n)
+	cleanup := func() {
+		for _, c := range conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+		if ln != nil {
+			ln.Close()
+		}
+	}
+
+	// Accept from higher ids and dial lower ids concurrently: with
+	// members starting in arbitrary order, doing either first could
+	// deadlock a chain of processes each waiting on the other side.
+	type result struct {
+		id   memory.NodeID
+		conn net.Conn
+		err  error
+	}
+	results := make(chan result, n)
+	accepts := n - 1 - int(cfg.ID)
+	if accepts > 0 {
+		go func() {
+			for k := 0; k < accepts; k++ {
+				conn, err := ln.Accept()
+				if err != nil {
+					results <- result{err: fmt.Errorf("accept: %w", err)}
+					return
+				}
+				id, err := m.handshake(conn, memory.NoNode)
+				if err != nil {
+					conn.Close()
+					results <- result{err: err}
+					return
+				}
+				results <- result{id: id, conn: conn}
+			}
+		}()
+	}
+	for j := 0; j < int(cfg.ID); j++ {
+		go func(j int) {
+			conn, err := dialRetry(m.cfg.Addrs[j], m.cfg.DialTimeout)
+			if err != nil {
+				results <- result{err: fmt.Errorf("dial node %d (%s): %w", j, m.cfg.Addrs[j], err)}
+				return
+			}
+			if _, err := m.handshake(conn, memory.NodeID(j)); err != nil {
+				conn.Close()
+				results <- result{err: err}
+				return
+			}
+			results <- result{id: memory.NodeID(j), conn: conn}
+		}(j)
+	}
+	deadline := time.NewTimer(cfg.DialTimeout + 10*time.Second)
+	defer deadline.Stop()
+	for have := 0; have < n-1; have++ {
+		select {
+		case r := <-results:
+			if r.err != nil {
+				cleanup()
+				return nil, fmt.Errorf("cluster: node %d bootstrap: %w", cfg.ID, r.err)
+			}
+			if conns[r.id] != nil {
+				r.conn.Close()
+				cleanup()
+				return nil, fmt.Errorf("cluster: node %d: duplicate connection for node %d", cfg.ID, r.id)
+			}
+			conns[r.id] = r.conn
+			m.logf("node %d: linked with node %d", cfg.ID, r.id)
+		case <-deadline.C:
+			cleanup()
+			return nil, fmt.Errorf("cluster: node %d: bootstrap timed out", cfg.ID)
+		}
+	}
+	if ln != nil {
+		ln.Close() // all pairs are up; no further connections expected
+	}
+	m.tr = tcp.New(cfg.ID, conns, tcp.Options{OnFatal: cfg.OnFatal})
+
+	// Start barrier: every member reports ready to node 0; node 0
+	// releases the cluster. After this, engines may run.
+	if cfg.ID != 0 {
+		m.send(0, ctlReady, nil)
+		if _, _, err := m.expect(ctlStart, ctlFail); err != nil {
+			m.tr.Close()
+			return nil, fmt.Errorf("cluster: node %d: start barrier: %w", cfg.ID, err)
+		}
+	} else {
+		seen := make([]bool, n)
+		for have := 0; have < n-1; have++ {
+			from, _, err := m.expectFromAny(ctlReady)
+			if err != nil {
+				m.tr.Close()
+				return nil, fmt.Errorf("cluster: start barrier: %w", err)
+			}
+			if seen[from] {
+				m.tr.Close()
+				return nil, fmt.Errorf("cluster: node %d reported ready twice", from)
+			}
+			seen[from] = true
+		}
+		m.broadcast(ctlStart, nil)
+	}
+	m.logf("node %d: cluster of %d up", cfg.ID, n)
+	return m, nil
+}
+
+// dialRetry dials addr until it answers or the budget runs out: peers
+// start in arbitrary order, so refusals are expected at first.
+func dialRetry(addr string, budget time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(budget)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// handshake exchanges and validates hellos on a fresh pair connection.
+// want names the expected peer (dialed connections), NoNode accepts any
+// valid higher id (accepted connections). Each side then confirms with
+// a status byte, so a rejected member learns why instead of seeing a
+// bare hangup — the config-mismatch rejection path.
+func (m *Member) handshake(conn net.Conn, want memory.NodeID) (memory.NodeID, error) {
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	defer conn.SetDeadline(time.Time{})
+
+	var hello [helloSize]byte
+	le := binary.LittleEndian
+	le.PutUint32(hello[0:], helloMagic)
+	hello[4] = helloVersion
+	le.PutUint16(hello[5:], uint16(m.cfg.ID))
+	le.PutUint16(hello[7:], uint16(m.n))
+	le.PutUint64(hello[9:], m.cfg.Digest)
+	if _, err := conn.Write(hello[:]); err != nil {
+		return 0, fmt.Errorf("handshake write: %w", err)
+	}
+	var peer [helloSize]byte
+	if _, err := io.ReadFull(conn, peer[:]); err != nil {
+		return 0, fmt.Errorf("handshake read: %w", err)
+	}
+	verdict := func() string {
+		if le.Uint32(peer[0:]) != helloMagic {
+			return "not a dsmnode peer (bad magic)"
+		}
+		if peer[4] != helloVersion {
+			return fmt.Sprintf("protocol version %d, want %d", peer[4], helloVersion)
+		}
+		if got := int(le.Uint16(peer[7:])); got != m.n {
+			return fmt.Sprintf("cluster size %d, want %d", got, m.n)
+		}
+		if got := le.Uint64(peer[9:]); got != m.cfg.Digest {
+			return fmt.Sprintf("config digest %#x, want %#x — members must run identical configurations", got, m.cfg.Digest)
+		}
+		id := memory.NodeID(int16(le.Uint16(peer[5:])))
+		if want != memory.NoNode && id != want {
+			return fmt.Sprintf("node id %d, want %d", id, want)
+		}
+		if want == memory.NoNode && (id <= m.cfg.ID || int(id) >= m.n) {
+			return fmt.Sprintf("unexpected node id %d", id)
+		}
+		return ""
+	}()
+	// Status exchange: 0 accepts; anything else rejects, followed by a
+	// length-prefixed reason.
+	if verdict != "" {
+		msg := []byte(verdict)
+		status := append([]byte{1, byte(len(msg)), byte(len(msg) >> 8)}, msg...)
+		conn.Write(status)
+		return 0, fmt.Errorf("rejecting peer: %s", verdict)
+	}
+	if _, err := conn.Write([]byte{0, 0, 0}); err != nil {
+		return 0, fmt.Errorf("handshake status write: %w", err)
+	}
+	var st [3]byte
+	if _, err := io.ReadFull(conn, st[:]); err != nil {
+		return 0, fmt.Errorf("handshake status read: %w", err)
+	}
+	if st[0] != 0 {
+		reason := make([]byte, int(st[1])|int(st[2])<<8)
+		io.ReadFull(conn, reason)
+		return 0, fmt.Errorf("peer rejected us: %s", reason)
+	}
+	return memory.NodeID(int16(le.Uint16(peer[5:]))), nil
+}
+
+// --- control-plane message plumbing -------------------------------
+
+// ctlKind tags every control payload.
+type ctlKind byte
+
+const (
+	ctlReady ctlKind = iota + 1
+	ctlStart
+	ctlDone      // member → 0: local workers finished
+	ctlPoll      // 0 → members: report activity
+	ctlPollReply // member → 0: {inflight, frames delivered}
+	ctlQuiesced  // 0 → members: cluster-wide quiescence reached
+	ctlReport    // member → 0: end-of-run node state
+	ctlAssign    // 0 → members: authoritative final memory
+	ctlAppReport // member → 0: application result
+	ctlVerdict   // 0 → members: cluster-wide verdict
+	ctlBye       // member → 0: ready to tear down
+	ctlShutdown  // 0 → members: tear down now
+	ctlFail      // 0 → members: cluster-wide failure, reason attached
+)
+
+func (k ctlKind) String() string {
+	names := [...]string{"?", "ready", "start", "done", "poll", "pollreply",
+		"quiesced", "report", "assign", "appreport", "verdict", "bye", "shutdown", "fail"}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("ctl(%d)", byte(k))
+}
+
+// send gob-encodes body under kind and queues it for node to. A nil
+// body sends the bare kind.
+func (m *Member) send(to memory.NodeID, kind ctlKind, body any) {
+	var buf bytes.Buffer
+	buf.WriteByte(byte(kind))
+	if body != nil {
+		if err := gob.NewEncoder(&buf).Encode(body); err != nil {
+			panic(fmt.Sprintf("cluster: encoding %v: %v", kind, err))
+		}
+	}
+	m.tr.SendCtrl(to, buf.Bytes())
+}
+
+// broadcast sends kind/body to every other member.
+func (m *Member) broadcast(kind ctlKind, body any) {
+	for id := 0; id < m.n; id++ {
+		if memory.NodeID(id) != m.cfg.ID {
+			m.send(memory.NodeID(id), kind, body)
+		}
+	}
+}
+
+// recv blocks for the next control message.
+func (m *Member) recv() (memory.NodeID, ctlKind, []byte, error) {
+	c, ok := m.tr.RecvCtrl()
+	if !ok {
+		if err := m.tr.Err(); err != nil {
+			return 0, 0, nil, err
+		}
+		return 0, 0, nil, fmt.Errorf("control channel closed")
+	}
+	if len(c.Payload) == 0 {
+		return 0, 0, nil, fmt.Errorf("empty control frame from node %d", c.From)
+	}
+	return c.From, ctlKind(c.Payload[0]), c.Payload[1:], nil
+}
+
+// expect waits for one of the wanted kinds from node 0, treating
+// ctlFail specially: its reason becomes the error. Anything else is a
+// protocol violation.
+func (m *Member) expect(wanted ...ctlKind) (ctlKind, []byte, error) {
+	from, kind, body, err := m.recv()
+	if err != nil {
+		return 0, nil, err
+	}
+	if kind == ctlFail {
+		var f failBody
+		decodeBody(body, &f)
+		return 0, nil, fmt.Errorf("cluster failed: %s", f.Reason)
+	}
+	for _, w := range wanted {
+		if kind == w {
+			return kind, body, nil
+		}
+	}
+	return 0, nil, fmt.Errorf("unexpected %v from node %d (want %v)", kind, from, wanted)
+}
+
+// expectFromAny waits for the wanted kind from any member (coordinator
+// gathers).
+func (m *Member) expectFromAny(want ctlKind) (memory.NodeID, []byte, error) {
+	from, kind, body, err := m.recv()
+	if err != nil {
+		return 0, nil, err
+	}
+	if kind != want {
+		return 0, nil, fmt.Errorf("unexpected %v from node %d (want %v)", kind, from, want)
+	}
+	return from, body, nil
+}
+
+func decodeBody(body []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(body)).Decode(v)
+}
+
+type failBody struct{ Reason string }
+
+// failCluster broadcasts a cluster-wide failure and returns it as an
+// error (coordinator only).
+func (m *Member) failCluster(reason string) error {
+	m.broadcast(ctlFail, failBody{Reason: reason})
+	return fmt.Errorf("cluster failed: %s", reason)
+}
+
+// --- transport.Transport (engine-facing) --------------------------
+
+// Send implements transport.Transport by delegation.
+func (m *Member) Send(to memory.NodeID, frame []byte) { m.tr.Send(to, frame) }
+
+// Recv implements transport.Transport by delegation.
+func (m *Member) Recv(id memory.NodeID) ([]byte, bool) { return m.tr.Recv(id) }
+
+// Close implements transport.Transport for the engine: it closes the
+// data plane only — the control plane stays up for the post-run
+// exchanges (application verdict, shutdown barrier), which happen after
+// the engine's Run has returned. Full teardown is Leave.
+func (m *Member) Close() { m.tr.CloseData() }
+
+// PeakDepth implements transport.DepthReporter by delegation.
+func (m *Member) PeakDepth() int { return m.tr.PeakDepth() }
+
+// LocalNode reports the node this process executes.
+func (m *Member) LocalNode() memory.NodeID { return m.cfg.ID }
+
+// Nodes reports the cluster size.
+func (m *Member) Nodes() int { return m.n }
+
+// Digest reports the canonical cluster-wide final-memory digest,
+// available after the run finished.
+func (m *Member) Digest() uint64 { return m.digest }
+
+// Completed reports whether the application verdict exchange has run
+// (FinishApp or AbortApp): a daemon whose app errored before the
+// exchange must AbortApp so peers learn of the failure; one whose app
+// errored *from* the exchange must not run it twice.
+func (m *Member) Completed() bool { return m.hasResult }
+
+// Quiesce implements live.Quiescer: distributed termination detection.
+// Called by the engine once this process's workers have finished.
+func (m *Member) Quiesce(inflight func() int64) error {
+	if m.n == 1 {
+		for inflight() != 0 {
+			time.Sleep(20 * time.Microsecond)
+		}
+		return nil
+	}
+	if m.cfg.ID != 0 {
+		m.send(0, ctlDone, nil)
+		for {
+			kind, _, err := m.expect(ctlPoll, ctlQuiesced)
+			if err != nil {
+				return err
+			}
+			if kind == ctlQuiesced {
+				return nil
+			}
+			m.send(0, ctlPollReply, pollBody{Inflight: inflight(), Delivered: m.tr.DataRecv()})
+		}
+	}
+	// Coordinator: wait for every member's workers, then run poll
+	// waves until two consecutive waves see a zero in-flight sum with
+	// no frame delivered anywhere in between — at that point no
+	// protocol frame exists in any queue, socket or handler.
+	for have := 0; have < m.n-1; have++ {
+		if _, _, err := m.expectFromAny(ctlDone); err != nil {
+			return err
+		}
+	}
+	var prev []int64
+	prevZero := false
+	for wave := 0; ; wave++ {
+		m.broadcast(ctlPoll, nil)
+		sum := inflight()
+		delivered := make([]int64, m.n)
+		delivered[0] = m.tr.DataRecv()
+		for have := 0; have < m.n-1; have++ {
+			from, body, err := m.expectFromAny(ctlPollReply)
+			if err != nil {
+				return err
+			}
+			var p pollBody
+			if err := decodeBody(body, &p); err != nil {
+				return err
+			}
+			sum += p.Inflight
+			delivered[from] = p.Delivered
+		}
+		stable := prevZero && sum == 0 && prev != nil
+		if stable {
+			for i := range delivered {
+				if delivered[i] != prev[i] {
+					stable = false
+					break
+				}
+			}
+		}
+		if stable {
+			m.broadcast(ctlQuiesced, nil)
+			m.logf("node 0: cluster quiescent after %d waves", wave+1)
+			return nil
+		}
+		prev, prevZero = delivered, sum == 0
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+type pollBody struct {
+	Inflight  int64
+	Delivered int64
+}
+
+// Leave runs the shutdown drain barrier and tears the connections
+// down. Call it after the application (and its verdict exchange) is
+// done; it is safe to call after a failure, when it makes a best
+// effort and never blocks forever.
+func (m *Member) Leave() {
+	if m.tr == nil {
+		return
+	}
+	// Everything that matters has happened; from here, peer hangups
+	// are expected.
+	m.tr.MarkShutdown()
+	if m.n > 1 {
+		if m.cfg.ID != 0 {
+			m.send(0, ctlBye, nil)
+			m.expect(ctlShutdown) // best effort: errors just mean "go"
+		} else {
+			for have := 0; have < m.n-1; have++ {
+				if _, _, err := m.expectFromAny(ctlBye); err != nil {
+					break
+				}
+			}
+			m.broadcast(ctlShutdown, nil)
+		}
+	}
+	m.tr.Close()
+}
+
+// interface conformance (the apps.Member methods live in finish.go; the
+// full apps.Member check is in cmd/dsmnode, avoiding an import here).
+var (
+	_ transport.Transport     = (*Member)(nil)
+	_ transport.DepthReporter = (*Member)(nil)
+	_ live.Quiescer           = (*Member)(nil)
+	_ live.Finisher           = (*Member)(nil)
+)

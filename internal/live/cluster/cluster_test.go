@@ -1,0 +1,235 @@
+package cluster
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/memory"
+)
+
+// bindAddrs reserves n loopback listeners so every member knows every
+// peer's concrete address before any Join starts (the test stand-in for
+// dsmnode's -peers flag).
+func bindAddrs(t *testing.T, n int) ([]net.Listener, []string) {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	return lns, addrs
+}
+
+// runMembers bootstraps an n-member cluster in-process (each member a
+// goroutine standing in for one dsmnode process) and runs fn on every
+// member concurrently, returning the per-member outcomes.
+func runMembers(t *testing.T, n int, check bool, fn func(m *Member) (apps.Result, error)) ([]apps.Result, []error) {
+	t.Helper()
+	lns, addrs := bindAddrs(t, n)
+	results := make([]apps.Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, err := Join(Config{
+				ID: memory.NodeID(i), Addrs: addrs, Digest: 0xD15C0, Check: check,
+				Listener: lns[i], DialTimeout: 10 * time.Second,
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer m.Leave()
+			results[i], errs[i] = fn(m)
+		}(i)
+	}
+	wg.Wait()
+	return results, errs
+}
+
+// TestCrossEngineTCPDigest is the acceptance gate in-process: the same
+// application configuration must produce the same final-memory digest
+// on the simulator, on the live engine over the in-process chanloop
+// transport, and on the live engine split across a 4-member TCP cluster
+// — the third engine configuration of the cross-engine equivalence bar.
+func TestCrossEngineTCPDigest(t *testing.T) {
+	const nodes = 4
+	cases := []struct {
+		name string
+		run  func(o apps.Options) (apps.Result, error)
+	}{
+		{"asp", func(o apps.Options) (apps.Result, error) { return apps.RunASP(24, o) }},
+		{"sor", func(o apps.Options) (apps.Result, error) { return apps.RunSOR(20, 3, o) }},
+	}
+	locators := []string{"fwdptr", "manager"}
+	for _, tc := range cases {
+		for _, loc := range locators {
+			t.Run(tc.name+"/"+loc, func(t *testing.T) {
+				base := apps.Options{Nodes: nodes, Locator: loc, Check: true, Oracle: true}
+
+				simOpts := base
+				simRes, err := tc.run(simOpts)
+				if err != nil {
+					t.Fatalf("sim: %v", err)
+				}
+
+				chanOpts := base
+				chanOpts.Engine = "live"
+				chanRes, err := tc.run(chanOpts)
+				if err != nil {
+					t.Fatalf("live/chanloop: %v", err)
+				}
+
+				results, errs := runMembers(t, nodes, true, func(m *Member) (apps.Result, error) {
+					o := base
+					o.Engine = "live"
+					o.Multi = m
+					return tc.run(o)
+				})
+				for i, err := range errs {
+					if err != nil {
+						t.Fatalf("live/tcp member %d: %v", i, err)
+					}
+				}
+				for i, res := range results {
+					if res.Digest != simRes.Digest {
+						t.Fatalf("member %d digest %#x != sim digest %#x", i, res.Digest, simRes.Digest)
+					}
+				}
+				if chanRes.Digest != simRes.Digest {
+					t.Fatalf("live/chanloop digest %#x != sim digest %#x", chanRes.Digest, simRes.Digest)
+				}
+				// Node 0 carries the merged cluster metrics: the whole
+				// cluster's protocol traffic, not one process's share.
+				if results[0].Metrics.LiveMsgs == 0 || results[0].Metrics.TotalMsgs(true) == 0 {
+					t.Fatal("merged metrics empty on node 0")
+				}
+				if results[0].OracleOps == 0 {
+					t.Fatal("merged oracle validated nothing")
+				}
+				if results[0].Metrics.LivePeakInbox <= 0 {
+					t.Fatal("merged queue-depth metrics missing")
+				}
+			})
+		}
+	}
+}
+
+// TestConfigMismatchRejected: a member started with different flags
+// (different config digest) must be rejected at the handshake, with an
+// error that says why.
+func TestConfigMismatchRejected(t *testing.T) {
+	lns, addrs := bindAddrs(t, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, err := Join(Config{
+				ID: memory.NodeID(i), Addrs: addrs, Digest: uint64(100 + i), // mismatched
+				Listener: lns[i], DialTimeout: 5 * time.Second,
+			})
+			if err == nil {
+				m.Leave()
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("member %d joined despite config mismatch", i)
+		}
+	}
+	combined := errs[0].Error() + " / " + errs[1].Error()
+	if !strings.Contains(combined, "config digest") {
+		t.Fatalf("mismatch errors do not name the config digest: %s", combined)
+	}
+}
+
+// TestClusterSizeMismatchRejected: disagreeing cluster sizes fail the
+// handshake too.
+func TestClusterSizeMismatchRejected(t *testing.T) {
+	lns, addrs := bindAddrs(t, 2)
+	lns[1].Close()
+	done := make(chan error, 1)
+	go func() {
+		// Member 1 believes the cluster has three nodes.
+		m, err := Join(Config{
+			ID: 1, Addrs: []string{addrs[0], addrs[1], "127.0.0.1:1"},
+			Digest: 7, DialTimeout: 5 * time.Second,
+		})
+		if err == nil {
+			m.Leave()
+		}
+		done <- err
+	}()
+	m, err := Join(Config{
+		ID: 0, Addrs: addrs, Digest: 7, Listener: lns[0], DialTimeout: 5 * time.Second,
+	})
+	if err == nil {
+		m.Leave()
+		t.Fatal("node 0 accepted a peer from a different-size cluster")
+	}
+	if !strings.Contains(err.Error(), "cluster size") {
+		t.Fatalf("error does not name the cluster size: %v", err)
+	}
+	if err := <-done; err == nil {
+		t.Fatal("mismatched member joined")
+	}
+}
+
+// TestAbortPropagates: one member failing its application must fail
+// every member, with the verdict naming the failing node.
+func TestAbortPropagates(t *testing.T) {
+	_, errs := runMembers(t, 3, false, func(m *Member) (apps.Result, error) {
+		if m.LocalNode() == 1 {
+			return apps.Result{}, m.AbortApp(errors.New("synthetic wreck"))
+		}
+		var res apps.Result
+		return res, m.FinishApp(nil, &res, false, false)
+	})
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("member %d did not observe the cluster failure", i)
+		}
+		if !strings.Contains(err.Error(), "node 1") || !strings.Contains(err.Error(), "synthetic wreck") {
+			t.Fatalf("member %d verdict does not name the failure: %v", i, err)
+		}
+	}
+}
+
+// TestSingleMemberCluster: n=1 degenerates to an in-process run with
+// the same API surface (no sockets at all).
+func TestSingleMemberCluster(t *testing.T) {
+	m, err := Join(Config{ID: 0, Addrs: []string{"unused"}, Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Leave()
+	o := apps.Options{Nodes: 1, Engine: "live", Check: true, Oracle: true, Multi: m}
+	res, err := apps.RunASP(12, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := apps.RunASP(12, apps.Options{Nodes: 1, Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Digest != want.Digest {
+		t.Fatalf("digest %#x != sim digest %#x", res.Digest, want.Digest)
+	}
+}

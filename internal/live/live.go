@@ -97,6 +97,30 @@ func DefaultConfig(nodes int) Config {
 	}
 }
 
+// Quiescer is an optional transport extension for backends that span
+// processes: the engine's local in-flight frame counter cannot observe
+// the whole cluster, so Run delegates the end-of-run quiescence wait to
+// the transport. Quiesce must block until no protocol frame is in
+// flight anywhere in the cluster (every process's workers have finished
+// and all trailing traffic — lock releases, manager updates, acks — has
+// been fully handled); inflight reports this process's own counter
+// (sent minus fully-handled, so the cluster-wide sum is zero exactly at
+// global quiescence). In-process backends don't implement it and keep
+// the counter spin.
+type Quiescer interface {
+	Quiesce(inflight func() int64) error
+}
+
+// Finisher is an optional transport extension called between global
+// quiescence and Close: a multi-process backend's cluster layer uses it
+// to reconcile the distributed end state (gather each node's
+// authoritative home copies, run the distributed invariant checks, and
+// repair the local replicas so post-run inspection — ObjectData,
+// Digest, application validation — sees the cluster-wide truth).
+type Finisher interface {
+	FinishRun(sp *proto.Space) error
+}
+
 // Cluster is a configured live DSM instance. Build it with New, declare
 // shared objects, locks and barriers, then call Run (once).
 type Cluster struct {
@@ -256,20 +280,40 @@ func (c *Cluster) Run(workers []proto.Worker) (stats.Metrics, error) {
 	// transport or being handled. Every frame increments inflight at
 	// send and decrements after its handler completed — including any
 	// frames the handler itself sent — so inflight can only reach zero
-	// once no causally-pending protocol work remains.
-	for c.inflight.Load() != 0 {
-		time.Sleep(20 * time.Microsecond)
+	// once no causally-pending protocol work remains. A transport that
+	// spans processes supplies the cluster-wide version of the same
+	// condition through the Quiescer hook.
+	var runErr error
+	if q, ok := c.tr.(Quiescer); ok {
+		runErr = q.Quiesce(func() int64 { return c.inflight.Load() })
+	} else {
+		for c.inflight.Load() != 0 {
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+	if runErr == nil {
+		if f, ok := c.tr.(Finisher); ok {
+			runErr = f.FinishRun(c.space)
+		}
 	}
 	c.tr.Close()
 	c.daemons.Wait()
 	var m stats.Metrics
 	for _, n := range c.nodes {
 		m.Counters.Add(&n.counters)
+		for _, t := range n.threads {
+			if p := t.mbox.peak(); p > m.LivePeakMailbox {
+				m.LivePeakMailbox = p
+			}
+		}
+	}
+	if dr, ok := c.tr.(transport.DepthReporter); ok {
+		m.LivePeakInbox = dr.PeakDepth()
 	}
 	m.Wall = wall
 	m.LiveMsgs = c.frames.Load()
 	m.LiveBytes = c.frameB.Load()
-	return m, nil
+	return m, runErr
 }
 
 // node is one live cluster node: the shared protocol state plus the
@@ -286,14 +330,16 @@ type node struct {
 	counters stats.Counters
 }
 
-// Send implements proto.Engine: encode through the wire codec and hand
-// the frame to the transport. Same-node sends are a protocol bug, as on
-// the simulated interconnect.
+// Send implements proto.Engine: encode through the wire codec into a
+// pooled frame buffer and hand it to the transport, which owns it from
+// here (the daemon returns inbox frames to the pool after decoding; the
+// TCP backend returns them once written to the socket). Same-node sends
+// are a protocol bug, as on the simulated interconnect.
 func (n *node) Send(msg wire.Msg, cat stats.Category) {
 	if msg.From == msg.To {
 		panic(fmt.Sprintf("live: same-node send of %v on node %d", msg.Kind, msg.From))
 	}
-	frame := msg.Encode(nil)
+	frame := msg.Encode(transport.GetFrame())
 	n.counters.Record(cat, len(frame))
 	n.c.frames.Add(1)
 	n.c.frameB.Add(int64(len(frame)))
@@ -336,6 +382,9 @@ func (n *node) daemon() {
 		if err != nil {
 			panic(fmt.Sprintf("live: node %d received corrupt frame: %v", n.ps.ID, err))
 		}
+		// Decode copies every payload out of the frame, so the buffer
+		// can feed the pool now — except on the requeue path below,
+		// which re-sends the original frame.
 		n.mu.Lock()
 		if !n.ps.CanRoute(msg) {
 			// The home transfer that makes this message routable is
@@ -351,6 +400,7 @@ func (n *node) daemon() {
 			n.c.tr.Send(n.ps.ID, frame)
 			continue
 		}
+		transport.PutFrame(frame)
 		n.ps.Handle(msg)
 		n.mu.Unlock()
 		n.c.inflight.Add(-1)
@@ -429,6 +479,8 @@ type mailbox struct {
 func newMailbox() *mailbox { return &mailbox{q: transport.NewQueue[any]()} }
 
 func (m *mailbox) put(v any) { m.q.Put(v) }
+
+func (m *mailbox) peak() int { return m.q.Peak() }
 
 func (m *mailbox) get() any {
 	v, ok := m.q.Get()

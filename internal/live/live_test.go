@@ -50,6 +50,12 @@ func TestLockedCounter(t *testing.T) {
 	if m.LiveMsgs <= 0 {
 		t.Fatalf("no live frames counted")
 	}
+	if m.LivePeakInbox <= 0 {
+		t.Fatalf("inbox peak depth not observed: %d", m.LivePeakInbox)
+	}
+	if m.LivePeakMailbox <= 0 {
+		t.Fatalf("mailbox peak depth not observed: %d", m.LivePeakMailbox)
+	}
 }
 
 // TestBarrierPhases runs a stencil-style double buffer: each phase every

@@ -1,0 +1,392 @@
+// Package tcp is the networked transport backend of the live DSM
+// engine: encoded protocol frames cross real sockets, one persistent
+// connection per node pair, so a cluster can span OS processes (and
+// machines). The package is the data plane only — it runs over
+// connections that are already established and identified; dialing,
+// accepting and the hello handshake that pairs a connection with a node
+// ID live in internal/live/cluster.
+//
+// Wire format: every frame is [uint32 length][byte channel][payload],
+// little-endian length counting the payload bytes only. Channel 0
+// carries engine frames (the internal/wire codec's output, opaque
+// here); channel 1 carries the cluster layer's control messages
+// (bootstrap barrier, distributed quiescence, state gather, shutdown).
+// Multiplexing both on the pair connection keeps the "one connection
+// per node pair" property the ISSUE's design calls for.
+//
+// Delivery contract: a TCP connection is FIFO, and each (sender,
+// receiver) pair has exactly one, so frames between a pair arrive in
+// send order — the Transport contract's FIFO-per-pair guarantee. Sends
+// never block: each peer has an unbounded send queue drained by a
+// dedicated writer goroutine (transport.Queue, the same structure that
+// backs the in-process backend), so two nodes sending to each other
+// cannot deadlock on full socket buffers. Self-sends (the daemon's
+// requeue path) loop back to the local inbox without touching a socket.
+//
+// Frame buffers follow the transport ownership rule: Send transfers the
+// buffer; the writer returns it to the frame pool once the bytes are on
+// the wire, and the reader allocates delivery buffers from the same
+// pool (the receiving daemon returns them after decoding).
+package tcp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/live/transport"
+	"repro/internal/memory"
+)
+
+// maxFrame bounds a single frame (64 MiB): a length prefix beyond it is
+// treated as stream corruption rather than an allocation request.
+const maxFrame = 64 << 20
+
+// Frame channels.
+const (
+	chanData byte = 0
+	chanCtrl byte = 1
+)
+
+// Ctrl is one control-channel message as received: the peer that sent
+// it and its payload (owned by the receiver).
+type Ctrl struct {
+	From    memory.NodeID
+	Payload []byte
+}
+
+// Options tunes a Transport.
+type Options struct {
+	// OnFatal is called (once) when a connection fails outside an
+	// orderly shutdown — a peer process died mid-run. nil panics: a
+	// broken cluster cannot make progress and silence would present as
+	// a hang. The cluster layer installs a handler that reports the
+	// peer and exits the daemon.
+	OnFatal func(error)
+}
+
+// outFrame is one queued frame with its channel tag.
+type outFrame struct {
+	tag     byte
+	payload []byte
+}
+
+// peer is the per-remote-node link state: the pair connection and its
+// writer's send queue.
+type peer struct {
+	id   memory.NodeID
+	conn net.Conn
+	out  *transport.Queue[outFrame]
+}
+
+// Transport implements transport.Transport over per-pair TCP
+// connections for one node of a multi-process cluster.
+type Transport struct {
+	local memory.NodeID
+	n     int
+	peers []*peer // nil at local (and for absent peers in tests)
+
+	// inboxes[local] receives every data frame addressed to this node
+	// (network + loopback). The other entries exist only so the live
+	// engine's daemons for non-local node replicas can park in Recv
+	// until Close — they never carry a frame.
+	inboxes []*transport.Queue[[]byte]
+	ctrl    *transport.Queue[Ctrl]
+
+	dataSent atomic.Int64
+	dataRecv atomic.Int64
+
+	shuttingDown atomic.Bool
+	dataClosed   atomic.Bool
+	closeOnce    sync.Once
+
+	writers sync.WaitGroup
+	readers sync.WaitGroup
+
+	onFatal   func(error)
+	fatalOnce sync.Once
+	errMu     sync.Mutex
+	err       error
+}
+
+// New builds the transport for node local of an n-node cluster over
+// established pair connections: conns[j] is the connection to node j
+// (nil at local; nil elsewhere is allowed in tests for unreachable
+// peers, whose sends then drop). It starts one reader and one writer
+// goroutine per connection and takes ownership of the conns.
+func New(local memory.NodeID, conns []net.Conn, opt Options) *Transport {
+	n := len(conns)
+	if local < 0 || int(local) >= n {
+		panic(fmt.Sprintf("tcp: local node %d outside cluster of %d", local, n))
+	}
+	t := &Transport{
+		local:   local,
+		n:       n,
+		peers:   make([]*peer, n),
+		inboxes: make([]*transport.Queue[[]byte], n),
+		ctrl:    transport.NewQueue[Ctrl](),
+		onFatal: opt.OnFatal,
+	}
+	for i := range t.inboxes {
+		t.inboxes[i] = transport.NewQueue[[]byte]()
+	}
+	for j, conn := range conns {
+		if conn == nil {
+			continue
+		}
+		if memory.NodeID(j) == local {
+			panic(fmt.Sprintf("tcp: connection to self on node %d", local))
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.SetNoDelay(true) // protocol frames are latency-bound
+		}
+		p := &peer{id: memory.NodeID(j), conn: conn, out: transport.NewQueue[outFrame]()}
+		t.peers[j] = p
+		t.writers.Add(1)
+		go t.writer(p)
+		t.readers.Add(1)
+		go t.reader(p)
+	}
+	return t
+}
+
+// Local reports the node this transport belongs to.
+func (t *Transport) Local() memory.NodeID { return t.local }
+
+// Nodes reports the cluster size.
+func (t *Transport) Nodes() int { return t.n }
+
+// Send implements transport.Transport: loop self-sends back to the
+// local inbox, queue the rest on the destination pair's writer. Sends
+// racing Close drop silently (the frame feeds the pool).
+func (t *Transport) Send(to memory.NodeID, frame []byte) {
+	if to < 0 || int(to) >= t.n {
+		panic(fmt.Sprintf("tcp: send to invalid node %d", to))
+	}
+	if to == t.local {
+		if t.inboxes[to].Put(frame) {
+			t.dataRecv.Add(1)
+		} else {
+			transport.PutFrame(frame)
+		}
+		return
+	}
+	p := t.peers[to]
+	if p == nil || !p.out.Put(outFrame{tag: chanData, payload: frame}) {
+		transport.PutFrame(frame)
+		return
+	}
+	t.dataSent.Add(1)
+}
+
+// Recv implements transport.Transport. Only the local node's inbox ever
+// receives frames; Recv for other ids parks until Close (those ids'
+// daemons belong to remote processes — the local replicas idle).
+func (t *Transport) Recv(id memory.NodeID) ([]byte, bool) {
+	return t.inboxes[id].Get()
+}
+
+// SendCtrl queues a control-channel message for node to (loopback for
+// the local node, so a coordinator can treat itself uniformly). The
+// payload is copied; the caller keeps ownership of buf.
+func (t *Transport) SendCtrl(to memory.NodeID, buf []byte) {
+	payload := append(transport.GetFrame(), buf...)
+	if to == t.local {
+		if !t.ctrl.Put(Ctrl{From: t.local, Payload: payload}) {
+			transport.PutFrame(payload)
+		}
+		return
+	}
+	p := t.peers[to]
+	if p == nil || !p.out.Put(outFrame{tag: chanCtrl, payload: payload}) {
+		transport.PutFrame(payload)
+	}
+}
+
+// RecvCtrl blocks for the next control message; ok reports false once
+// the transport is fully closed (or has failed).
+func (t *Transport) RecvCtrl() (Ctrl, bool) {
+	return t.ctrl.Get()
+}
+
+// DataSent reports the data frames handed to peer writers so far.
+func (t *Transport) DataSent() int64 { return t.dataSent.Load() }
+
+// DataRecv reports the data frames delivered to the local inbox so far
+// (network and loopback). Its monotonic growth is the activity signal
+// the cluster layer's distributed-quiescence waves watch.
+func (t *Transport) DataRecv() int64 { return t.dataRecv.Load() }
+
+// InboxLen reports node id's current inbox depth (tests, observability).
+func (t *Transport) InboxLen(id memory.NodeID) int { return t.inboxes[id].Len() }
+
+// PeakDepth implements transport.DepthReporter: the deepest any
+// delivery queue got — the local inbox or a peer send queue.
+func (t *Transport) PeakDepth() int {
+	max := t.inboxes[t.local].Peak()
+	for _, p := range t.peers {
+		if p != nil {
+			if d := p.out.Peak(); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// MarkShutdown declares that an orderly teardown is under way: from now
+// on connection errors (a peer closing first) are expected and silent.
+// The cluster layer calls it once the shutdown barrier has passed.
+func (t *Transport) MarkShutdown() { t.shuttingDown.Store(true) }
+
+// CloseData closes engine-frame delivery only: daemons blocked in Recv
+// drain their inboxes and exit, while the connections, writers and the
+// control channel stay up for the cluster layer's post-run exchanges
+// (metrics merge, shutdown barrier). The live engine's Close maps here
+// when the transport is wrapped by a cluster member; the final teardown
+// is Close.
+func (t *Transport) CloseData() {
+	if t.dataClosed.Swap(true) {
+		return
+	}
+	for _, b := range t.inboxes {
+		b.Close()
+	}
+}
+
+// Close implements transport.Transport: full teardown. Queued frames
+// are still written (graceful drain), then the connections close and
+// every blocked Recv/RecvCtrl returns false.
+func (t *Transport) Close() {
+	t.closeOnce.Do(func() {
+		t.MarkShutdown()
+		t.CloseData()
+		for _, p := range t.peers {
+			if p != nil {
+				p.out.Close() // writer drains the queue, then exits
+			}
+		}
+		t.writers.Wait()
+		for _, p := range t.peers {
+			if p != nil {
+				p.conn.Close() // unblocks the reader
+			}
+		}
+		t.readers.Wait()
+		t.ctrl.Close()
+	})
+}
+
+// Err reports the first connection failure, if any.
+func (t *Transport) Err() error {
+	t.errMu.Lock()
+	defer t.errMu.Unlock()
+	return t.err
+}
+
+// fail records a connection failure and raises it, unless an orderly
+// shutdown explains it — in which case the control channel still
+// closes (after draining), so a peer that died mid-teardown cannot
+// leave the shutdown barrier blocked in RecvCtrl forever.
+func (t *Transport) fail(p *peer, op string, err error) {
+	if t.shuttingDown.Load() {
+		t.ctrl.Close()
+		return
+	}
+	t.errMu.Lock()
+	if t.err == nil {
+		t.err = fmt.Errorf("tcp: node %d: %s with node %d failed: %w", t.local, op, p.id, err)
+	}
+	ferr := t.err
+	t.errMu.Unlock()
+	t.fatalOnce.Do(func() {
+		if t.onFatal != nil {
+			t.onFatal(ferr)
+			return
+		}
+		panic(ferr)
+	})
+}
+
+// writer drains one peer's send queue onto its connection. Each frame
+// goes out as a single writev of header + payload; the payload buffer
+// returns to the frame pool once written.
+func (t *Transport) writer(p *peer) {
+	defer t.writers.Done()
+	var head [5]byte
+	for {
+		f, ok := p.out.Get()
+		if !ok {
+			return
+		}
+		binary.LittleEndian.PutUint32(head[:4], uint32(len(f.payload)))
+		head[4] = f.tag
+		bufs := net.Buffers{head[:], f.payload}
+		if _, err := bufs.WriteTo(p.conn); err != nil {
+			transport.PutFrame(f.payload)
+			t.fail(p, "write", err)
+			// Keep draining so senders' queues empty and Close can
+			// complete; the frames go nowhere.
+			continue
+		}
+		transport.PutFrame(f.payload)
+	}
+}
+
+// reader delivers one peer's incoming frames: data to the local inbox,
+// control to the control queue.
+func (t *Transport) reader(p *peer) {
+	defer t.readers.Done()
+	var head [5]byte
+	for {
+		if _, err := io.ReadFull(p.conn, head[:]); err != nil {
+			if err != io.EOF {
+				t.fail(p, "read", err)
+			} else {
+				t.fail(p, "read (peer closed)", err)
+			}
+			return
+		}
+		size := int(binary.LittleEndian.Uint32(head[:4]))
+		tag := head[4]
+		if size > maxFrame {
+			t.fail(p, "read", fmt.Errorf("frame of %d bytes exceeds limit", size))
+			return
+		}
+		buf := transport.GetFrame()
+		if cap(buf) < size {
+			transport.PutFrame(buf)
+			buf = make([]byte, size)
+		} else {
+			buf = buf[:size]
+		}
+		if _, err := io.ReadFull(p.conn, buf); err != nil {
+			t.fail(p, "read", err)
+			return
+		}
+		switch tag {
+		case chanData:
+			if t.inboxes[t.local].Put(buf) {
+				t.dataRecv.Add(1)
+			} else {
+				transport.PutFrame(buf) // late frame after CloseData
+			}
+		case chanCtrl:
+			if !t.ctrl.Put(Ctrl{From: p.id, Payload: buf}) {
+				transport.PutFrame(buf)
+			}
+		default:
+			t.fail(p, "read", fmt.Errorf("unknown frame channel %d", tag))
+			return
+		}
+	}
+}
+
+// compile-time interface checks.
+var (
+	_ transport.Transport     = (*Transport)(nil)
+	_ transport.DepthReporter = (*Transport)(nil)
+)

@@ -1,0 +1,212 @@
+package tcp
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/live/transport"
+	"repro/internal/live/transport/transporttest"
+	"repro/internal/memory"
+)
+
+// dialMesh wires n tcp.Transports over real loopback sockets, one
+// connection per node pair, exactly as the cluster bootstrap does
+// (higher id dials lower): the in-process stand-in for n daemon
+// processes.
+func dialMesh(t *testing.T, n int, opt Options) []*Transport {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+	}
+	conns := make([][]net.Conn, n)
+	for i := range conns {
+		conns[i] = make([]net.Conn, n)
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		// Node i accepts one connection from every higher-id node; the
+		// dialer announces itself with a one-byte id preamble.
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := i + 1; k < n; k++ {
+				c, err := lns[i].Accept()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var id [1]byte
+				if _, err := c.Read(id[:]); err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				conns[i][id[0]] = c
+				mu.Unlock()
+			}
+		}(i)
+		for j := 0; j < i; j++ {
+			wg.Add(1)
+			go func(i, j int) {
+				defer wg.Done()
+				c, err := net.Dial("tcp", lns[j].Addr().String())
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := c.Write([]byte{byte(i)}); err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				conns[i][j] = c
+				mu.Unlock()
+			}(i, j)
+		}
+	}
+	wg.Wait()
+	for _, ln := range lns {
+		ln.Close()
+	}
+	if t.Failed() {
+		t.Fatal("mesh wiring failed")
+	}
+	trs := make([]*Transport, n)
+	for i := 0; i < n; i++ {
+		trs[i] = New(memory.NodeID(i), conns[i], opt)
+	}
+	return trs
+}
+
+// tcpMesh adapts the dialed transports to the conformance suite.
+type tcpMesh struct{ trs []*Transport }
+
+func (m tcpMesh) Node(i int) transport.Transport { return m.trs[i] }
+
+// Close tears the mesh down in two phases: mark every transport as
+// shutting down first, so the EOFs the closes provoke on still-open
+// peers read as orderly rather than fatal.
+func (m tcpMesh) Close() {
+	for _, tr := range m.trs {
+		tr.MarkShutdown()
+	}
+	for _, tr := range m.trs {
+		tr.Close()
+	}
+}
+
+// TestTCPConformance runs the exported transport conformance suite over
+// real loopback sockets.
+func TestTCPConformance(t *testing.T) {
+	transporttest.Run(t, func(t *testing.T, n int) transporttest.Mesh {
+		return tcpMesh{trs: dialMesh(t, n, Options{})}
+	})
+}
+
+// TestControlChannel: control messages multiplex on the pair
+// connections without disturbing data frames, in FIFO order per pair.
+func TestControlChannel(t *testing.T) {
+	trs := dialMesh(t, 2, Options{})
+	defer tcpMesh{trs}.Close()
+	for i := 0; i < 10; i++ {
+		trs[1].SendCtrl(0, []byte(fmt.Sprintf("ctrl-%d", i)))
+		trs[1].Send(0, append(transport.GetFrame(), byte(i)))
+	}
+	trs[0].SendCtrl(0, []byte("loopback"))
+	seen := 0
+	loopback := false
+	for seen < 10 || !loopback {
+		c, ok := trs[0].RecvCtrl()
+		if !ok {
+			t.Fatal("control channel closed early")
+		}
+		switch {
+		case c.From == 0:
+			if string(c.Payload) != "loopback" {
+				t.Fatalf("loopback payload %q", c.Payload)
+			}
+			loopback = true
+		case c.From == 1:
+			if want := fmt.Sprintf("ctrl-%d", seen); string(c.Payload) != want {
+				t.Fatalf("ctrl out of order: got %q want %q", c.Payload, want)
+			}
+			seen++
+		}
+	}
+	for i := 0; i < 10; i++ {
+		f, ok := trs[0].Recv(0)
+		if !ok || int(f[0]) != i {
+			t.Fatalf("data frame %d: got %v ok=%v", i, f, ok)
+		}
+	}
+}
+
+// TestPeerDeathRaisesFatal: a peer vanishing mid-run (no shutdown
+// barrier) must raise OnFatal on the survivor — a silently broken
+// cluster would present as a hang.
+func TestPeerDeathRaisesFatal(t *testing.T) {
+	fatal := make(chan error, 2)
+	trs := dialMesh(t, 2, Options{OnFatal: func(err error) { fatal <- err }})
+	trs[0].Close() // node 0 dies without MarkShutdown on node 1
+	select {
+	case err := <-fatal:
+		if err == nil {
+			t.Fatal("nil fatal error")
+		}
+		if trs[1].Err() == nil {
+			t.Fatal("Err() not recorded")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("survivor never noticed the dead peer")
+	}
+	trs[1].MarkShutdown()
+	trs[1].Close()
+}
+
+// TestPeerDeathDuringShutdownUnblocksCtrl: a peer dying after this
+// side entered shutdown must still close the control channel, so a
+// member blocked in a shutdown-barrier RecvCtrl returns instead of
+// hanging forever (the Leave liveness guarantee).
+func TestPeerDeathDuringShutdownUnblocksCtrl(t *testing.T) {
+	trs := dialMesh(t, 2, Options{OnFatal: func(error) {}})
+	trs[1].MarkShutdown()
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := trs[1].RecvCtrl()
+		done <- ok
+	}()
+	trs[0].Close() // peer vanishes without the shutdown barrier
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("RecvCtrl returned a message from a dead cluster")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RecvCtrl still blocked after the peer died")
+	}
+	trs[1].Close()
+}
+
+// TestLoopbackSelfSend: the daemon requeue path — a send addressed to
+// the local node loops back through the inbox without a socket.
+func TestLoopbackSelfSend(t *testing.T) {
+	trs := dialMesh(t, 2, Options{})
+	defer tcpMesh{trs}.Close()
+	trs[0].Send(0, append(transport.GetFrame(), 42))
+	f, ok := trs[0].Recv(0)
+	if !ok || f[0] != 42 {
+		t.Fatalf("loopback frame: %v ok=%v", f, ok)
+	}
+	if got := trs[0].DataRecv(); got != 1 {
+		t.Fatalf("DataRecv = %d, want 1", got)
+	}
+}

@@ -30,6 +30,8 @@ import (
 type Transport interface {
 	// Send delivers frame to node to's daemon. It must not block
 	// indefinitely and may be called concurrently from any goroutine.
+	// After Close, sends are a silent drop (per the Queue contract) —
+	// a daemon racing a concurrent Close must not panic.
 	Send(to memory.NodeID, frame []byte)
 	// Recv blocks for the next frame addressed to node id. ok reports
 	// false when the transport has been closed and no frames remain.
@@ -37,6 +39,15 @@ type Transport interface {
 	// Close shuts delivery down: blocked and future Recv calls drain
 	// what was already sent, then return ok=false.
 	Close()
+}
+
+// DepthReporter is implemented by backends that track queue depths: the
+// live engine surfaces the peak in its run metrics (the first step
+// toward credit-based backpressure — see ROADMAP).
+type DepthReporter interface {
+	// PeakDepth reports the high-water mark, in frames, over the
+	// backend's delivery queues.
+	PeakDepth() int
 }
 
 // Queue is an unbounded, closable FIFO guarded by a mutex and
@@ -48,6 +59,7 @@ type Queue[T any] struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	q      []T
+	peak   int
 	closed bool
 }
 
@@ -67,9 +79,28 @@ func (q *Queue[T]) Put(v T) bool {
 		return false
 	}
 	q.q = append(q.q, v)
+	if len(q.q) > q.peak {
+		q.peak = len(q.q)
+	}
 	q.mu.Unlock()
 	q.cond.Signal()
 	return true
+}
+
+// Len reports the current queue depth.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	n := len(q.q)
+	q.mu.Unlock()
+	return n
+}
+
+// Peak reports the high-water mark of Len over the queue's lifetime.
+func (q *Queue[T]) Peak() int {
+	q.mu.Lock()
+	p := q.peak
+	q.mu.Unlock()
+	return p
 }
 
 // Get blocks for the next element; ok reports false once the queue is
@@ -103,6 +134,38 @@ func (q *Queue[T]) Close() {
 	q.cond.Broadcast()
 }
 
+// framePool recycles encode buffers across the live send path. The
+// ownership rule makes pooling safe without reference counting: the
+// sender encodes into GetFrame and transfers the buffer to the
+// transport at Send; whoever consumes the frame last — the daemon after
+// decoding an inbox frame, a TCP writer after the bytes hit the socket,
+// a closed backend dropping a late send — returns it with PutFrame.
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
+
+// GetFrame returns an empty frame buffer from the pool; append-encode
+// into it and hand it to a Transport (which owns it afterwards).
+func GetFrame() []byte { return (*(framePool.Get().(*[]byte)))[:0] }
+
+// maxPooledFrame caps what PutFrame keeps: protocol frames stay well
+// under it, but one-off giants (a cluster-wide state assignment
+// carrying the whole final memory) must not permanently seed the pool
+// with memory-image-sized buffers that every tiny ack then pins.
+const maxPooledFrame = 1 << 20
+
+// PutFrame returns a frame buffer whose contents are fully consumed.
+// The caller must not touch the slice afterwards.
+func PutFrame(frame []byte) {
+	if cap(frame) > maxPooledFrame {
+		return
+	}
+	framePool.Put(&frame)
+}
+
 // ChanLoop is the in-process loopback backend: one unbounded FIFO inbox
 // per node. An unbounded queue (rather than a raw buffered channel)
 // keeps Send non-blocking at any fan-in, which the Transport contract
@@ -126,13 +189,16 @@ func NewChanLoop(n int) *ChanLoop {
 // Nodes reports the cluster size.
 func (t *ChanLoop) Nodes() int { return len(t.inboxes) }
 
-// Send implements Transport.
+// Send implements Transport. A send racing a concurrent Close is a
+// silent drop, per the Queue contract: the frame's buffer feeds the
+// pool and the daemon that issued it carries on (it is about to observe
+// the closed transport itself).
 func (t *ChanLoop) Send(to memory.NodeID, frame []byte) {
 	if to < 0 || int(to) >= len(t.inboxes) {
 		panic(fmt.Sprintf("transport: send to invalid node %d", to))
 	}
 	if !t.inboxes[to].Put(frame) {
-		panic(fmt.Sprintf("transport: send to node %d after Close", to))
+		PutFrame(frame)
 	}
 }
 
@@ -147,4 +213,18 @@ func (t *ChanLoop) Close() {
 	for _, b := range t.inboxes {
 		b.Close()
 	}
+}
+
+// InboxLen reports node id's current inbox depth (tests, observability).
+func (t *ChanLoop) InboxLen(id memory.NodeID) int { return t.inboxes[id].Len() }
+
+// PeakDepth implements DepthReporter: the deepest any node's inbox got.
+func (t *ChanLoop) PeakDepth() int {
+	max := 0
+	for _, b := range t.inboxes {
+		if p := b.Peak(); p > max {
+			max = p
+		}
+	}
+	return max
 }

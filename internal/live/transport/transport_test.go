@@ -72,6 +72,70 @@ func TestCloseDrains(t *testing.T) {
 	}
 }
 
+// TestSendAfterCloseDrops is the shutdown-race regression test: a
+// daemon that sends while another goroutine closes the transport must
+// not panic — per the Queue contract, post-Close sends are a silent
+// drop.
+func TestSendAfterCloseDrops(t *testing.T) {
+	tr := NewChanLoop(2)
+	tr.Send(1, []byte{1})
+	tr.Close()
+	tr.Send(1, []byte{2}) // must not panic, must not be delivered
+	f, ok := tr.Recv(1)
+	if !ok || f[0] != 1 {
+		t.Fatalf("pre-close frame lost: got %v %v", f, ok)
+	}
+	if f, ok := tr.Recv(1); ok {
+		t.Fatalf("post-close frame delivered: %v", f)
+	}
+
+	// The same race under real concurrency (run with -race): senders
+	// hammering a transport while it is closed must neither panic nor
+	// corrupt the queue.
+	tr2 := NewChanLoop(1)
+	var wg sync.WaitGroup
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr2.Send(0, GetFrame())
+			}
+		}()
+	}
+	tr2.Close()
+	wg.Wait()
+	for {
+		if _, ok := tr2.Recv(0); !ok {
+			break
+		}
+	}
+}
+
+// TestQueueDepth: Len tracks the current depth and Peak its high-water
+// mark; PeakDepth surfaces the deepest inbox.
+func TestQueueDepth(t *testing.T) {
+	tr := NewChanLoop(2)
+	for i := 0; i < 5; i++ {
+		tr.Send(1, []byte{byte(i)})
+	}
+	if n := tr.inboxes[1].Len(); n != 5 {
+		t.Fatalf("Len = %d, want 5", n)
+	}
+	for i := 0; i < 3; i++ {
+		tr.Recv(1)
+	}
+	if n := tr.inboxes[1].Len(); n != 2 {
+		t.Fatalf("Len after drain = %d, want 2", n)
+	}
+	if p := tr.inboxes[1].Peak(); p != 5 {
+		t.Fatalf("Peak = %d, want 5", p)
+	}
+	if p := tr.PeakDepth(); p != 5 {
+		t.Fatalf("PeakDepth = %d, want 5", p)
+	}
+}
+
 // TestCloseWakesBlockedReceiver: a parked Recv returns when Close runs.
 func TestCloseWakesBlockedReceiver(t *testing.T) {
 	tr := NewChanLoop(1)

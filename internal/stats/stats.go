@@ -143,6 +143,13 @@ type Metrics struct {
 	// protocol category on both engines).
 	LiveMsgs  int64
 	LiveBytes int64
+	// LivePeakInbox is the deepest any transport delivery queue got
+	// during a live run (frames); LivePeakMailbox the deepest any
+	// thread reply mailbox got. Both are the observability base for the
+	// planned credit-based backpressure: today's queues are unbounded,
+	// so a slow node shows up here before it shows up as memory.
+	LivePeakInbox   int
+	LivePeakMailbox int
 	Counters
 }
 
@@ -190,6 +197,10 @@ func (m *Metrics) Summary() string {
 	}
 	if m.LiveMsgs > 0 {
 		fmt.Fprintf(&sb, "live frames    %d (%d bytes on the transport)\n", m.LiveMsgs, m.LiveBytes)
+	}
+	if m.LivePeakInbox > 0 || m.LivePeakMailbox > 0 {
+		fmt.Fprintf(&sb, "queue peaks    inbox %d frames, mailbox %d msgs\n",
+			m.LivePeakInbox, m.LivePeakMailbox)
 	}
 	fmt.Fprintf(&sb, "messages       %d (excl. sync: %d)\n", m.TotalMsgs(true), m.TotalMsgs(false))
 	fmt.Fprintf(&sb, "network bytes  %d (excl. sync: %d)\n", m.TotalBytes(true), m.TotalBytes(false))
