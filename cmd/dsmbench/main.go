@@ -14,6 +14,7 @@
 //	dsmbench -ablate locator,lambda  # ablations (locator|lambda|tinit|related|piggyback|pathcompress)
 //	dsmbench -fig 2 -check           # sweep doubles as a correctness gate
 //	dsmbench -scenarios 200          # random programs through the coherence oracle
+//	dsmbench -chaos 50               # fault-injected live runs: parity or clean abort
 package main
 
 import (
@@ -70,6 +71,8 @@ func main() {
 	check := flag.Bool("check", false, "correctness gate: verify protocol invariants after every run and demand policy-independent final memory where the sweep varies only the policy")
 	scenarios := flag.Int("scenarios", 0, "run N seeded random scenarios through the coherence oracle under every builtin policy, then exit (combine with -seed)")
 	cross := flag.Int("cross", 0, "cross-engine gate: run N seeded scenarios under every builtin policy on BOTH the sim and live engines, demanding clean verdicts and identical final-memory digests (combine with -seed)")
+	chaos := flag.Int("chaos", 0, "chaos gate: run N seeded scenarios on the live engine over the fault-injecting transport (delays always, scheduled node kills and link cuts); every run must complete with the fault-free sim digest or abort cleanly, within a deadline (combine with -seed)")
+	chaosDeadline := flag.Duration("chaos-deadline", 0, "per-run bound for -chaos (0 = 2m); a run that neither completes nor aborts in time fails the gate as a hang")
 	seedBase := flag.Uint64("seed", 1, "first seed for -scenarios")
 	csvPath := flag.String("csv", "", "write all produced rows as CSV to this file (\"-\" for stdout)")
 	jsonPath := flag.String("json", "", "write all produced rows as JSON to this file (\"-\" for stdout)")
@@ -95,8 +98,28 @@ func main() {
 		}
 	}
 	if (*benchJSON != "" || *benchJSONLive != "") &&
-		len(figs) == 0 && len(ablates) == 0 && *scenarios == 0 && *cross == 0 {
+		len(figs) == 0 && len(ablates) == 0 && *scenarios == 0 && *cross == 0 && *chaos == 0 {
 		return
+	}
+	if *chaos > 0 {
+		progress := func(s string) { fmt.Fprintf(os.Stderr, "  [chaos] %s\n", s) }
+		if *quiet {
+			progress = nil
+		}
+		st, err := scenario.ChaosSweep(*seedBase, *chaos, *par, *chaosDeadline, progress)
+		fmt.Printf("chaos sweep: %d runs, %d completed with sim-digest parity, %d aborted cleanly\n",
+			st.Runs, st.Completed, st.Aborted)
+		if err != nil {
+			for _, f := range st.Failures {
+				fmt.Fprintln(os.Stderr, "dsmbench:", f)
+			}
+			fmt.Fprintln(os.Stderr, "dsmbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("chaos sweep: PASS (every faulted run completed with parity or aborted cleanly; zero hangs)")
+		if len(figs) == 0 && len(ablates) == 0 && *scenarios == 0 && *cross == 0 {
+			return
+		}
 	}
 	if *cross > 0 {
 		progress := func(s string) { fmt.Fprintf(os.Stderr, "  [x] %s\n", s) }

@@ -27,9 +27,25 @@
 // digest of a single-process run of the same configuration (dsmrun
 // -engine live -check, or -engine sim), which is the cross-engine
 // equivalence gate extended to its third engine configuration.
+//
+// Failures exit with a distinct code per failure domain, so a harness
+// can tell a misconfigured member from a crashed peer:
+//
+//	0  cluster-wide success
+//	1  other failure (bad flags, application error)
+//	3  configuration mismatch rejected at the bootstrap handshake
+//	4  bootstrap timed out (a peer never became reachable or silent)
+//	5  runtime abort: a peer died mid-run, went silent past the
+//	   heartbeat bound, or the -deadline watchdog fired; stderr names
+//	   the peer or connection that triggered it
+//	6  verification failed: digest disagreement, merged-oracle
+//	   violation, invariant failure, or a member's application error
+//	7  chaos self-kill (-chaos-kill-after): this process killed itself
+//	   deliberately so the survivors' abort path could be tested
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"hash/fnv"
@@ -41,6 +57,36 @@ import (
 	"repro/internal/live/cluster"
 	"repro/internal/memory"
 )
+
+// Exit codes per failure domain (see package comment).
+const (
+	exitOK        = 0
+	exitOther     = 1
+	exitConfig    = 3
+	exitBootstrap = 4
+	exitAbort     = 5
+	exitVerify    = 6
+	exitChaosKill = 7
+)
+
+// exitCode maps an error to its failure domain's exit code via the
+// cluster package's classification sentinels.
+func exitCode(err error) int {
+	switch {
+	case err == nil:
+		return exitOK
+	case errors.Is(err, cluster.ErrConfigMismatch):
+		return exitConfig
+	case errors.Is(err, cluster.ErrBootstrapTimeout):
+		return exitBootstrap
+	case errors.Is(err, cluster.ErrPeerDeath):
+		return exitAbort
+	case errors.Is(err, cluster.ErrVerification):
+		return exitVerify
+	default:
+		return exitOther
+	}
+}
 
 func main() {
 	var (
@@ -64,6 +110,12 @@ func main() {
 		workers = flag.Int("workers", 0, "synthetic: worker threads (0 = nodes-1, on nodes 1..workers)")
 		timeout = flag.Duration("join-timeout", 20*time.Second, "how long to wait for peers during bootstrap")
 		verbose = flag.Bool("v", false, "log bootstrap progress")
+
+		// Failure-injection and bounding flags. Excluded from the config
+		// digest: they are deliberately per-process (a chaos harness kills
+		// ONE member; a watchdog may differ per host).
+		deadline  = flag.Duration("deadline", 0, "watchdog: exit nonzero if the whole run has not finished in this long (0 = none)")
+		chaosKill = flag.Int64("chaos-kill-after", 0, "chaos: kill this process once it has seen this many engine data frames (0 = never)")
 	)
 	flag.Parse()
 
@@ -99,8 +151,11 @@ func main() {
 		Check:       *check,
 		DialTimeout: *timeout,
 		OnFatal: func(err error) {
-			fmt.Fprintf(os.Stderr, "dsmnode %d: cluster broken: %v\n", *id, err)
-			os.Exit(2)
+			// The transport's error names the peer/connection that broke
+			// (e.g. "read with node 2 failed: ...") — print it verbatim so
+			// the operator knows which member to look at.
+			fmt.Fprintf(os.Stderr, "dsmnode %d: cluster broken, aborting: %v\n", *id, err)
+			os.Exit(exitAbort)
 		},
 	}
 	if *verbose {
@@ -108,9 +163,28 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dsmnode: "+format+"\n", args...)
 		}
 	}
+	if *deadline > 0 {
+		time.AfterFunc(*deadline, func() {
+			fmt.Fprintf(os.Stderr, "dsmnode %d: deadline %v exceeded with the run unfinished, aborting\n", *id, *deadline)
+			os.Exit(exitAbort)
+		})
+	}
 	member, err := cluster.Join(cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if *chaosKill > 0 {
+		// Die abruptly — no Leave, no AbortApp — once enough engine
+		// traffic has flowed that the run is demonstrably mid-flight. The
+		// survivors must detect the death and exit nonzero within their
+		// deadlines: the clean-abort guarantee this flag exists to test.
+		go func() {
+			for member.DataFrames() < *chaosKill {
+				time.Sleep(200 * time.Microsecond)
+			}
+			fmt.Fprintf(os.Stderr, "dsmnode %d: chaos kill after %d data frames\n", *id, member.DataFrames())
+			os.Exit(exitChaosKill)
+		}()
 	}
 
 	o := apps.Options{
@@ -141,13 +215,17 @@ func main() {
 	}
 	if err != nil {
 		// Tell the cluster (unless the error *is* the cluster verdict,
-		// in which case every member already has it).
+		// in which case every member already has it). AbortApp's return
+		// may carry a sharper classification (peer death when the
+		// verdict exchange wedged and the grace timer severed).
 		if !member.Completed() {
-			member.AbortApp(err)
+			if aerr := member.AbortApp(err); aerr != nil && exitCode(aerr) != exitOther {
+				err = aerr
+			}
 		}
 		fmt.Fprintf(os.Stderr, "dsmnode %d: %v\n", *id, err)
 		member.Leave()
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
 	if *id == 0 {
 		fmt.Printf("%s over %d processes\n", res.App, nn)
@@ -164,5 +242,5 @@ func main() {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "dsmnode:", err)
-	os.Exit(1)
+	os.Exit(exitCode(err))
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"os"
@@ -183,5 +184,127 @@ func TestConfigMismatchExitsNonzero(t *testing.T) {
 		if err := <-outc; err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+// exitCodeOf extracts the process exit code from an exec error.
+func exitCodeOf(err error) int {
+	if err == nil {
+		return 0
+	}
+	var ee *exec.ExitError
+	if errors.As(err, &ee) {
+		return ee.ExitCode()
+	}
+	return -1
+}
+
+// TestConfigMismatchExitCode: the handshake rejection must exit with
+// the config-mismatch code (3) on both sides.
+func TestConfigMismatchExitCode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process smoke skipped in -short")
+	}
+	bin := dsmnodeBinary(t)
+	peers := strings.Join(freeAddrs(t, 2), ",")
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	codes := make(chan int, 2)
+	run := func(id int, size string) {
+		out, err := exec.CommandContext(ctx, bin,
+			"-id", fmt.Sprint(id), "-peers", peers, "-app", "asp", "-n", size).CombinedOutput()
+		if code := exitCodeOf(err); code != 3 {
+			t.Errorf("node %d exited %d, want 3 (config mismatch)\n%s", id, code, out)
+		}
+		codes <- 0
+	}
+	go run(0, "24")
+	go run(1, "32")
+	<-codes
+	<-codes
+}
+
+// TestBootstrapTimeoutExitCode: a member whose peers never start must
+// give up within its join timeout and exit with the bootstrap code (4).
+func TestBootstrapTimeoutExitCode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process smoke skipped in -short")
+	}
+	bin := dsmnodeBinary(t)
+	peers := strings.Join(freeAddrs(t, 2), ",")
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	start := time.Now()
+	out, err := exec.CommandContext(ctx, bin,
+		"-id", "1", "-peers", peers, "-app", "asp", "-n", "24",
+		"-join-timeout", "2s").CombinedOutput()
+	if code := exitCodeOf(err); code != 4 {
+		t.Fatalf("exit code %d, want 4 (bootstrap timeout)\n%s", code, out)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("gave up only after %v with a 2s join timeout", elapsed)
+	}
+	if !strings.Contains(string(out), "node 0") {
+		t.Fatalf("error does not name the unreachable peer:\n%s", out)
+	}
+}
+
+// TestChaosKillAbortsCluster is the multi-process chaos smoke: a
+// 4-node cluster runs ASP while one member kills itself mid-run
+// (-chaos-kill-after). Every process must exit nonzero within the
+// deadline — the victim with the chaos code (7), every survivor with a
+// failure-domain code, none by the watchdog alone hanging on.
+func TestChaosKillAbortsCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process smoke skipped in -short")
+	}
+	const nodes, victim = 4, 2
+	bin := dsmnodeBinary(t)
+	peers := strings.Join(freeAddrs(t, nodes), ",")
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	type proc struct {
+		id   int
+		code int
+		out  string
+	}
+	results := make(chan proc, nodes)
+	for id := 0; id < nodes; id++ {
+		go func(id int) {
+			args := []string{
+				"-id", fmt.Sprint(id), "-peers", peers, "-nodes", fmt.Sprint(nodes),
+				"-app", "asp", "-n", "32", "-check", "-deadline", "60s",
+			}
+			if id == victim {
+				args = append(args, "-chaos-kill-after", "200")
+			}
+			out, err := exec.CommandContext(ctx, bin, args...).CombinedOutput()
+			results <- proc{id: id, code: exitCodeOf(err), out: string(out)}
+		}(id)
+	}
+	start := time.Now()
+	for i := 0; i < nodes; i++ {
+		p := <-results
+		if p.code == 0 {
+			t.Fatalf("node %d exited zero despite the chaos kill\n%s", p.id, p.out)
+		}
+		if p.id == victim {
+			if p.code != 7 {
+				t.Errorf("victim exited %d, want 7 (chaos self-kill)\n%s", p.code, p.out)
+			}
+			continue
+		}
+		// Survivors abort on peer death (5); a survivor that was already
+		// in the verdict exchange may surface it as a cluster failure
+		// instead — any nonzero is the guarantee, 5 the common case.
+		if p.code != 5 && p.code != 1 && p.code != 6 {
+			t.Errorf("survivor %d exited %d, want a failure-domain code\n%s", p.id, p.code, p.out)
+		}
+		if p.code == 5 && !strings.Contains(p.out, "node") {
+			t.Errorf("survivor %d abort message does not name a peer:\n%s", p.id, p.out)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 75*time.Second {
+		t.Fatalf("cluster took %v to die — the abort bound failed", elapsed)
 	}
 }

@@ -1,0 +1,96 @@
+package hlc
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestTickStrictlyIncreasing: stamps from one clock must be strictly
+// increasing even when the wall source stalls or steps backwards.
+func TestTickStrictlyIncreasing(t *testing.T) {
+	walls := []int64{100, 100, 100, 90, 95, 200, 200, 150}
+	i := 0
+	c := New(func() int64 { w := walls[i%len(walls)]; i++; return w })
+	prev := c.Tick()
+	for k := 0; k < 40; k++ {
+		s := c.Tick()
+		if !prev.Less(s) {
+			t.Fatalf("tick %d: %v not after %v", k, s, prev)
+		}
+		prev = s
+	}
+}
+
+// TestObserveOrdersAcrossSkew: a receive's stamp must exceed the sent
+// stamp even when the receiver's wall clock is far behind the
+// sender's — the property raw wall stamps lack.
+func TestObserveOrdersAcrossSkew(t *testing.T) {
+	sender := New(func() int64 { return 5_000_000_000 }) // 5s ahead
+	receiver := New(func() int64 { return 1_000_000_000 })
+	pre := receiver.Tick()
+	sent := sender.Tick()
+	got := receiver.Observe(sent)
+	if !sent.Less(got) {
+		t.Fatalf("receive stamp %v not after send stamp %v", got, sent)
+	}
+	if !pre.Less(got) {
+		t.Fatalf("receive stamp %v not after earlier local stamp %v", got, pre)
+	}
+	// Every later local event on the receiver stays after the send too.
+	if later := receiver.Tick(); !sent.Less(later) {
+		t.Fatalf("post-receive local stamp %v not after send stamp %v", later, sent)
+	}
+}
+
+// TestObserveZeroStamp: a zero (unclocked) stamp degenerates to a
+// plain tick instead of dragging the clock backwards.
+func TestObserveZeroStamp(t *testing.T) {
+	c := New(func() int64 { return 300 })
+	first := c.Tick()
+	got := c.Observe(Stamp{})
+	if !first.Less(got) {
+		t.Fatalf("observe(zero) stamp %v not after %v", got, first)
+	}
+}
+
+// TestWallRatchetsToRemote: observing a stamp from a fast peer must
+// ratchet the wall component forward so subsequent ticks never sort
+// before the peer's events.
+func TestWallRatchetsToRemote(t *testing.T) {
+	c := New(func() int64 { return 10 })
+	s := c.Observe(Stamp{Wall: 9999, Logical: 3})
+	if s.Wall != 9999 || s.Logical != 4 {
+		t.Fatalf("observe = %+v, want wall 9999 logical 4", s)
+	}
+	if next := c.Tick(); next.Wall != 9999 || next.Logical != 5 {
+		t.Fatalf("tick after observe = %+v, want wall 9999 logical 5", next)
+	}
+}
+
+// TestConcurrentUse: hammer one clock from many goroutines under
+// -race; every goroutine's own stamp sequence must stay increasing.
+func TestConcurrentUse(t *testing.T) {
+	c := New(nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			prev := c.Tick()
+			for i := 0; i < 500; i++ {
+				var s Stamp
+				if i%3 == 0 {
+					s = c.Observe(Stamp{Wall: prev.Wall + int64(g), Logical: uint32(i)})
+				} else {
+					s = c.Tick()
+				}
+				if !prev.Less(s) {
+					t.Errorf("goroutine %d: %v not after %v", g, s, prev)
+					return
+				}
+				prev = s
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -27,11 +27,23 @@
 //     every process can repair its local replicas — after which
 //     per-process application validation and Digest see the
 //     cluster-wide truth.
-//   - Application verdict: oracle event logs (wall-clock stamped),
+//   - Application verdict: oracle event logs (stamped with hybrid
+//     logical clocks carried on every TCP frame, so the merged order
+//     is causally consistent under arbitrary wall-clock skew),
 //     per-node metrics and digests merge on node 0; the combined
 //     verdict — LRC oracle over the merged log, digest equality,
 //     per-node failures — is broadcast, so every member exits with the
 //     same status.
+//   - Failure domains: dial and handshake carry deadlines with capped
+//     exponential backoff, heartbeats on the pair connections detect a
+//     silent peer within HeartbeatTimeout, any connection failure
+//     closes both delivery planes so nothing blocks forever, and an
+//     aborting member arms a grace timer that severs its transport if
+//     the verdict exchange wedges — every process of a broken cluster
+//     exits nonzero within a bound instead of hanging. Failures are
+//     classified by sentinel (ErrConfigMismatch, ErrBootstrapTimeout,
+//     ErrPeerDeath, ErrVerification) so cmd/dsmnode can map them to
+//     distinct exit codes.
 //   - Shutdown: a drain barrier (bye/shutdown) so no process tears its
 //     sockets down while a peer still needs them.
 //
@@ -44,15 +56,36 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"time"
 
+	"repro/internal/hlc"
 	"repro/internal/live"
 	"repro/internal/live/transport"
 	"repro/internal/live/transport/tcp"
 	"repro/internal/memory"
+)
+
+// Failure classification sentinels: every error a member surfaces
+// wraps the one naming its failure domain, so callers (cmd/dsmnode)
+// can map outcomes to distinct exit codes with errors.Is.
+var (
+	// ErrConfigMismatch: a peer presented a different protocol version,
+	// cluster size or configuration digest during the hello handshake.
+	ErrConfigMismatch = errors.New("cluster: configuration mismatch")
+	// ErrBootstrapTimeout: a peer never became reachable within the
+	// bootstrap budget.
+	ErrBootstrapTimeout = errors.New("cluster: bootstrap timed out")
+	// ErrPeerDeath: a connection failed mid-run — a peer process died,
+	// went silent past the heartbeat bound, or severed on abort.
+	ErrPeerDeath = errors.New("cluster: peer failure")
+	// ErrVerification: the cluster-wide verdict failed — digest
+	// disagreement, merged-oracle violation, invariant failure, or a
+	// member's application error.
+	ErrVerification = errors.New("cluster: verification failed")
 )
 
 // Wire constants of the bootstrap handshake.
@@ -79,6 +112,23 @@ type Config struct {
 	// DialTimeout bounds how long Join waits for a peer to come up
 	// (members may start in any order). Zero means 20s.
 	DialTimeout time.Duration
+	// HeartbeatInterval is the period of the keepalive frames each
+	// member sends on every pair connection; HeartbeatTimeout is how
+	// long a peer may stay silent (no frames of any kind) before it is
+	// declared dead. Zero selects the defaults (500ms and 5s); negative
+	// disables heartbeats/detection. Timeout should be several
+	// intervals, and every member should agree.
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+	// AbortGrace bounds the abort verdict exchange: a member that calls
+	// AbortApp severs its transport after this long if the exchange has
+	// not completed, converting a wedged cluster into peer-death
+	// failures every survivor detects. Zero means 5s.
+	AbortGrace time.Duration
+	// WallClock overrides the hybrid logical clock's physical source
+	// (Unix nanoseconds); nil means the system clock. Tests inject
+	// skewed sources to model machines whose clocks disagree.
+	WallClock func() int64
 	// Listener optionally supplies a pre-bound listener for Addrs[ID]
 	// (tests bind :0 first to learn free ports). nil listens.
 	Listener net.Listener
@@ -88,6 +138,12 @@ type Config struct {
 	OnFatal func(error)
 	// Logf, when non-nil, receives bootstrap progress lines.
 	Logf func(format string, args ...any)
+
+	// forceWallOrder makes the merged oracle check sort events by raw
+	// wall-clock stamps instead of HLC stamps — the pre-HLC behavior,
+	// kept unexported so tests can demonstrate it misorders events (and
+	// fails the LRC check) once clocks skew.
+	forceWallOrder bool
 }
 
 // Member is one process's handle on the cluster: the live engine's
@@ -95,9 +151,10 @@ type Config struct {
 // distributed finish. Create with Join, pass as dsm.Config.Transport /
 // apps.Options.Multi, and Leave when done.
 type Member struct {
-	cfg Config
-	n   int
-	tr  *tcp.Transport
+	cfg   Config
+	n     int
+	tr    *tcp.Transport
+	clock *hlc.Clock // stamped on every frame; drives the oracle log
 
 	rec     *timedRecorder // oracle event log, when Observer was asked
 	threads int
@@ -129,7 +186,22 @@ func Join(cfg Config) (*Member, error) {
 	if cfg.DialTimeout == 0 {
 		cfg.DialTimeout = 20 * time.Second
 	}
-	m := &Member{cfg: cfg, n: n}
+	if cfg.HeartbeatInterval == 0 {
+		cfg.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if cfg.HeartbeatTimeout == 0 {
+		cfg.HeartbeatTimeout = 5 * time.Second
+	}
+	if cfg.HeartbeatInterval < 0 {
+		cfg.HeartbeatInterval = 0
+	}
+	if cfg.HeartbeatTimeout < 0 {
+		cfg.HeartbeatTimeout = 0
+	}
+	if cfg.AbortGrace == 0 {
+		cfg.AbortGrace = 5 * time.Second
+	}
+	m := &Member{cfg: cfg, n: n, clock: hlc.New(cfg.WallClock)}
 
 	ln := cfg.Listener
 	if ln == nil && n > 1 {
@@ -212,13 +284,29 @@ func Join(cfg Config) (*Member, error) {
 			m.logf("node %d: linked with node %d", cfg.ID, r.id)
 		case <-deadline.C:
 			cleanup()
-			return nil, fmt.Errorf("cluster: node %d: bootstrap timed out", cfg.ID)
+			return nil, fmt.Errorf("cluster: node %d: %w waiting for peers (budget %v)",
+				cfg.ID, ErrBootstrapTimeout, cfg.DialTimeout+10*time.Second)
 		}
 	}
 	if ln != nil {
 		ln.Close() // all pairs are up; no further connections expected
 	}
-	m.tr = tcp.New(cfg.ID, conns, tcp.Options{OnFatal: cfg.OnFatal})
+	// Every connection failure surfaces through OnFatal wrapped as peer
+	// death; a nil handler panics (a daemon must be loud, never hang).
+	onFatal := func(err error) {
+		err = fmt.Errorf("%w: %v", ErrPeerDeath, err)
+		if cfg.OnFatal != nil {
+			cfg.OnFatal(err)
+			return
+		}
+		panic(err)
+	}
+	opts := tcp.Options{OnFatal: onFatal, Clock: m.clock}
+	if n > 1 {
+		opts.HeartbeatInterval = cfg.HeartbeatInterval
+		opts.HeartbeatTimeout = cfg.HeartbeatTimeout
+	}
+	m.tr = tcp.New(cfg.ID, conns, opts)
 
 	// Start barrier: every member reports ready to node 0; node 0
 	// releases the cluster. After this, engines may run.
@@ -248,19 +336,38 @@ func Join(cfg Config) (*Member, error) {
 	return m, nil
 }
 
-// dialRetry dials addr until it answers or the budget runs out: peers
-// start in arbitrary order, so refusals are expected at first.
+// dialRetry dials addr until it answers or the total budget runs out:
+// peers start in arbitrary order, so refusals are expected at first.
+// Retries back off exponentially from 20ms, capped at one second, and
+// the returned error (wrapping ErrBootstrapTimeout) reports how long
+// and how often the peer was tried plus the last dial failure.
 func dialRetry(addr string, budget time.Duration) (net.Conn, error) {
-	deadline := time.Now().Add(budget)
-	for {
-		conn, err := net.DialTimeout("tcp", addr, time.Second)
-		if err == nil {
-			return conn, nil
+	start := time.Now()
+	deadline := start.Add(budget)
+	backoff := 20 * time.Millisecond
+	for attempt := 1; ; attempt++ {
+		per := time.Second
+		if rem := time.Until(deadline); rem < per {
+			per = rem
 		}
-		if time.Now().After(deadline) {
-			return nil, err
+		var err error
+		if per > 0 {
+			var conn net.Conn
+			conn, err = net.DialTimeout("tcp", addr, per)
+			if err == nil {
+				return conn, nil
+			}
+		} else {
+			err = fmt.Errorf("retry budget exhausted")
 		}
-		time.Sleep(50 * time.Millisecond)
+		if !time.Now().Before(deadline) {
+			return nil, fmt.Errorf("%w: unreachable after %d attempt(s) over %v (last error: %v)",
+				ErrBootstrapTimeout, attempt, time.Since(start).Round(time.Millisecond), err)
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > time.Second {
+			backoff = time.Second
+		}
 	}
 }
 
@@ -285,6 +392,11 @@ func (m *Member) handshake(conn net.Conn, want memory.NodeID) (memory.NodeID, er
 	}
 	var peer [helloSize]byte
 	if _, err := io.ReadFull(conn, peer[:]); err != nil {
+		// A connected peer that never answers the hello is a bootstrap
+		// timeout (half-open peer, wedged process), not a mismatch.
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			return 0, fmt.Errorf("%w: peer connected but sent no hello within the handshake deadline: %v", ErrBootstrapTimeout, err)
+		}
 		return 0, fmt.Errorf("handshake read: %w", err)
 	}
 	verdict := func() string {
@@ -315,7 +427,7 @@ func (m *Member) handshake(conn net.Conn, want memory.NodeID) (memory.NodeID, er
 		msg := []byte(verdict)
 		status := append([]byte{1, byte(len(msg)), byte(len(msg) >> 8)}, msg...)
 		conn.Write(status)
-		return 0, fmt.Errorf("rejecting peer: %s", verdict)
+		return 0, fmt.Errorf("%w: rejecting peer: %s", ErrConfigMismatch, verdict)
 	}
 	if _, err := conn.Write([]byte{0, 0, 0}); err != nil {
 		return 0, fmt.Errorf("handshake status write: %w", err)
@@ -327,7 +439,7 @@ func (m *Member) handshake(conn net.Conn, want memory.NodeID) (memory.NodeID, er
 	if st[0] != 0 {
 		reason := make([]byte, int(st[1])|int(st[2])<<8)
 		io.ReadFull(conn, reason)
-		return 0, fmt.Errorf("peer rejected us: %s", reason)
+		return 0, fmt.Errorf("%w: peer rejected us: %s", ErrConfigMismatch, reason)
 	}
 	return memory.NodeID(int16(le.Uint16(peer[5:]))), nil
 }
@@ -384,12 +496,16 @@ func (m *Member) broadcast(kind ctlKind, body any) {
 	}
 }
 
-// recv blocks for the next control message.
+// recv blocks for the next control message. A control channel that
+// closed because a connection failed surfaces the failure as peer
+// death, so every wait on the control plane is bounded by the
+// transport's detection (conn reset, or HeartbeatTimeout for a silent
+// peer) instead of blocking forever.
 func (m *Member) recv() (memory.NodeID, ctlKind, []byte, error) {
 	c, ok := m.tr.RecvCtrl()
 	if !ok {
 		if err := m.tr.Err(); err != nil {
-			return 0, 0, nil, err
+			return 0, 0, nil, fmt.Errorf("%w: %v", ErrPeerDeath, err)
 		}
 		return 0, 0, nil, fmt.Errorf("control channel closed")
 	}
@@ -446,6 +562,15 @@ func (m *Member) failCluster(reason string) error {
 	return fmt.Errorf("cluster failed: %s", reason)
 }
 
+// failClusterErr broadcasts like failCluster but returns err itself, so
+// the coordinator's failure keeps its classification sentinel (peer
+// death, verification...) for exit-code mapping instead of flattening
+// to a string.
+func (m *Member) failClusterErr(err error) error {
+	m.broadcast(ctlFail, failBody{Reason: err.Error()})
+	return err
+}
+
 // --- transport.Transport (engine-facing) --------------------------
 
 // Send implements transport.Transport by delegation.
@@ -472,6 +597,11 @@ func (m *Member) Nodes() int { return m.n }
 // Digest reports the canonical cluster-wide final-memory digest,
 // available after the run finished.
 func (m *Member) Digest() uint64 { return m.digest }
+
+// DataFrames reports the engine data frames this process has sent plus
+// received so far — the activity meter dsmnode's chaos kill counts
+// down before dying.
+func (m *Member) DataFrames() int64 { return m.tr.DataSent() + m.tr.DataRecv() }
 
 // Completed reports whether the application verdict exchange has run
 // (FinishApp or AbortApp): a daemon whose app errored before the

@@ -233,3 +233,173 @@ func TestSingleMemberCluster(t *testing.T) {
 		t.Fatalf("digest %#x != sim digest %#x", res.Digest, want.Digest)
 	}
 }
+
+// runSkewed runs a 3-member ASP cluster whose members' wall clocks
+// disagree by 10 seconds per node — far more than the run lasts, so a
+// raw wall-clock merge of the oracle logs interleaves entire processes
+// out of causal order.
+func runSkewed(t *testing.T, forceWallOrder bool) []error {
+	t.Helper()
+	const n = 3
+	lns, addrs := bindAddrs(t, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			skew := int64(i) * 10 * int64(time.Second)
+			m, err := Join(Config{
+				ID: memory.NodeID(i), Addrs: addrs, Digest: 0x5EED, Check: true,
+				Listener: lns[i], DialTimeout: 10 * time.Second,
+				WallClock:      func() int64 { return time.Now().UnixNano() + skew },
+				forceWallOrder: forceWallOrder,
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer m.Leave()
+			o := apps.Options{Nodes: n, Engine: "live", Check: true, Oracle: true, Multi: m}
+			_, errs[i] = apps.RunASP(18, o)
+		}(i)
+	}
+	wg.Wait()
+	return errs
+}
+
+// TestOracleCorrectUnderClockSkew: with hybrid-logical-clock stamps
+// (carried on every frame, folded on receipt) the merged cluster-wide
+// LRC check passes under multi-second wall-clock skew.
+func TestOracleCorrectUnderClockSkew(t *testing.T) {
+	for i, err := range runSkewed(t, false) {
+		if err != nil {
+			t.Fatalf("member %d failed under skew with HLC ordering: %v", i, err)
+		}
+	}
+}
+
+// TestWallClockOrderBreaksUnderSkew: the same run merged by raw wall
+// stamps (the pre-HLC sort) misorders events across processes and the
+// LRC check reports violations — the regression the HLC stamps fix.
+// Every member must see the verification failure (shared verdict).
+func TestWallClockOrderBreaksUnderSkew(t *testing.T) {
+	errs := runSkewed(t, true)
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("member %d passed: wall-clock ordering should misorder skewed logs", i)
+		}
+		if !errors.Is(err, ErrVerification) {
+			t.Fatalf("member %d failed outside the verification domain: %v", i, err)
+		}
+	}
+	if !strings.Contains(errs[0].Error(), "merged oracle") {
+		t.Fatalf("failure does not name the merged oracle: %v", errs[0])
+	}
+}
+
+// TestBootstrapTimeoutClassified: a member whose peer never comes up
+// fails within its budget, wraps ErrBootstrapTimeout, and names the
+// unreachable peer's address.
+func TestBootstrapTimeoutClassified(t *testing.T) {
+	lns, addrs := bindAddrs(t, 2)
+	lns[0].Close() // node 0, the peer node 1 must dial, never starts
+	start := time.Now()
+	m, err := Join(Config{
+		ID: 1, Addrs: addrs, Digest: 1, Listener: lns[1],
+		DialTimeout: 300 * time.Millisecond,
+	})
+	if err == nil {
+		m.Leave()
+		t.Fatal("joined a cluster with an absent peer")
+	}
+	if !errors.Is(err, ErrBootstrapTimeout) {
+		t.Fatalf("error not classified as bootstrap timeout: %v", err)
+	}
+	if !strings.Contains(err.Error(), addrs[0]) && !strings.Contains(err.Error(), "node 0") {
+		t.Fatalf("error does not name the unreachable peer: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout took %v, budget was 300ms", elapsed)
+	}
+}
+
+// TestConfigMismatchClassified: the handshake rejection wraps
+// ErrConfigMismatch (the exit-code contract for dsmnode).
+func TestConfigMismatchClassified(t *testing.T) {
+	lns, addrs := bindAddrs(t, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, err := Join(Config{
+				ID: memory.NodeID(i), Addrs: addrs, Digest: uint64(i), // disagree
+				Listener: lns[i], DialTimeout: 5 * time.Second,
+			})
+			if err == nil {
+				m.Leave()
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, ErrConfigMismatch) {
+			t.Fatalf("member %d error not classified as config mismatch: %v", i, err)
+		}
+	}
+}
+
+// TestAbortGraceSeversWedgedExchange: a member that aborts while its
+// peer never reaches the verdict exchange must still return within the
+// grace bound, classified as peer death — the clean-abort liveness
+// guarantee.
+func TestAbortGraceSeversWedgedExchange(t *testing.T) {
+	lns, addrs := bindAddrs(t, 2)
+	fatal := func(error) {} // failure surfaces through the exchange error
+	wedged := make(chan struct{})
+	done := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		m, err := Join(Config{
+			ID: 0, Addrs: addrs, Digest: 9, Listener: lns[0],
+			DialTimeout: 10 * time.Second, AbortGrace: 500 * time.Millisecond,
+			OnFatal: fatal,
+		})
+		if err != nil {
+			done <- err
+			return
+		}
+		defer m.Leave()
+		done <- m.AbortApp(errors.New("local wreck"))
+	}()
+	go func() {
+		defer wg.Done()
+		m, err := Join(Config{
+			ID: 1, Addrs: addrs, Digest: 9, Listener: lns[1],
+			DialTimeout: 10 * time.Second, OnFatal: fatal,
+		})
+		if err != nil {
+			return
+		}
+		defer m.Leave()
+		<-wedged // never sends its app report while the aborter waits
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("abort against a wedged peer reported success")
+		}
+		if !errors.Is(err, ErrPeerDeath) {
+			t.Fatalf("wedged abort not classified as peer death: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("aborting member hung past its grace bound")
+	}
+	close(wedged)
+	wg.Wait()
+}

@@ -8,6 +8,7 @@ import (
 	dsm "repro"
 
 	"repro/internal/apps"
+	"repro/internal/hlc"
 	"repro/internal/locator"
 	"repro/internal/memory"
 	"repro/internal/oracle"
@@ -128,7 +129,7 @@ func (m *Member) FinishRun(sp *proto.Space) error {
 	for have := 0; have < m.n-1; have++ {
 		from, body, err := m.expectFromAny(ctlReport)
 		if err != nil {
-			return m.failCluster(err.Error())
+			return m.failClusterErr(err)
 		}
 		if err := decodeBody(body, &reports[from]); err != nil {
 			return m.failCluster(fmt.Sprintf("decoding node %d report: %v", from, err))
@@ -136,8 +137,9 @@ func (m *Member) FinishRun(sp *proto.Space) error {
 	}
 	a, err := m.assemble(sp, reports)
 	if err != nil {
+		err = fmt.Errorf("%w: %v", ErrVerification, err)
 		if m.n > 1 {
-			return m.failCluster(err.Error())
+			return m.failClusterErr(err)
 		}
 		return err
 	}
@@ -282,17 +284,23 @@ type verdictBody struct {
 }
 
 // Observer implements apps.Member: the oracle recorder for a run of
-// `threads` global threads. Events carry wall-clock stamps
-// (time.Now().UnixNano()), which on one machine is a shared clock:
-// causally related events in different processes are separated by at
-// least a socket round trip (microseconds), far above its resolution,
-// so sorting the merged logs by stamp yields an order consistent with
-// happens-before — what oracle.Check needs. Cross-machine clusters
-// would need clock sync of the same quality; the multi-process oracle
-// gate is a same-machine tool, like the rest of -check.
+// `threads` global threads. Events are stamped from the member's
+// hybrid logical clock — the same clock every TCP frame carries and
+// folds on receipt — so a stamp taken after a frame arrived is greater
+// than every stamp taken before that frame was sent, no matter how the
+// processes' wall clocks are skewed. Sorting the merged logs by stamp
+// therefore yields an order consistent with happens-before (what
+// oracle.Check needs) even across machines whose clocks disagree by
+// seconds; raw wall-clock stamps (kept per event for diagnostics, and
+// for the forceWallOrder regression demonstration) only manage that on
+// one machine.
 func (m *Member) Observer(threads int) dsm.Observer {
 	m.threads = threads
-	m.rec = &timedRecorder{}
+	wall := m.cfg.WallClock
+	if wall == nil {
+		wall = func() int64 { return time.Now().UnixNano() }
+	}
+	m.rec = &timedRecorder{clock: m.clock, wall: wall}
 	return m.rec
 }
 
@@ -319,11 +327,26 @@ func (m *Member) FinishApp(c *dsm.Cluster, res *apps.Result, check, oracleOn boo
 }
 
 // AbortApp reports a local application failure (argument validation,
-// result mismatch) into the verdict exchange, so the other members
-// learn the cluster failed instead of hanging, and returns the
-// cluster-wide error. Use it from the daemon when the application
-// returned an error without reaching FinishApp.
+// result mismatch, an engine abort) into the verdict exchange, so the
+// other members learn the cluster failed instead of hanging, and
+// returns the cluster-wide error. Use it from the daemon when the
+// application returned an error without reaching FinishApp.
+//
+// The graceful exchange assumes peers reach their own exchange; a peer
+// wedged mid-run (say, blocked on frames this member will never send)
+// would leave the exchange — and the cluster — hanging. A grace timer
+// bounds that: after Config.AbortGrace the member severs its
+// transport, which every peer detects as death, so all members exit
+// nonzero within the deadline either way.
 func (m *Member) AbortApp(appErr error) error {
+	if m.n > 1 {
+		grace := m.cfg.AbortGrace
+		timer := time.AfterFunc(grace, func() {
+			m.tr.Sever(fmt.Errorf("%w: abort verdict exchange on node %d did not complete within %v (local failure: %v)",
+				ErrPeerDeath, m.cfg.ID, grace, appErr))
+		})
+		defer timer.Stop()
+	}
 	var res apps.Result
 	return m.appExchange(nil, &res, appReportBody{Err: appErr.Error()}, false, false)
 }
@@ -341,7 +364,7 @@ func (m *Member) appExchange(c *dsm.Cluster, res *apps.Result, rep appReportBody
 			return fmt.Errorf("cluster: decoding verdict: %w", err)
 		}
 		if v.Err != "" {
-			return fmt.Errorf("cluster verdict: %s", v.Err)
+			return fmt.Errorf("cluster verdict: %w: %s", ErrVerification, v.Err)
 		}
 		res.Metrics = v.Metrics
 		res.OracleOps = v.OracleOps
@@ -354,7 +377,7 @@ func (m *Member) appExchange(c *dsm.Cluster, res *apps.Result, rep appReportBody
 	for have := 0; have < m.n-1; have++ {
 		from, body, err := m.expectFromAny(ctlAppReport)
 		if err != nil {
-			return m.failCluster(err.Error())
+			return m.failClusterErr(err)
 		}
 		if err := decodeBody(body, &reports[from]); err != nil {
 			return m.failCluster(fmt.Sprintf("decoding node %d app report: %v", from, err))
@@ -409,7 +432,7 @@ func (m *Member) appExchange(c *dsm.Cluster, res *apps.Result, rep appReportBody
 		m.broadcast(ctlVerdict, v)
 	}
 	if v.Err != "" {
-		return fmt.Errorf("cluster verdict: %s", v.Err)
+		return fmt.Errorf("cluster verdict: %w: %s", ErrVerification, v.Err)
 	}
 	res.Metrics = merged
 	res.OracleOps = mergedOps
@@ -430,13 +453,26 @@ func (m *Member) checkMergedOracle(c *dsm.Cluster, reports []appReportBody) (int
 			all = append(all, tagged{op: op, node: id, idx: i})
 		}
 	}
-	// Wall-clock order, ties broken deterministically. Within a
-	// process the recorder's append order is already consistent with
-	// its stamps (both taken under the serialized observer lock).
+	// HLC order, ties broken deterministically. Within a process the
+	// recorder's append order is consistent with its stamps (the clock
+	// is strictly increasing and the observer hooks are serialized);
+	// across processes the frame-carried stamps make the order
+	// consistent with happens-before under any wall-clock skew. The
+	// forceWallOrder switch reverts to raw wall stamps — the pre-HLC
+	// sort — for the regression test that shows skew breaking it.
 	sort.SliceStable(all, func(i, j int) bool {
 		a, b := &all[i], &all[j]
-		if a.op.At != b.op.At {
-			return a.op.At < b.op.At
+		if m.cfg.forceWallOrder {
+			if a.op.Raw != b.op.Raw {
+				return a.op.Raw < b.op.Raw
+			}
+		} else {
+			if a.op.Wall != b.op.Wall {
+				return a.op.Wall < b.op.Wall
+			}
+			if a.op.Logical != b.op.Logical {
+				return a.op.Logical < b.op.Logical
+			}
 		}
 		if a.node != b.node {
 			return a.node < b.node
@@ -474,38 +510,40 @@ func (m *Member) checkMergedOracle(c *dsm.Cluster, reports []appReportBody) (int
 
 // --- stamped oracle recorder --------------------------------------
 
-// timedOp is one oracle event with its wall-clock stamp, the unit the
-// merged cluster-wide LRC check sorts on.
+// timedOp is one oracle event with its hybrid-logical-clock stamp
+// (Wall, Logical — the pair the merged cluster-wide LRC check sorts
+// on) plus the raw local wall reading (diagnostics, and the
+// forceWallOrder regression sort key).
 type timedOp struct {
-	At     int64
-	Kind   uint8
-	Thread int32
-	Obj    uint32
-	Word   int32
-	Val    uint64
-	Sync   uint32
-	Node   int16
+	Wall    int64
+	Logical uint32
+	Raw     int64
+	Kind    uint8
+	Thread  int32
+	Obj     uint32
+	Word    int32
+	Val     uint64
+	Sync    uint32
+	Node    int16
 }
 
-// timedRecorder implements the observer hook surface, appending stamped
-// events. The live engine serializes every hook behind one mutex
-// (live.lockedObserver), so appends are single-threaded and the stamp
-// order matches the append order — enforced against a wall-clock step
-// backwards, so the merge sort can never reorder one process's program
-// order.
+// timedRecorder implements the observer hook surface, appending events
+// stamped from the member's hybrid logical clock. The live engine
+// serializes every hook behind one mutex (live.lockedObserver), so
+// appends are single-threaded; the clock is strictly increasing (and
+// shared with the transport's frame stamping), so stamp order matches
+// append order within the process and happens-before across processes.
 type timedRecorder struct {
-	ops  []timedOp
-	last int64
+	clock *hlc.Clock
+	wall  func() int64
+	ops   []timedOp
 }
 
 func (r *timedRecorder) add(kind oracle.OpKind, thread int, obj memory.ObjectID, word int, val uint64, sync uint32, node memory.NodeID) {
-	at := time.Now().UnixNano()
-	if at < r.last {
-		at = r.last
-	}
-	r.last = at
+	s := r.clock.Tick()
 	r.ops = append(r.ops, timedOp{
-		At: at, Kind: uint8(kind), Thread: int32(thread),
+		Wall: s.Wall, Logical: s.Logical, Raw: r.wall(),
+		Kind: uint8(kind), Thread: int32(thread),
 		Obj: uint32(obj), Word: int32(word), Val: val, Sync: sync, Node: int16(node),
 	})
 }

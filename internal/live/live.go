@@ -34,6 +34,7 @@
 package live
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -136,7 +137,59 @@ type Cluster struct {
 	frameB   atomic.Int64
 	obs      proto.Observer // already serialized; nil when unset
 
+	// abortMu serializes Abort against thread registration; abortErr is
+	// the first abort cause, aborted its lock-free mirror for hot loops.
+	abortMu  sync.Mutex
+	abortErr error
+	aborted  atomic.Bool
+
 	daemons sync.WaitGroup
+}
+
+// ErrAborted wraps every error returned by a run that was torn down by
+// Abort (a transport-detected peer death, an injected fault, a
+// watchdog). Test with errors.Is.
+var ErrAborted = errors.New("live: run aborted")
+
+// abortPanic unwinds a worker goroutine parked in a protocol wait when
+// the run aborts: Abort closes every thread mailbox, the blocked get
+// panics with this value, and Run's worker wrapper recovers it. User
+// code never sees it (the protocol waits all live inside Thread
+// methods).
+type abortPanic struct{}
+
+// Abort tears the run down: it records err as the run's failure, closes
+// the transport (daemons drain and exit, in-flight frames drop) and
+// closes every thread mailbox so parked protocol waits unwind instead
+// of blocking forever on frames that will never arrive. Run then
+// returns an error wrapping ErrAborted. The first cause wins; later
+// calls are no-ops. Safe to call from any goroutine — the engine
+// installs it as the transport's fatal handler (transport.FatalSink)
+// so a detected peer death aborts the run within a bound.
+func (c *Cluster) Abort(err error) {
+	c.abortMu.Lock()
+	defer c.abortMu.Unlock()
+	if c.abortErr != nil {
+		return
+	}
+	if err == nil {
+		err = errors.New("unspecified failure")
+	}
+	c.abortErr = fmt.Errorf("%w: %v", ErrAborted, err)
+	c.aborted.Store(true)
+	c.tr.Close()
+	for _, n := range c.nodes {
+		for _, t := range n.threads {
+			t.mbox.q.Close()
+		}
+	}
+}
+
+// abortCause returns the recorded abort error (nil when not aborted).
+func (c *Cluster) abortCause() error {
+	c.abortMu.Lock()
+	defer c.abortMu.Unlock()
+	return c.abortErr
 }
 
 // New builds a live cluster per cfg, filling zero values with defaults.
@@ -246,10 +299,14 @@ func (c *Cluster) Run(workers []proto.Worker) (stats.Metrics, error) {
 	c.started = true
 	c.start = time.Now()
 	// Register every thread before any goroutine starts: daemons read
-	// the per-node thread tables (ToThread) without locks.
+	// the per-node thread tables (ToThread) without locks. Registration
+	// holds abortMu so an Abort that arrives this early still closes
+	// every mailbox it is racing into existence.
+	c.abortMu.Lock()
 	threads := make([]*Thread, len(workers))
 	for i, w := range workers {
 		if w.Node < 0 || int(w.Node) >= c.cfg.Nodes {
+			c.abortMu.Unlock()
 			panic(fmt.Sprintf("live: worker %d on invalid node %d", i, w.Node))
 		}
 		n := c.nodes[w.Node]
@@ -259,6 +316,15 @@ func (c *Cluster) Run(workers []proto.Worker) (stats.Metrics, error) {
 		}
 		n.threads = append(n.threads, t)
 		threads[i] = t
+		if c.abortErr != nil {
+			t.mbox.q.Close()
+		}
+	}
+	c.abortMu.Unlock()
+	// A failure-detecting transport gets the abort hook before any
+	// traffic flows, so a peer death wakes every parked thread.
+	if fs, ok := c.tr.(transport.FatalSink); ok {
+		fs.SetFatal(c.Abort)
 	}
 	for _, n := range c.nodes {
 		c.daemons.Add(1)
@@ -270,6 +336,14 @@ func (c *Cluster) Run(workers []proto.Worker) (stats.Metrics, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(abortPanic); ok && c.aborted.Load() {
+						return // the run is aborting; the worker died where it parked
+					}
+					panic(r)
+				}
+			}()
 			fn(t)
 		}()
 	}
@@ -284,20 +358,27 @@ func (c *Cluster) Run(workers []proto.Worker) (stats.Metrics, error) {
 	// spans processes supplies the cluster-wide version of the same
 	// condition through the Quiescer hook.
 	var runErr error
-	if q, ok := c.tr.(Quiescer); ok {
-		runErr = q.Quiesce(func() int64 { return c.inflight.Load() })
-	} else {
-		for c.inflight.Load() != 0 {
-			time.Sleep(20 * time.Microsecond)
+	if !c.aborted.Load() {
+		if q, ok := c.tr.(Quiescer); ok {
+			runErr = q.Quiesce(func() int64 { return c.inflight.Load() })
+		} else {
+			for c.inflight.Load() != 0 && !c.aborted.Load() {
+				time.Sleep(20 * time.Microsecond)
+			}
 		}
 	}
-	if runErr == nil {
+	if runErr == nil && !c.aborted.Load() {
 		if f, ok := c.tr.(Finisher); ok {
 			runErr = f.FinishRun(c.space)
 		}
 	}
 	c.tr.Close()
 	c.daemons.Wait()
+	// An abort outranks whatever the quiesce or finish steps reported:
+	// their failures are downstream of the torn transport.
+	if err := c.abortCause(); err != nil {
+		runErr = err
+	}
 	var m stats.Metrics
 	for _, n := range c.nodes {
 		m.Counters.Add(&n.counters)
@@ -471,7 +552,8 @@ func (l *lockedObserver) OnLockGrant(lock uint32, node memory.NodeID) {
 // mailbox is a thread's unbounded reply queue: the daemon (or a local
 // sync manager path) puts protocol messages and retry tokens, the
 // owning thread blocks in get. Unbounded so ToThread never blocks a
-// daemon holding a node lock; never closed (it dies with the run).
+// daemon holding a node lock; closed only by Abort, which turns every
+// parked get into the abortPanic unwind.
 type mailbox struct {
 	q *transport.Queue[any]
 }
@@ -485,7 +567,8 @@ func (m *mailbox) peak() int { return m.q.Peak() }
 func (m *mailbox) get() any {
 	v, ok := m.q.Get()
 	if !ok {
-		panic("live: thread mailbox closed mid-run")
+		// Only Abort closes mailboxes; unwind to the worker wrapper.
+		panic(abortPanic{})
 	}
 	return v
 }

@@ -2,11 +2,15 @@ package live
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/live/transport"
+	"repro/internal/live/transport/faulty"
 	"repro/internal/locator"
 	"repro/internal/memory"
 	"repro/internal/migration"
@@ -307,5 +311,90 @@ func TestBulkViewsUnderMigration(t *testing.T) {
 		if got[j] != want {
 			t.Fatalf("word %d = %d, want %d (a mid-view demote dropped writes)", j, got[j], want)
 		}
+	}
+}
+
+// TestAbortUnblocksParkedWorker: a worker parked in a protocol wait
+// (here: queued behind a held lock) must unwind when the run aborts,
+// and Run must return an error wrapping ErrAborted — a dead cluster
+// presents as a bounded failure, never a hang.
+func TestAbortUnblocksParkedWorker(t *testing.T) {
+	c := New(DefaultConfig(2))
+	l := c.AddLock(0)
+	hold := make(chan struct{})
+	holding := make(chan struct{})
+	ws := []proto.Worker{
+		{Node: 0, Name: "holder", Fn: func(th proto.Thread) {
+			th.Acquire(l)
+			close(holding)
+			<-hold // keep the lock until the test has aborted the run
+			th.Release(l)
+		}},
+		{Node: 1, Name: "waiter", Fn: func(th proto.Thread) {
+			<-holding
+			th.Acquire(l) // parks on the grant that will never come
+			th.Release(l)
+		}},
+	}
+	boom := errors.New("injected failure")
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Run(ws)
+		done <- err
+	}()
+	<-holding
+	time.Sleep(2 * time.Millisecond) // let the waiter park in Acquire
+	c.Abort(boom)
+	close(hold)
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrAborted) {
+			t.Fatalf("Run returned %v, want an ErrAborted wrap", err)
+		}
+		if err == nil || !strings.Contains(err.Error(), "injected failure") {
+			t.Fatalf("abort cause lost: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run still blocked 10s after Abort — parked worker never unwound")
+	}
+}
+
+// TestFatalSinkAbortsRun: a transport that detects a failure mid-run
+// (here: the fault injector killing a node after a fixed frame count)
+// must end the run through the engine's FatalSink hook. The workload
+// would deadlock without the abort — node 1's lock replies stop
+// arriving — so Run returning ErrAborted is the liveness proof.
+func TestFatalSinkAbortsRun(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.Transport = faulty.Wrap(transport.NewChanLoop(2), 2, faulty.Options{
+		Seed:      1,
+		KillNode:  1,
+		KillAfter: 40,
+	})
+	c := New(cfg)
+	obj := c.AddObject(1, 0)
+	l := c.AddLock(1) // lock lives on the node that dies
+	mk := func(node int) proto.Worker {
+		return proto.Worker{Node: memory.NodeID(node), Name: fmt.Sprintf("w%d", node),
+			Fn: func(th proto.Thread) {
+				for k := 0; k < 10_000; k++ {
+					th.Acquire(l)
+					th.Write(obj, 0, th.Read(obj, 0)+1)
+					th.Release(l)
+				}
+			}}
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Run([]proto.Worker{mk(0), mk(1)})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrAborted) {
+			t.Fatalf("Run returned %v, want an ErrAborted wrap", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run hung after injected peer death")
 	}
 }

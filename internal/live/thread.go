@@ -102,6 +102,19 @@ func (t *Thread) recvToken() any {
 	return v
 }
 
+// backoff releases the node lock for one retry delay, then retakes it.
+// If the run aborted while sleeping it unwinds instead: the state
+// change the caller's retry loop is waiting for (a home transfer, a
+// manager update) will never arrive over a dead transport.
+func (t *Thread) backoff() {
+	t.node.mu.Unlock()
+	time.Sleep(t.c.cfg.RetryDelay)
+	if t.c.aborted.Load() {
+		panic(abortPanic{})
+	}
+	t.node.mu.Lock()
+}
+
 // recvMsg blocks for the next protocol message addressed to this thread.
 func (t *Thread) recvMsg() wire.Msg {
 	if m, ok := t.recvToken().(wire.Msg); ok {
@@ -205,9 +218,7 @@ func (t *Thread) fault(obj memory.ObjectID) *memory.Object {
 			// Still ourselves and not home: the transfer (or manager
 			// update) that explains it is in flight. Back off and
 			// re-resolve rather than sending to ourselves.
-			n.mu.Unlock()
-			time.Sleep(t.c.cfg.RetryDelay)
-			n.mu.Lock()
+			t.backoff()
 			continue
 		}
 		t.seq++
@@ -229,9 +240,7 @@ func (t *Thread) fault(obj memory.ObjectID) *memory.Object {
 				t.queryManager(obj)
 			case locator.Broadcast:
 				n.counters.Retries++
-				n.mu.Unlock()
-				time.Sleep(t.c.cfg.RetryDelay)
-				n.mu.Lock()
+				t.backoff()
 			default:
 				panic("live: home miss under forwarding-pointer locator")
 			}
@@ -265,9 +274,7 @@ func (t *Thread) queryManager(obj memory.ObjectID) {
 			h = msg.Home
 		}
 		if h == n.ps.ID && !n.ps.IsHome[obj] {
-			n.mu.Unlock()
-			time.Sleep(t.c.cfg.RetryDelay)
-			n.mu.Lock()
+			t.backoff()
 			continue
 		}
 		n.ps.Loc.Learn(obj, h)

@@ -6,13 +6,26 @@
 // accepting and the hello handshake that pairs a connection with a node
 // ID live in internal/live/cluster.
 //
-// Wire format: every frame is [uint32 length][byte channel][payload],
-// little-endian length counting the payload bytes only. Channel 0
-// carries engine frames (the internal/wire codec's output, opaque
-// here); channel 1 carries the cluster layer's control messages
-// (bootstrap barrier, distributed quiescence, state gather, shutdown).
-// Multiplexing both on the pair connection keeps the "one connection
-// per node pair" property the ISSUE's design calls for.
+// Wire format: every frame is [uint32 length][byte channel][int64 hlc
+// wall][uint32 hlc logical][payload], little-endian, length counting
+// the payload bytes only. Channel 0 carries engine frames (the
+// internal/wire codec's output, opaque here); channel 1 carries the
+// cluster layer's control messages (bootstrap barrier, distributed
+// quiescence, state gather, shutdown); channel 2 carries heartbeats
+// (empty payload). Multiplexing all of them on the pair connection
+// keeps the "one connection per node pair" property the ISSUE's design
+// calls for. The hlc fields piggyback the sender's hybrid logical
+// clock (internal/hlc) on every frame: the receiver folds them into
+// its own clock, which keeps the cluster's oracle event stamps ordered
+// consistently with happens-before no matter how the machines' wall
+// clocks are skewed. An unclocked transport (Options.Clock nil) sends
+// zero stamps, which receivers ignore.
+//
+// Failure model: outside an orderly shutdown, any connection error —
+// including a heartbeat timeout, when enabled — records the failure,
+// closes both the data and control planes so every blocked Recv/
+// RecvCtrl returns instead of hanging, and raises OnFatal exactly
+// once. A silent peer is detected within Options.HeartbeatTimeout.
 //
 // Delivery contract: a TCP connection is FIFO, and each (sender,
 // receiver) pair has exactly one, so frames between a pair arrive in
@@ -36,7 +49,9 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/hlc"
 	"repro/internal/live/transport"
 	"repro/internal/memory"
 )
@@ -45,10 +60,15 @@ import (
 // treated as stream corruption rather than an allocation request.
 const maxFrame = 64 << 20
 
+// headSize is the frame header: [u32 length][u8 channel][i64 hlc
+// wall][u32 hlc logical].
+const headSize = 4 + 1 + 8 + 4
+
 // Frame channels.
 const (
-	chanData byte = 0
-	chanCtrl byte = 1
+	chanData  byte = 0
+	chanCtrl  byte = 1
+	chanHeart byte = 2
 )
 
 // Ctrl is one control-channel message as received: the peer that sent
@@ -66,6 +86,22 @@ type Options struct {
 	// a hang. The cluster layer installs a handler that reports the
 	// peer and exits the daemon.
 	OnFatal func(error)
+
+	// Clock, when set, is stamped onto every outgoing frame and fed
+	// every received stamp, keeping hybrid logical time flowing with the
+	// traffic. nil sends zero stamps and ignores received ones.
+	Clock *hlc.Clock
+
+	// HeartbeatInterval > 0 sends an empty heartbeat frame to every peer
+	// at that period, so the pair connections carry traffic even when
+	// the protocol is quiet (and idle clocks keep exchanging stamps).
+	HeartbeatInterval time.Duration
+
+	// HeartbeatTimeout > 0 arms a read deadline per frame: a peer that
+	// stays silent for that long (no data, control or heartbeat frames)
+	// is declared dead and OnFatal fires. Pair it with an interval a few
+	// times shorter on every member. Zero disables detection.
+	HeartbeatTimeout time.Duration
 }
 
 // outFrame is one queued frame with its channel tag.
@@ -106,6 +142,11 @@ type Transport struct {
 	writers sync.WaitGroup
 	readers sync.WaitGroup
 
+	clock     *hlc.Clock
+	hbTimeout time.Duration
+	hbStop    chan struct{}
+	hbWG      sync.WaitGroup
+
 	onFatal   func(error)
 	fatalOnce sync.Once
 	errMu     sync.Mutex
@@ -123,12 +164,14 @@ func New(local memory.NodeID, conns []net.Conn, opt Options) *Transport {
 		panic(fmt.Sprintf("tcp: local node %d outside cluster of %d", local, n))
 	}
 	t := &Transport{
-		local:   local,
-		n:       n,
-		peers:   make([]*peer, n),
-		inboxes: make([]*transport.Queue[[]byte], n),
-		ctrl:    transport.NewQueue[Ctrl](),
-		onFatal: opt.OnFatal,
+		local:     local,
+		n:         n,
+		peers:     make([]*peer, n),
+		inboxes:   make([]*transport.Queue[[]byte], n),
+		ctrl:      transport.NewQueue[Ctrl](),
+		clock:     opt.Clock,
+		hbTimeout: opt.HeartbeatTimeout,
+		onFatal:   opt.OnFatal,
 	}
 	for i := range t.inboxes {
 		t.inboxes[i] = transport.NewQueue[[]byte]()
@@ -150,7 +193,33 @@ func New(local memory.NodeID, conns []net.Conn, opt Options) *Transport {
 		t.readers.Add(1)
 		go t.reader(p)
 	}
+	if opt.HeartbeatInterval > 0 {
+		t.hbStop = make(chan struct{})
+		t.hbWG.Add(1)
+		go t.heartbeat(opt.HeartbeatInterval)
+	}
 	return t
+}
+
+// heartbeat queues an empty frame to every peer each interval until
+// Close, keeping the connections audibly alive for the peers' read
+// deadlines (and the clocks exchanging stamps while idle).
+func (t *Transport) heartbeat(interval time.Duration) {
+	defer t.hbWG.Done()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-t.hbStop:
+			return
+		case <-tick.C:
+			for _, p := range t.peers {
+				if p != nil {
+					p.out.Put(outFrame{tag: chanHeart})
+				}
+			}
+		}
+	}
 }
 
 // Local reports the node this transport belongs to.
@@ -263,6 +332,10 @@ func (t *Transport) CloseData() {
 func (t *Transport) Close() {
 	t.closeOnce.Do(func() {
 		t.MarkShutdown()
+		if t.hbStop != nil {
+			close(t.hbStop)
+			t.hbWG.Wait()
+		}
 		t.CloseData()
 		for _, p := range t.peers {
 			if p != nil {
@@ -280,6 +353,26 @@ func (t *Transport) Close() {
 	})
 }
 
+// Sever force-fails the transport: record err as its failure, close
+// both delivery planes, and close every connection so peers detect the
+// failure promptly (conn reset) instead of waiting out their heartbeat
+// timeouts. The cluster layer's abort grace timer uses it to convert a
+// wedged verdict exchange into peer-death failures everywhere.
+func (t *Transport) Sever(err error) {
+	t.errMu.Lock()
+	if t.err == nil {
+		t.err = err
+	}
+	t.errMu.Unlock()
+	t.CloseData()
+	t.ctrl.Close()
+	for _, p := range t.peers {
+		if p != nil {
+			p.conn.Close()
+		}
+	}
+}
+
 // Err reports the first connection failure, if any.
 func (t *Transport) Err() error {
 	t.errMu.Lock()
@@ -290,7 +383,11 @@ func (t *Transport) Err() error {
 // fail records a connection failure and raises it, unless an orderly
 // shutdown explains it — in which case the control channel still
 // closes (after draining), so a peer that died mid-teardown cannot
-// leave the shutdown barrier blocked in RecvCtrl forever.
+// leave the shutdown barrier blocked in RecvCtrl forever. Outside a
+// shutdown, both delivery planes close after the error is recorded: a
+// broken cluster must surface everywhere within a bound — every
+// blocked Recv and RecvCtrl returns and callers find Err set — never
+// present as a hang.
 func (t *Transport) fail(p *peer, op string, err error) {
 	if t.shuttingDown.Load() {
 		t.ctrl.Close()
@@ -302,6 +399,8 @@ func (t *Transport) fail(p *peer, op string, err error) {
 	}
 	ferr := t.err
 	t.errMu.Unlock()
+	t.CloseData()
+	t.ctrl.Close()
 	t.fatalOnce.Do(func() {
 		if t.onFatal != nil {
 			t.onFatal(ferr)
@@ -313,39 +412,60 @@ func (t *Transport) fail(p *peer, op string, err error) {
 
 // writer drains one peer's send queue onto its connection. Each frame
 // goes out as a single writev of header + payload; the payload buffer
-// returns to the frame pool once written.
+// returns to the frame pool once written. Every frame — heartbeats
+// included — is stamped from the transport's clock at write time, so
+// hybrid logical time rides the existing traffic for free.
 func (t *Transport) writer(p *peer) {
 	defer t.writers.Done()
-	var head [5]byte
+	var head [headSize]byte
 	for {
 		f, ok := p.out.Get()
 		if !ok {
 			return
 		}
+		var s hlc.Stamp
+		if t.clock != nil {
+			s = t.clock.Tick()
+		}
 		binary.LittleEndian.PutUint32(head[:4], uint32(len(f.payload)))
 		head[4] = f.tag
+		binary.LittleEndian.PutUint64(head[5:13], uint64(s.Wall))
+		binary.LittleEndian.PutUint32(head[13:17], s.Logical)
 		bufs := net.Buffers{head[:], f.payload}
 		if _, err := bufs.WriteTo(p.conn); err != nil {
-			transport.PutFrame(f.payload)
+			if f.payload != nil {
+				transport.PutFrame(f.payload)
+			}
 			t.fail(p, "write", err)
 			// Keep draining so senders' queues empty and Close can
 			// complete; the frames go nowhere.
 			continue
 		}
-		transport.PutFrame(f.payload)
+		if f.payload != nil {
+			transport.PutFrame(f.payload)
+		}
 	}
 }
 
 // reader delivers one peer's incoming frames: data to the local inbox,
-// control to the control queue.
+// control to the control queue, heartbeats to the void (their stamp
+// and their deadline-resetting arrival are their whole job). With
+// HeartbeatTimeout armed, each read carries a deadline: a peer silent
+// beyond it is declared dead.
 func (t *Transport) reader(p *peer) {
 	defer t.readers.Done()
-	var head [5]byte
+	var head [headSize]byte
 	for {
+		if t.hbTimeout > 0 {
+			p.conn.SetReadDeadline(time.Now().Add(t.hbTimeout))
+		}
 		if _, err := io.ReadFull(p.conn, head[:]); err != nil {
-			if err != io.EOF {
+			switch {
+			case isTimeout(err):
+				t.fail(p, "read", fmt.Errorf("no frames within %v (silent peer): %w", t.hbTimeout, err))
+			case err != io.EOF:
 				t.fail(p, "read", err)
-			} else {
+			default:
 				t.fail(p, "read (peer closed)", err)
 			}
 			return
@@ -355,6 +475,13 @@ func (t *Transport) reader(p *peer) {
 		if size > maxFrame {
 			t.fail(p, "read", fmt.Errorf("frame of %d bytes exceeds limit", size))
 			return
+		}
+		stamp := hlc.Stamp{
+			Wall:    int64(binary.LittleEndian.Uint64(head[5:13])),
+			Logical: binary.LittleEndian.Uint32(head[13:17]),
+		}
+		if t.clock != nil && !stamp.IsZero() {
+			t.clock.Observe(stamp)
 		}
 		buf := transport.GetFrame()
 		if cap(buf) < size {
@@ -378,11 +505,19 @@ func (t *Transport) reader(p *peer) {
 			if !t.ctrl.Put(Ctrl{From: p.id, Payload: buf}) {
 				transport.PutFrame(buf)
 			}
+		case chanHeart:
+			transport.PutFrame(buf)
 		default:
 			t.fail(p, "read", fmt.Errorf("unknown frame channel %d", tag))
 			return
 		}
 	}
+}
+
+// isTimeout reports whether err is a read-deadline expiry.
+func isTimeout(err error) bool {
+	ne, ok := err.(net.Error)
+	return ok && ne.Timeout()
 }
 
 // compile-time interface checks.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -17,6 +18,14 @@ import (
 // (higher id dials lower): the in-process stand-in for n daemon
 // processes.
 func dialMesh(t *testing.T, n int, opt Options) []*Transport {
+	trs, _ := dialMeshConns(t, n, func(int) Options { return opt })
+	return trs
+}
+
+// dialMeshConns additionally returns the raw per-node connections so
+// fault tests can sever them underneath the transports, and lets each
+// node carry its own Options (per-node fatal handlers).
+func dialMeshConns(t *testing.T, n int, optFor func(node int) Options) ([]*Transport, [][]net.Conn) {
 	t.Helper()
 	lns := make([]net.Listener, n)
 	for i := range lns {
@@ -82,9 +91,9 @@ func dialMesh(t *testing.T, n int, opt Options) []*Transport {
 	}
 	trs := make([]*Transport, n)
 	for i := 0; i < n; i++ {
-		trs[i] = New(memory.NodeID(i), conns[i], opt)
+		trs[i] = New(memory.NodeID(i), conns[i], optFor(i))
 	}
-	return trs
+	return trs, conns
 }
 
 // tcpMesh adapts the dialed transports to the conformance suite.
@@ -110,6 +119,100 @@ func TestTCPConformance(t *testing.T) {
 	transporttest.Run(t, func(t *testing.T, n int) transporttest.Mesh {
 		return tcpMesh{trs: dialMesh(t, n, Options{})}
 	})
+}
+
+// tcpFaultMesh adds abrupt peer death to the socket mesh: Kill severs
+// every connection of one node without the shutdown barrier, exactly
+// what the surviving daemons observe when a member's process crashes.
+type tcpFaultMesh struct {
+	tcpMesh
+	conns  [][]net.Conn
+	fatals []atomic.Int32
+}
+
+func (m *tcpFaultMesh) Kill(node int) {
+	for _, c := range m.conns[node] {
+		if c != nil {
+			c.Close()
+		}
+	}
+}
+
+func (m *tcpFaultMesh) Fatals(node int) int { return int(m.fatals[node].Load()) }
+
+// TestTCPFaults runs the peer-death conformance suite over real
+// sockets: survivors must detect the crash (fatal exactly once), their
+// delivery planes must close so parked daemons unblock, and teardown
+// must complete.
+func TestTCPFaults(t *testing.T) {
+	transporttest.RunFaults(t, func(t *testing.T, n int) transporttest.FaultMesh {
+		m := &tcpFaultMesh{fatals: make([]atomic.Int32, n)}
+		m.trs, m.conns = dialMeshConns(t, n, func(node int) Options {
+			return Options{OnFatal: func(error) { m.fatals[node].Add(1) }}
+		})
+		return m
+	})
+}
+
+// TestHeartbeatDetectsSilentPeer: with heartbeats enabled, a peer that
+// stays connected but falls silent (its process wedged, not crashed)
+// is detected within the timeout — the read deadline fires and raises
+// the fatal handler naming the silence.
+func TestHeartbeatDetectsSilentPeer(t *testing.T) {
+	fatal := make(chan error, 2)
+	// Node 1 heartbeats and enforces the silence bound; node 0 neither
+	// sends heartbeats nor frames — a wedged peer.
+	trs, _ := dialMeshConns(t, 2, func(node int) Options {
+		opt := Options{OnFatal: func(err error) { fatal <- err }}
+		if node == 1 {
+			opt.HeartbeatInterval = 20 * time.Millisecond
+			opt.HeartbeatTimeout = 250 * time.Millisecond
+		}
+		return opt
+	})
+	select {
+	case err := <-fatal:
+		if err == nil {
+			t.Fatal("nil fatal error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("silent peer never detected")
+	}
+	for _, tr := range trs {
+		tr.MarkShutdown()
+		tr.Close()
+	}
+}
+
+// TestHeartbeatKeepsQuietPeerAlive: heartbeats on both sides mean a
+// peer with no data traffic is NOT declared dead — the liveness bound
+// must measure silence, not idleness.
+func TestHeartbeatKeepsQuietPeerAlive(t *testing.T) {
+	fatal := make(chan error, 2)
+	opt := func(int) Options {
+		return Options{
+			OnFatal:           func(err error) { fatal <- err },
+			HeartbeatInterval: 20 * time.Millisecond,
+			HeartbeatTimeout:  200 * time.Millisecond,
+		}
+	}
+	trs, _ := dialMeshConns(t, 2, opt)
+	select {
+	case err := <-fatal:
+		t.Fatalf("idle-but-heartbeating peer declared dead: %v", err)
+	case <-time.After(time.Second): // 5x the timeout: silence would have fired
+	}
+	// Data still flows after sustained idleness.
+	trs[0].Send(1, append(transport.GetFrame(), 7))
+	if f, ok := trs[1].Recv(1); !ok || f[0] != 7 {
+		t.Fatalf("post-idle frame: %v ok=%v", f, ok)
+	}
+	for _, tr := range trs {
+		tr.MarkShutdown()
+	}
+	for _, tr := range trs {
+		tr.Close()
+	}
 }
 
 // TestControlChannel: control messages multiplex on the pair

@@ -50,6 +50,19 @@ type DepthReporter interface {
 	PeakDepth() int
 }
 
+// FatalSink is implemented by backends that can detect a mid-run
+// failure — a peer death, a severed link, an injected fault — and
+// report it instead of hanging. The live engine installs its abort
+// hook here before any traffic flows, so a detected failure wakes
+// every parked thread and Run returns an error within a bound rather
+// than waiting forever on frames that will never arrive.
+type FatalSink interface {
+	// SetFatal installs the failure handler. The backend must invoke it
+	// at most once, from a goroutine that holds no backend lock the
+	// handler might need (the handler typically closes the transport).
+	SetFatal(fn func(error))
+}
+
 // Queue is an unbounded, closable FIFO guarded by a mutex and
 // condition variable: Put never blocks (at any fan-in), Get blocks
 // until an element or Close arrives. It backs ChanLoop's per-node

@@ -40,7 +40,117 @@ func Run(t *testing.T, f Factory) {
 	t.Run("DeliveryAndCloseDrain", func(t *testing.T) { deliveryAndCloseDrain(t, f) })
 	t.Run("CloseWakesBlockedReceiver", func(t *testing.T) { closeWakes(t, f) })
 	t.Run("SendAfterCloseDrops", func(t *testing.T) { sendAfterClose(t, f) })
+	t.Run("CloseDuringConcurrentSend", func(t *testing.T) { closeDuringSend(t, f) })
 	t.Run("CanonicalWireFrames", func(t *testing.T) { canonicalWireFrames(t, f) })
+}
+
+// FaultMesh is a mesh whose backend detects peer death: Kill makes
+// node die abruptly (as if its process crashed), Fatals reports how
+// many times node's transport raised its fatal handler. Backends with
+// failure detection (tcp, the faulty wrapper) run RunFaults on top of
+// Run.
+type FaultMesh interface {
+	Mesh
+	Kill(node int)
+	Fatals(node int) int
+}
+
+// FaultFactory builds a fresh n-node fault-capable mesh.
+type FaultFactory func(t *testing.T, n int) FaultMesh
+
+// RunFaults executes the peer-death conformance suite: the fatal
+// handler fires exactly once per surviving transport, post-death sends
+// drop (or deliver) without panicking, blocked receivers unblock
+// within a bound, and teardown completes after a death — a broken
+// mesh must never hang.
+func RunFaults(t *testing.T, f FaultFactory) {
+	t.Run("KillRaisesFatalOnce", func(t *testing.T) { killFatalOnce(t, f) })
+	t.Run("DeathUnblocksReceiver", func(t *testing.T) { deathUnblocks(t, f) })
+	t.Run("SendsAfterDeathDoNotPanic", func(t *testing.T) { sendsAfterDeath(t, f) })
+	t.Run("CloseAfterDeathCompletes", func(t *testing.T) { closeAfterDeath(t, f) })
+}
+
+// killFatalOnce: killing one node raises every survivor's fatal
+// handler exactly once — never zero (silent hang), never twice.
+func killFatalOnce(t *testing.T, f FaultFactory) {
+	const n = 4
+	m := f(t, n)
+	defer m.Close()
+	m.Kill(n - 1)
+	for s := 0; s < n-1; s++ {
+		s := s
+		waitFor(t, func() bool { return m.Fatals(s) >= 1 })
+	}
+	// Post-death traffic must not re-raise the handler.
+	for s := 0; s < n-1; s++ {
+		m.Node(s).Send(memory.NodeID(n-1), mkFrame(s, 0, 0))
+	}
+	time.Sleep(5 * time.Millisecond)
+	for s := 0; s < n-1; s++ {
+		if got := m.Fatals(s); got != 1 {
+			t.Fatalf("survivor %d: fatal handler fired %d times, want exactly 1", s, got)
+		}
+	}
+}
+
+// deathUnblocks: a receiver parked in Recv when a peer dies must
+// unblock within a bound (the engine's daemons must not hang on a
+// broken cluster).
+func deathUnblocks(t *testing.T, f FaultFactory) {
+	m := f(t, 3)
+	defer m.Close()
+	done := make(chan struct{})
+	go func() {
+		for {
+			if _, ok := m.Node(0).Recv(0); !ok {
+				close(done)
+				return
+			}
+		}
+	}()
+	m.Kill(2)
+	waitFor(t, func() bool { return m.Fatals(0) >= 1 })
+	// The backend surfaced the death; its delivery planes must be (or
+	// become) closed so the parked receiver returns.
+	m.Node(0).Send(0, mkFrame(0, 0, 0)) // loopback poke must not revive it
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("receiver still parked 5s after peer death")
+	}
+}
+
+// sendsAfterDeath: frames to the dead node, and frames from survivors
+// generally, drop or deliver silently — no panic, no block.
+func sendsAfterDeath(t *testing.T, f FaultFactory) {
+	const n = 3
+	m := f(t, n)
+	defer m.Close()
+	m.Kill(1)
+	for s := 0; s < n; s++ {
+		if s == 1 {
+			continue
+		}
+		s := s
+		waitFor(t, func() bool { return m.Fatals(s) >= 1 })
+		for i := 0; i < 50; i++ {
+			m.Node(s).Send(1, mkFrame(s, i, 8))                // to the dead node
+			m.Node(s).Send(memory.NodeID(s), mkFrame(s, i, 0)) // loopback
+		}
+	}
+}
+
+// closeAfterDeath: mesh teardown after a peer death completes (the
+// waitFor-free Close call itself is the assertion — a hang fails the
+// test by timeout).
+func closeAfterDeath(t *testing.T, f FaultFactory) {
+	m := f(t, 3)
+	m.Kill(0)
+	waitFor(t, func() bool { return m.Fatals(1) >= 1 && m.Fatals(2) >= 1 })
+	m.Close()
+	if _, ok := m.Node(1).Recv(1); ok {
+		t.Fatal("Recv delivered a frame after death and Close")
+	}
 }
 
 // mkFrame builds a frame carrying (sender, seq) plus padding, so
@@ -199,6 +309,44 @@ func sendAfterClose(t *testing.T, f Factory) {
 	m.Node(1).Send(1, mkFrame(1, 0, 0)) // self-send path too
 	if _, ok := m.Node(1).Recv(1); ok {
 		t.Fatal("frame delivered after Close")
+	}
+}
+
+// closeDuringSend: Close racing a burst of concurrent senders must
+// neither panic nor deadlock; frames that lose the race drop silently
+// (run under -race in CI — this is the shutdown data-race probe).
+func closeDuringSend(t *testing.T, f Factory) {
+	const n = 3
+	m := f(t, n)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for s := 0; s < n; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m.Node(s).Send(memory.NodeID((s+1)%n), mkFrame(s, i, i%16))
+			}
+		}(s)
+	}
+	// Prove liveness first, then slam the door mid-burst.
+	for i := 0; i < 32; i++ {
+		if _, ok := m.Node(1).Recv(1); !ok {
+			t.Fatal("transport closed prematurely")
+		}
+	}
+	m.Close()
+	close(stop)
+	wg.Wait()
+	for {
+		if _, ok := m.Node(1).Recv(1); !ok {
+			return // drained, then reported closed — as specified
+		}
 	}
 }
 

@@ -30,6 +30,8 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/gos"
 	"repro/internal/live"
+	"repro/internal/live/transport"
+	"repro/internal/live/transport/faulty"
 	"repro/internal/locator"
 	"repro/internal/memory"
 	"repro/internal/migration"
@@ -487,6 +489,11 @@ type RunOpts struct {
 	// three verdicts — engine check, oracle, policy independence — and
 	// the final-memory digest must come out the same on both.
 	Engine string
+	// Faults, when non-nil, runs the live engine over the
+	// fault-injecting transport wrapper with this schedule (chaos
+	// mode). Live engine only. A fault that ends the run surfaces as a
+	// Run error wrapping live.ErrAborted.
+	Faults *faulty.Options
 }
 
 // Run executes the program under pol and verifies it with the engine
@@ -514,9 +521,15 @@ func (p *Program) Run(pol migration.Policy, opts RunOpts) (*Result, error) {
 		cfg.Locator = opts.Locator
 		cfg.DropDiffs = opts.DropDiffs
 		cfg.Observer = rec
+		if opts.Faults != nil {
+			cfg.Transport = faulty.Wrap(transport.NewChanLoop(p.Nodes), p.Nodes, *opts.Faults)
+		}
 		c = live.New(cfg)
 	default:
 		return nil, fmt.Errorf("scenario: unknown engine %q", engine)
+	}
+	if opts.Faults != nil && engine != "live" {
+		return nil, fmt.Errorf("scenario: fault injection needs the live engine, not %q", engine)
 	}
 	objs := make([]memory.ObjectID, len(p.Words))
 	for o, words := range p.Words {

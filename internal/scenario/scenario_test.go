@@ -1,9 +1,13 @@
 package scenario
 
 import (
+	"errors"
 	"reflect"
 	"testing"
+	"time"
 
+	"repro/internal/live"
+	"repro/internal/live/transport/faulty"
 	"repro/internal/locator"
 )
 
@@ -112,4 +116,69 @@ func TestSweepSmoke(t *testing.T) {
 	if st.Runs != st.Scenarios*len(Policies(2)) {
 		t.Errorf("runs %d != scenarios %d × builtin policies", st.Runs, st.Scenarios)
 	}
+}
+
+// TestChaosKillAborts: an immediate scheduled kill must end the live
+// run through the engine's clean abort path — errors.Is(live.ErrAborted)
+// — never a hang or a panic.
+func TestChaosKillAborts(t *testing.T) {
+	p := Generate(3)
+	faults := faulty.Options{Seed: 3, KillNode: 0, KillAfter: 1}
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.Run(Policies(p.Nodes)[0], RunOpts{Locator: locator.ForwardingPointer, Engine: "live", Faults: &faults})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, live.ErrAborted) {
+			t.Fatalf("killed run returned %v, want an ErrAborted wrap", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("killed run hung")
+	}
+}
+
+// TestChaosDelaysPreserveResults: delay/jitter alone must never change
+// results — the run completes, passes every verdict, and reproduces
+// the fault-free sim digest.
+func TestChaosDelaysPreserveResults(t *testing.T) {
+	p := Generate(5)
+	pol := Policies(p.Nodes)[3] // Adaptive
+	sim, err := p.Run(pol, RunOpts{Locator: locator.Manager})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := faulty.Options{Seed: 5, MaxDelay: 500 * time.Microsecond}
+	res, err := p.Run(pol, RunOpts{Locator: locator.Manager, Engine: "live", Faults: &faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed() {
+		t.Fatalf("delayed run failed verdicts: %v %v %v", res.Mismatches, res.Violations, res.InvariantErr)
+	}
+	if res.Digest != sim.Digest {
+		t.Fatalf("delayed live digest %#x != sim digest %#x", res.Digest, sim.Digest)
+	}
+}
+
+// TestChaosSweepSmoke: the chaos gate in miniature — every seeded run
+// either completes with sim parity or aborts cleanly, none hang.
+func TestChaosSweepSmoke(t *testing.T) {
+	n := 10
+	if testing.Short() {
+		n = 4
+	}
+	st, err := ChaosSweep(1, n, 0, time.Minute, nil)
+	if err != nil {
+		t.Fatalf("%v (failures: %v)", err, st.Failures)
+	}
+	if st.Completed+st.Aborted != st.Runs {
+		t.Fatalf("outcomes do not partition: %d completed + %d aborted != %d runs",
+			st.Completed, st.Aborted, st.Runs)
+	}
+	if st.Completed == 0 {
+		t.Error("no chaos run completed — fault mix too aggressive to test parity")
+	}
+	t.Logf("chaos: %d completed, %d aborted of %d", st.Completed, st.Aborted, st.Runs)
 }
