@@ -1,3 +1,5 @@
+//dsm:wallclock daemon bootstrap deadlines and exit-path grace sleeps run on real time
+
 // dsmnode runs one node of a multi-process DSM cluster: N processes,
 // each started with the same application flags and a distinct -id, find
 // each other over TCP (one connection per node pair), barrier on start,

@@ -1,3 +1,5 @@
+//dsm:wallclock experiments time real (non-simulated) runs and log wall-clock progress
+
 // Package experiment is the parallel sweep substrate for the evaluation:
 // it expresses a whole figure or ablation grid as a flat list of Specs,
 // executes them across a pool of worker goroutines with work stealing,

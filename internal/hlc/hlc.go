@@ -1,3 +1,5 @@
+//dsm:wallclock hybrid logical clocks sample physical time by definition
+
 // Package hlc implements hybrid logical clocks (Kulkarni et al.): a
 // per-process clock whose stamps order events consistently with
 // happens-before across machines whose wall clocks disagree. A stamp is

@@ -1,0 +1,304 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// detPackages are the deterministic-core packages: two runs with the
+// same inputs must be byte-identical (golden tests pin it), so nothing
+// here may read the wall clock, use math/rand, or let Go's randomized
+// map iteration order leak into emitted values.
+var detPackages = map[string]bool{
+	"repro/internal/sim":      true,
+	"repro/internal/gos":      true,
+	"repro/internal/proto":    true,
+	"repro/internal/twindiff": true,
+	"repro/internal/scenario": true,
+	"repro/internal/prng":     true,
+	"repro/internal/oracle":   true,
+}
+
+// detNoOptOut are the deterministic packages that may not carry a
+// //dsm:wallclock directive at all: they are the protocol/kernel core,
+// and a wall-clock dependency there is a bug by definition. (scenario
+// is deterministic too, but its chaos harness legitimately watchdogs
+// live wall-clock runs, so it may opt out per file with justification.)
+var detNoOptOut = map[string]bool{
+	"repro/internal/sim":      true,
+	"repro/internal/gos":      true,
+	"repro/internal/proto":    true,
+	"repro/internal/twindiff": true,
+	"repro/internal/prng":     true,
+	"repro/internal/oracle":   true,
+}
+
+// wallClockFuncs are the time-package functions that read the wall
+// clock or block on it.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+// Det is detlint: determinism hygiene. Wall-clock reads and math/rand
+// are banned module-wide unless the file carries a justified
+// //dsm:wallclock directive (which must not be stale, and which the
+// deterministic core may not use at all); inside the deterministic
+// packages, map-range loops must not emit values in iteration order.
+var Det = &Analyzer{
+	Name: "detlint",
+	Doc: "forbid wall-clock reads, math/rand, and unordered map-range " +
+		"emission in deterministic code; wall-clock files opt out with " +
+		"a justified //dsm:wallclock directive",
+	Run: runDet,
+}
+
+// isDetPackage / isNoOptOut classify a package path, treating the
+// linttest fixture tree (fixture/det/... and fixture/det/core/...) the
+// same way as the real deterministic packages so the rules are
+// exercised by the same code path they ship with.
+func isDetPackage(path string) bool {
+	return detPackages[path] || strings.HasPrefix(path, "fixture/det/")
+}
+
+func isNoOptOut(path string) bool {
+	return detNoOptOut[path] || strings.HasPrefix(path, "fixture/det/core")
+}
+
+func runDet(pass *Pass) error {
+	pkgPath := strings.TrimSuffix(pass.Pkg.Path(), "_test")
+	for _, file := range pass.Files {
+		filename := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(filename, "_test.go") {
+			continue // tests may time themselves and seed freely
+		}
+		uses := wallClockUses(pass, file)
+		fd, hasDirective := pass.dirs.wallclockDirective(filename)
+		switch {
+		case hasDirective && isNoOptOut(pkgPath):
+			pass.Reportf(fd.wallclockPos,
+				"deterministic package %s may not opt out of wall-clock checks (//dsm:wallclock)", pkgPath)
+			for _, u := range uses {
+				pass.Reportf(u.pos, "wall-clock source %s in deterministic package %s", u.what, pkgPath)
+			}
+		case hasDirective && fd.wallclockReason == "":
+			pass.Reportf(fd.wallclockPos, "//dsm:wallclock directive needs a justification")
+		case hasDirective && len(uses) == 0:
+			pass.Reportf(fd.wallclockPos,
+				"stale //dsm:wallclock directive: file no longer uses the wall clock")
+		case !hasDirective:
+			for _, u := range uses {
+				pass.Reportf(u.pos,
+					"wall-clock source %s in undeclared file; add //dsm:wallclock <why> "+
+						"if this file is genuinely wall-clock-bound", u.what)
+			}
+		}
+		if isDetPackage(pkgPath) {
+			checkMapRangeEmission(pass, file)
+		}
+	}
+	return nil
+}
+
+type wallUse struct {
+	pos  token.Pos
+	what string
+}
+
+// wallClockUses finds references to wall-clock time functions and
+// math/rand imports in one file.
+func wallClockUses(pass *Pass, file *ast.File) []wallUse {
+	var uses []wallUse
+	for _, imp := range file.Imports {
+		if p, err := strconv.Unquote(imp.Path.Value); err == nil {
+			if p == "math/rand" || p == "math/rand/v2" {
+				uses = append(uses, wallUse{imp.Pos(), "import " + p})
+			}
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[sel.Sel]
+		if obj == nil || obj.Pkg() == nil {
+			return true
+		}
+		if obj.Pkg().Path() == "time" && wallClockFuncs[obj.Name()] {
+			uses = append(uses, wallUse{sel.Pos(), "time." + obj.Name()})
+		}
+		return true
+	})
+	return uses
+}
+
+// checkMapRangeEmission flags map-range loops whose iteration order
+// escapes: a return deriving a value from the loop variables, a channel
+// send, a loop-variable-dependent fmt or Write call, or an append to a
+// variable declared outside the loop that is never sorted afterwards.
+// The canonical fix is the PR-1 idiom: collect keys, slices.Sort, then
+// iterate the slice.
+func checkMapRangeEmission(pass *Pass, file *ast.File) {
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if t := pass.TypeOf(rs.X); t == nil || !isMapType(t) {
+				return true
+			}
+			checkOneMapRange(pass, fn.Body, rs)
+			return true
+		})
+	}
+}
+
+func isMapType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func checkOneMapRange(pass *Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt) {
+	loopVars := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.ObjectOf(id); obj != nil {
+				loopVars[obj] = true
+			}
+		}
+	}
+	usesLoopVar := func(e ast.Node) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && loopVars[pass.TypesInfo.Uses[id]] {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	flagged := map[int]bool{} // dedup by line
+	flag := func(pos token.Pos, format string, args ...any) {
+		line := pass.Fset.Position(pos).Line
+		if flagged[line] {
+			return
+		}
+		flagged[line] = true
+		pass.Reportf(pos, format, args...)
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range s.Results {
+				if usesLoopVar(res) {
+					flag(s.Pos(), "return derives a value from unordered map iteration; "+
+						"iterate sorted keys instead")
+					break
+				}
+			}
+		case *ast.SendStmt:
+			flag(s.Pos(), "channel send inside map range emits values in unordered map-iteration order")
+		case *ast.CallExpr:
+			if emitCall(pass, s) && usesLoopVar(s) {
+				flag(s.Pos(), "emission call inside map range depends on unordered map-iteration order")
+			}
+		case *ast.AssignStmt:
+			checkOuterAppend(pass, fnBody, rs, s, flag)
+		}
+		return true
+	})
+}
+
+// emitCall reports calls that emit their arguments somewhere order-
+// sensitive: anything in fmt, or a Write/Print-shaped method.
+func emitCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if obj := pass.TypesInfo.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+		return true
+	}
+	name := sel.Sel.Name
+	return strings.HasPrefix(name, "Write") || strings.HasPrefix(name, "Print")
+}
+
+// checkOuterAppend flags `outer = append(outer, ...)` inside a map
+// range unless outer is sorted after the loop in the same function.
+func checkOuterAppend(pass *Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt, as *ast.AssignStmt, flag func(token.Pos, string, ...any)) {
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+			continue
+		}
+		if i >= len(as.Lhs) && len(as.Lhs) != 1 {
+			continue
+		}
+		lhs, ok := as.Lhs[min(i, len(as.Lhs)-1)].(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := pass.ObjectOf(lhs)
+		if obj == nil || insideNode(obj.Pos(), rs.Body) {
+			continue // loop-local accumulator: its scope ends with the loop
+		}
+		if sortedAfter(pass, fnBody, rs, obj) {
+			continue // the PR-1 collect-then-sort idiom: order is repaired
+		}
+		flag(as.Pos(), "append to %s inside map range records unordered map-iteration order; "+
+			"sort it afterwards or iterate sorted keys", lhs.Name)
+	}
+}
+
+func insideNode(pos token.Pos, n ast.Node) bool {
+	return pos >= n.Pos() && pos <= n.End()
+}
+
+// sortedAfter reports whether obj is passed to a sort call after the
+// range statement, anywhere later in the function.
+func sortedAfter(pass *Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || found {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn := pass.TypesInfo.Uses[sel.Sel]
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		if !strings.HasPrefix(fn.Name(), "Sort") && !strings.HasPrefix(fn.Name(), "Slice") &&
+			fn.Name() != "Strings" && fn.Name() != "Ints" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

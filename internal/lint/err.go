@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Err is errlint: sentinel errors must flow through errors.Is. The
+// cluster and live layers wrap their sentinels (ErrAborted wraps every
+// abort cause; the dsmnode exit-code mapping relies on errors.Is over
+// cluster.ErrPeerDeath/ErrBootstrapTimeout/ErrConfigMismatch/
+// ErrVerification), so a raw == or != comparison against any sentinel
+// — including stdlib ones like io.EOF, which arrive wrapped off a
+// net.Conn — silently stops matching the moment a wrap is added.
+// Error-text equality comparisons are flagged for the same reason.
+var Err = &Analyzer{
+	Name: "errlint",
+	Doc: "sentinel errors must be tested with errors.Is, never == / != " +
+		"or error-text equality",
+	Run: runErr,
+}
+
+func runErr(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				checkErrCompare(pass, e)
+			case *ast.SwitchStmt:
+				checkErrSwitch(pass, e)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkErrCompare(pass *Pass, e *ast.BinaryExpr) {
+	if e.Op != token.EQL && e.Op != token.NEQ {
+		return
+	}
+	// Sentinel comparison: either operand resolves to a package-level
+	// error variable (ours or the stdlib's) and the other is an error
+	// expression (nil comparisons stay legal).
+	for i, side := range [2]ast.Expr{e.X, e.Y} {
+		other := [2]ast.Expr{e.Y, e.X}[i]
+		if name, ok := sentinelErrorVar(pass, side); ok && !isUntypedNil(pass, other) {
+			pass.Reportf(e.Pos(),
+				"sentinel error %s compared with %s; use errors.Is (sentinels may arrive wrapped)",
+				name, e.Op)
+			return
+		}
+	}
+	// Error-text comparison: err.Error() == "...".
+	for _, side := range [2]ast.Expr{e.X, e.Y} {
+		if isErrorTextCall(pass, side) {
+			pass.Reportf(e.Pos(),
+				"error text compared with %s; use errors.Is against the sentinel instead of matching strings",
+				e.Op)
+			return
+		}
+	}
+}
+
+func checkErrSwitch(pass *Pass, s *ast.SwitchStmt) {
+	if s.Tag == nil {
+		return
+	}
+	if t := pass.TypeOf(s.Tag); t == nil || !isErrorType(t) {
+		return
+	}
+	for _, stmt := range s.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, expr := range cc.List {
+			if name, ok := sentinelErrorVar(pass, expr); ok {
+				pass.Reportf(expr.Pos(),
+					"switch case compares sentinel error %s by identity; use if/else with errors.Is", name)
+			}
+		}
+	}
+}
+
+// sentinelErrorVar reports whether e resolves to a package-level
+// variable of error type (an error sentinel), returning its name.
+func sentinelErrorVar(pass *Pass, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch x := e.(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return "", false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return "", false
+	}
+	if !isErrorType(v.Type()) {
+		return "", false
+	}
+	if v.Pkg().Path() == pass.Pkg.Path() {
+		return v.Name(), true
+	}
+	return v.Pkg().Name() + "." + v.Name(), true
+}
+
+// isErrorTextCall reports whether e is a call of the error interface's
+// Error method.
+func isErrorTextCall(pass *Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" || len(call.Args) != 0 {
+		return false
+	}
+	t := pass.TypeOf(sel.X)
+	return t != nil && isErrorType(t)
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorIface) || types.Identical(t, errorIface)
+}
+
+func isUntypedNil(pass *Pass, e ast.Expr) bool {
+	t, ok := pass.TypesInfo.Types[e]
+	return ok && t.IsNil()
+}

@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Hot is hotlint: functions annotated //dsm:hotpath are the PR-1
+// kernel paths whose benchmarks pin 0 allocs/op. The annotation makes
+// the contract a compile-time check: no allocating composite literals
+// (&T{}, slice/map literals), no closures, no fmt calls, and no
+// interface boxing of non-pointer values. By-value struct literals and
+// append growth are allowed (they do not allocate per op in steady
+// state); anything reachable only through panic(...) is exempt, since
+// a panicking kernel has already forfeited its benchmarks.
+var Hot = &Analyzer{
+	Name: "hotlint",
+	Doc: "//dsm:hotpath functions must not build allocating composite " +
+		"literals, closures, fmt calls, or box non-pointer values into interfaces",
+	Run: runHot,
+}
+
+func runHot(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if _, ok := docHasDirective(fn.Doc, dirHotpath); !ok {
+				continue
+			}
+			checkHotFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, fn *ast.FuncDecl) {
+	name := fn.Name.Name
+	var walk func(n ast.Node)
+	walk = func(root ast.Node) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				if isPanicCall(pass, e) {
+					return false // the panic path never runs on a healthy kernel
+				}
+				checkHotCall(pass, name, e)
+			case *ast.UnaryExpr:
+				if e.Op.String() == "&" {
+					if _, ok := e.X.(*ast.CompositeLit); ok {
+						pass.Reportf(e.Pos(), "hotpath %s takes the address of a composite literal (heap allocation)", name)
+					}
+				}
+			case *ast.CompositeLit:
+				t := pass.TypeOf(e)
+				if t == nil {
+					return true
+				}
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					pass.Reportf(e.Pos(), "hotpath %s builds a %s literal (heap allocation)", name, kindName(t))
+				}
+			case *ast.FuncLit:
+				pass.Reportf(e.Pos(), "hotpath %s creates a closure (may allocate its environment)", name)
+				return false
+			}
+			return true
+		})
+	}
+	walk(fn.Body)
+}
+
+func kindName(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return t.String()
+}
+
+// checkHotCall flags fmt calls and interface-boxing arguments.
+func checkHotCall(pass *Pass, fnName string, call *ast.CallExpr) {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if obj := pass.TypesInfo.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+			pass.Reportf(call.Pos(), "hotpath %s calls fmt.%s (allocates)", fnName, obj.Name())
+			return
+		}
+	}
+	sig := callSignature(pass, call)
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		if sig.Variadic() && i >= sig.Params().Len()-1 {
+			last := sig.Params().At(sig.Params().Len() - 1).Type()
+			if s, ok := last.(*types.Slice); ok {
+				param = s.Elem()
+			}
+		} else if i < sig.Params().Len() {
+			param = sig.Params().At(i).Type()
+		}
+		if param == nil {
+			continue
+		}
+		if _, ok := param.Underlying().(*types.Interface); !ok {
+			continue
+		}
+		at := pass.TypeOf(arg)
+		if at == nil || isUntypedNil(pass, arg) {
+			continue
+		}
+		if _, ok := at.Underlying().(*types.Interface); ok {
+			continue // interface-to-interface: no box
+		}
+		if pointerShaped(at) {
+			continue // pointers box without allocating
+		}
+		pass.Reportf(arg.Pos(), "hotpath %s boxes %s into %s (allocates)", fnName, at, param)
+	}
+}
+
+// callSignature resolves the signature of a (non-builtin,
+// non-conversion) call.
+func callSignature(pass *Pass, call *ast.CallExpr) *types.Signature {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.IsType() || tv.IsBuiltin() {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// pointerShaped reports types whose interface representation stores the
+// value directly (no heap copy on boxing).
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
+}

@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// sharedLoader caches one Loader per test binary: the GOROOT source
+// importer's work (type-checking stdlib dependencies from source) is
+// memoized inside it, so every subsequent fixture load is cheap.
+var sharedLoader *Loader
+
+func loaderForTest(t *testing.T) *Loader {
+	t.Helper()
+	if sharedLoader != nil {
+		return sharedLoader
+	}
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	sharedLoader = l
+	return l
+}
+
+func TestLoaderTypechecksModulePackages(t *testing.T) {
+	l := loaderForTest(t)
+	pkgs, err := l.Load("./internal/prng", "./internal/hlc")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	byPath := map[string]*Package{}
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	for _, want := range []string{"repro/internal/prng", "repro/internal/hlc"} {
+		p, ok := byPath[want]
+		if !ok {
+			t.Fatalf("package %s not loaded (got %v)", want, keys(byPath))
+		}
+		if len(p.Files) == 0 || p.Types == nil || p.Info == nil {
+			t.Fatalf("package %s loaded without files/types/info", want)
+		}
+	}
+}
+
+func TestLoaderResolvesCrossModuleImports(t *testing.T) {
+	l := loaderForTest(t)
+	// transport imports repro/internal/memory and stdlib sync/fmt; its
+	// in-package tests must merge in cleanly.
+	pkgs, err := l.Load("./internal/live/transport")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	if dir := filepath.Base(l.Root); dir == "" {
+		t.Fatal("empty module root")
+	}
+}
+
+func keys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,225 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Obs is obslint: every call of a proto.Observer hook must be behind a
+// nil check. The observer is nil on every benchmark and production
+// path — the 0-alloc hot-path guarantee depends on the protocol not
+// touching it — so an unguarded call site is a latent nil-interface
+// panic that only fires when the oracle is off, exactly when no test
+// is watching.
+//
+// Accepted guards, innermost first:
+//
+//	if obs := x.Observer; obs != nil { obs.OnRead(...) }
+//	if x.obs != nil { x.obs.OnRead(...) }
+//	if obs == nil { return }  // earlier in the same block
+//
+// A struct whose observer field is proven non-nil at construction
+// (e.g. a serializing wrapper built only when an observer is present)
+// declares it with //dsm:obsnonnil <why> on the struct's doc comment,
+// which exempts calls through that field.
+var Obs = &Analyzer{
+	Name: "obslint",
+	Doc: "proto.Observer hook calls must be nil-guarded (or flow " +
+		"through a //dsm:obsnonnil field)",
+	Run: runObs,
+}
+
+func runObs(pass *Pass) error {
+	nonNilTypes := obsNonNilTypes(pass)
+	for _, file := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if !isObserverIfaceCall(pass, sel) {
+				return true
+			}
+			recv := types.ExprString(sel.X)
+			if guardedAgainstNil(pass, stack, recv) {
+				return true
+			}
+			if fieldOfNonNilType(pass, sel.X, nonNilTypes) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"proto.Observer hook %s called without a nil check on %s "+
+					"(the observer is nil on every production run)", sel.Sel.Name, recv)
+			return true
+		})
+	}
+	return nil
+}
+
+// isObserverIfaceCall reports whether sel is a method selection on the
+// proto.Observer interface (or an alias of it).
+func isObserverIfaceCall(pass *Pass, sel *ast.SelectorExpr) bool {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	named, ok := s.Recv().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "repro/internal/proto" && obj.Name() == "Observer"
+}
+
+// guardedAgainstNil walks the enclosing nodes looking for an if whose
+// condition establishes recv != nil, or an earlier early-return guard
+// (if recv == nil { return }) in an enclosing block.
+func guardedAgainstNil(pass *Pass, stack []ast.Node, recv string) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.IfStmt:
+			// The call must be in the guarded body, not the condition or
+			// the else branch.
+			if i+1 < len(stack) && stack[i+1] == n.Body && condChecksNonNil(n.Cond, recv) {
+				return true
+			}
+		case *ast.BlockStmt:
+			// An earlier `if recv == nil { return }` in this block.
+			var cur ast.Node
+			if i+1 < len(stack) {
+				cur = stack[i+1]
+			}
+			for _, stmt := range n.List {
+				if cur != nil && stmt == cur {
+					break
+				}
+				ifs, ok := stmt.(*ast.IfStmt)
+				if !ok || !blockTerminates(ifs.Body) {
+					continue
+				}
+				if condChecksNil(ifs.Cond, recv) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// condChecksNonNil reports whether cond contains `recv != nil`
+// (possibly under &&).
+func condChecksNonNil(cond ast.Expr, recv string) bool {
+	return condChecks(cond, recv, "!=")
+}
+
+// condChecksNil reports whether cond contains `recv == nil`.
+func condChecksNil(cond ast.Expr, recv string) bool {
+	return condChecks(cond, recv, "==")
+}
+
+func condChecks(cond ast.Expr, recv, op string) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || be.Op.String() != op {
+			return true
+		}
+		for _, pair := range [2][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+			if types.ExprString(pair[0]) == recv && types.ExprString(pair[1]) == "nil" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// blockTerminates reports whether a block's last statement leaves the
+// function (return, panic, continue — enough for a nil guard).
+func blockTerminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch s := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// obsNonNilTypes collects the struct types in this package whose doc
+// carries a justified //dsm:obsnonnil directive.
+func obsNonNilTypes(pass *Pass) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil {
+					doc = gd.Doc
+				}
+				reason, ok := docHasDirective(doc, dirObsNonNil)
+				if !ok {
+					continue
+				}
+				if reason == "" {
+					pass.Reportf(ts.Pos(), "//dsm:obsnonnil directive needs a justification")
+					continue
+				}
+				if obj := pass.TypesInfo.Defs[ts.Name]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// fieldOfNonNilType reports whether recv is a field selection whose
+// owning struct type carries //dsm:obsnonnil.
+func fieldOfNonNilType(pass *Pass, recv ast.Expr, nonNil map[types.Object]bool) bool {
+	if len(nonNil) == 0 {
+		return false
+	}
+	sel, ok := recv.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return false
+	}
+	t := s.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return nonNil[named.Obj()]
+}

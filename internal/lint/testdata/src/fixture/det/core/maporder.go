@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fmt"
+	"slices"
+)
+
+// FirstKey leaks iteration order through its return value.
+func FirstKey(m map[int]string) int {
+	for k := range m {
+		return k // want `return derives a value from unordered map iteration`
+	}
+	return -1
+}
+
+// Stream leaks iteration order through a channel.
+func Stream(m map[int]string, ch chan<- string) {
+	for _, v := range m {
+		ch <- v // want `channel send inside map range`
+	}
+}
+
+// Dump leaks iteration order through fmt.
+func Dump(m map[int]string) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `emission call inside map range`
+	}
+}
+
+// Keys records iteration order in its result.
+func Keys(m map[int]string) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k) // want `append to out inside map range records unordered map-iteration order`
+	}
+	return out
+}
+
+// SortedKeys is the canonical collect-then-sort idiom: the append runs
+// in map order, but the sort afterwards repairs it.
+func SortedKeys(m map[int]string) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// Count is order-insensitive aggregation over a map: fine.
+func Count(m map[int]string, want string) int {
+	n := 0
+	for _, v := range m {
+		if v == want {
+			n++
+		}
+	}
+	return n
+}

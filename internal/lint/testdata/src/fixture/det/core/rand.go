@@ -1,0 +1,8 @@
+package core
+
+import "math/rand" // want `wall-clock source import math/rand in undeclared file`
+
+// Roll draws from the global (wall-clock-seeded) source.
+func Roll() int {
+	return rand.Int()
+}

@@ -1,0 +1,11 @@
+package core
+
+//dsm:wallclock the core pretends it may opt out (it may not)
+// want@-1 `deterministic package fixture/det/core may not opt out of wall-clock checks`
+
+import "time"
+
+// Stamp reads the wall clock inside the deterministic core.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `wall-clock source time\.Now in deterministic package fixture/det/core`
+}

@@ -1,0 +1,13 @@
+//dsm:wallclock fixture: this package legitimately times external work
+package pkg
+
+import "time"
+
+// Elapsed measures how long f takes on the wall clock. The file-level
+// directive above makes this legal: pkg is deterministic for map-order
+// purposes but may opt out of the wall-clock ban with a justification.
+func Elapsed(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}

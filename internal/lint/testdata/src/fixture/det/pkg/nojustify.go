@@ -1,0 +1,7 @@
+package pkg
+
+//dsm:wallclock
+// want@-1 `//dsm:wallclock directive needs a justification`
+
+// Thrice triples x.
+func Thrice(x int) int { return 3 * x }

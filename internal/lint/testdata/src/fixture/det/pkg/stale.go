@@ -1,0 +1,7 @@
+package pkg
+
+//dsm:wallclock left over from an earlier draft of this file
+// want@-1 `stale //dsm:wallclock directive: file no longer uses the wall clock`
+
+// Twice doubles x and never reads any clock.
+func Twice(x int) int { return 2 * x }

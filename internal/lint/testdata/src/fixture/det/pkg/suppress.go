@@ -1,0 +1,21 @@
+package pkg
+
+// FirstID returns an arbitrary id. The suppression below is justified,
+// so no diagnostic fires.
+func FirstID(m map[int]bool) int {
+	for k := range m {
+		//dsm:nolint detlint: any key works; callers treat every id as equivalent
+		return k
+	}
+	return -1
+}
+
+// AnyID carries a lazy, reason-free suppression: the finding is
+// reported anyway, with a note about the ignored nolint.
+func AnyID(m map[int]bool) int {
+	for k := range m {
+		//dsm:nolint detlint
+		return k // want `return derives a value from unordered map iteration.*unjustified //dsm:nolint ignored`
+	}
+	return -1
+}

@@ -1,0 +1,51 @@
+package errs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ErrStale is this fixture's sentinel.
+var ErrStale = errors.New("stale")
+
+// Classify buckets err all the wrong ways.
+func Classify(err error) string {
+	if err == ErrStale { // want `sentinel error ErrStale compared with ==`
+		return "stale"
+	}
+	if err != io.EOF { // want `sentinel error io.EOF compared with !=`
+		return "open"
+	}
+	if err.Error() == "stale" { // want `error text compared with ==`
+		return "stale-text"
+	}
+	switch err {
+	case ErrStale: // want `switch case compares sentinel error ErrStale by identity`
+		return "switch-stale"
+	}
+	return "other"
+}
+
+// Good buckets err the right ways: clean.
+func Good(err error) string {
+	if err == nil {
+		return "none"
+	}
+	if errors.Is(err, ErrStale) {
+		return "stale"
+	}
+	if errors.Is(err, io.EOF) {
+		return "eof"
+	}
+	if strings.Contains(err.Error(), "transient") {
+		return "transient" // substring probes stay legal (test helpers use them)
+	}
+	return fmt.Sprintf("other: %v", err)
+}
+
+// Legacy compares by identity behind a justified suppression: quiet.
+func Legacy(err error) bool {
+	return err == ErrStale //dsm:nolint errlint: fixture: pre-wrap API contract guarantees identity
+}

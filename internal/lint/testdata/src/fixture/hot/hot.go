@@ -1,0 +1,59 @@
+package hot
+
+import "fmt"
+
+type item struct{ k, v uint64 }
+
+type table struct {
+	slots []item
+	n     int
+}
+
+func sink(v any) { _ = v }
+
+// insert appends a by-value struct literal: amortized by the slice's
+// growth policy, so hotlint allows it.
+//
+//dsm:hotpath
+func (t *table) insert(k, v uint64) {
+	t.slots = append(t.slots, item{k, v})
+	t.n++
+}
+
+// bad commits every allocation sin at once.
+//
+//dsm:hotpath
+func (t *table) bad(k uint64) *item {
+	it := &item{k: k}          // want `takes the address of a composite literal`
+	pair := []uint64{k, k + 1} // want `builds a slice literal`
+	_ = pair
+	fmt.Println(k)                  // want `calls fmt\.Println`
+	f := func() uint64 { return k } // want `creates a closure`
+	_ = f
+	sink(k) // want `boxes uint64 into`
+	return it
+}
+
+// guard may panic with a formatted message: the panic path never runs
+// on a healthy kernel, so it is exempt.
+//
+//dsm:hotpath
+func (t *table) guard(i int) item {
+	if i >= len(t.slots) {
+		panic(fmt.Sprintf("slot %d out of range", i))
+	}
+	return t.slots[i]
+}
+
+// audited boxes behind a justified suppression: quiet.
+//
+//dsm:hotpath
+func (t *table) audited(k uint64) {
+	sink(k) //dsm:nolint hotlint: fixture: the box is hoisted out of the loop by the caller
+}
+
+// slow is unannotated: allocate freely.
+func slow() []int {
+	fmt.Println("slow path")
+	return []int{1, 2, 3}
+}

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"repro/internal/memory"
+	"repro/internal/proto"
+)
+
+type probe struct {
+	obs proto.Observer
+}
+
+// leak calls a hook with no guard at all.
+func (p *probe) leak(obj memory.ObjectID) {
+	p.obs.OnRead(0, obj, 0, 1) // want `proto.Observer hook OnRead called without a nil check`
+}
+
+// guarded uses the canonical rebind-and-check idiom: clean.
+func (p *probe) guarded(obj memory.ObjectID) {
+	if obs := p.obs; obs != nil {
+		obs.OnWrite(0, obj, 0, 1)
+	}
+}
+
+// fieldGuarded checks the field in place: clean.
+func (p *probe) fieldGuarded() {
+	if p.obs != nil {
+		p.obs.OnAcquire(0, 1)
+	}
+}
+
+// early bails on nil before touching the hook: clean.
+func (p *probe) early() {
+	if p.obs == nil {
+		return
+	}
+	p.obs.OnRelease(0, 1)
+}
+
+// audited has the guard at every call site; the justified suppression
+// below keeps this one quiet.
+func (p *probe) audited() {
+	p.obs.OnBarrierDepart(0, 1) //dsm:nolint obslint: fixture: every caller checks p.obs before invoking
+}
+
+// wired is only ever built with a live observer, so its field skips the
+// per-call guard.
+//
+//dsm:obsnonnil fixture: the constructor rejects nil observers
+type wired struct {
+	obs proto.Observer
+}
+
+func (w *wired) fire() {
+	w.obs.OnBarrierRelease(1)
+}
+
+// unaudited is marked but gives no reason, so the directive is itself
+// flagged and does not exempt the call below.
+//
+//dsm:obsnonnil
+type unaudited struct { // want `//dsm:obsnonnil directive needs a justification`
+	obs proto.Observer
+}
+
+func (u *unaudited) fire() {
+	u.obs.OnBarrierArrive(0, 1) // want `called without a nil check`
+}

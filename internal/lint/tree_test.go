@@ -1,0 +1,31 @@
+package lint
+
+import "testing"
+
+// TestTreeIsClean runs the full analyzer suite over the whole module —
+// the same check `go run ./cmd/dsmlint ./...` performs in CI — so a
+// reintroduced violation fails tier-1 `go test ./...` too, not just the
+// lint job.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the entire module; skipped in -short")
+	}
+	l := loaderForTest(t)
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; the module walk looks broken", len(pkgs))
+	}
+	diags, err := RunAnalyzers(pkgs, All())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Errorf("dsmlint reports %d finding(s) on the tree; fix them or add a justified //dsm:nolint", len(diags))
+	}
+}

@@ -1,3 +1,5 @@
+//dsm:wallclock cluster bootstrap uses wall-clock timeouts and dial-retry backoff
+
 // Package cluster is the bootstrap and control plane for multi-process
 // DSM clusters: it turns N independent OS processes (cmd/dsmnode) into
 // one live-engine cluster over the TCP transport backend.

@@ -1,3 +1,5 @@
+//dsm:wallclock the finish barrier arms real-time watchdogs against hung peers
+
 package cluster
 
 import (

@@ -1,3 +1,5 @@
+//dsm:wallclock the live engine runs on real goroutines: spin backoff and run timing are wall-clock
+
 // Package live runs the Global Object Space protocol on real
 // goroutines: one protocol daemon goroutine per node, application
 // threads as goroutines with channel-style rendezvous for fault-in
@@ -496,6 +498,8 @@ func (n *node) daemon() {
 // feeds) always append in causal order; only genuinely concurrent
 // events race for log positions, and LRC places no obligation between
 // those.
+//
+//dsm:obsnonnil only constructed when cfg.Observer != nil (see Run)
 type lockedObserver struct {
 	mu sync.Mutex
 	o  proto.Observer

@@ -1,3 +1,5 @@
+//dsm:wallclock live thread watchdogs detect stalls in real time
+
 package live
 
 import (

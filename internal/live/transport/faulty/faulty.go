@@ -1,3 +1,5 @@
+//dsm:wallclock injected delays and delivery deadlines are wall-clock by design
+
 // Package faulty wraps any transport.Transport with seeded,
 // deterministic fault injection: per-pair delivery delay/jitter,
 // duplicated frames, a severed link, and the abrupt death of one node

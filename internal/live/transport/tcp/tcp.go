@@ -1,3 +1,5 @@
+//dsm:wallclock heartbeat tickers and read deadlines run on the wall clock
+
 // Package tcp is the networked transport backend of the live DSM
 // engine: encoded protocol frames cross real sockets, one persistent
 // connection per node pair, so a cluster can span OS processes (and
@@ -44,6 +46,7 @@ package tcp
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -463,7 +466,7 @@ func (t *Transport) reader(p *peer) {
 			switch {
 			case isTimeout(err):
 				t.fail(p, "read", fmt.Errorf("no frames within %v (silent peer): %w", t.hbTimeout, err))
-			case err != io.EOF:
+			case !errors.Is(err, io.EOF):
 				t.fail(p, "read", err)
 			default:
 				t.fail(p, "read (peer closed)", err)
@@ -491,6 +494,7 @@ func (t *Transport) reader(p *peer) {
 			buf = buf[:size]
 		}
 		if _, err := io.ReadFull(p.conn, buf); err != nil {
+			transport.PutFrame(buf) // framelint: the early return leaked the pooled buffer
 			t.fail(p, "read", err)
 			return
 		}
@@ -508,6 +512,7 @@ func (t *Transport) reader(p *peer) {
 		case chanHeart:
 			transport.PutFrame(buf)
 		default:
+			transport.PutFrame(buf) // framelint: the early return leaked the pooled buffer
 			t.fail(p, "read", fmt.Errorf("unknown frame channel %d", tag))
 			return
 		}

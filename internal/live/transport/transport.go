@@ -85,6 +85,8 @@ func NewQueue[T any]() *Queue[T] {
 
 // Put appends v; it reports false (dropping v) when the queue is
 // closed. It never blocks.
+//
+//dsm:hotpath
 func (q *Queue[T]) Put(v T) bool {
 	q.mu.Lock()
 	if q.closed {

@@ -1,3 +1,5 @@
+//dsm:wallclock the conformance harness bounds real-goroutine waits with wall-clock deadlines
+
 // Package transporttest is the conformance suite for live-transport
 // backends: any transport.Transport implementation the DSM engine may
 // run over must pass it. It generalizes the checks PR 4 pinned with the

@@ -40,6 +40,8 @@ func New(seed uint64) *Rand {
 }
 
 // Next returns the next 64-bit value of the stream.
+//
+//dsm:hotpath
 func (r *Rand) Next() uint64 {
 	r.s ^= r.s >> 12
 	r.s ^= r.s << 25
@@ -65,6 +67,8 @@ func (r *Rand) Float64() float64 { return float64(r.Next()>>11) / (1 << 53) }
 // it a counter (index, trial number, phase) yields an independent-
 // looking seed stream with no visible structure — the property the
 // multi-trial sweeps rely on.
+//
+//dsm:hotpath
 func Mix(x uint64) uint64 {
 	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
 	x = (x ^ (x >> 27)) * 0x94D049BB133111EB

@@ -23,6 +23,7 @@ package proto
 import (
 	"errors"
 	"fmt"
+	"slices"
 
 	"repro/internal/core"
 	"repro/internal/locator"
@@ -296,10 +297,17 @@ func (sp *Space) CheckInvariants() error {
 						obj, n.ID, ErrStaleCopyset)
 				}
 			} else {
+				// Validate sharers in sorted order so the error names the
+				// same node on every run (detlint: a return inside the map
+				// range would leak randomized iteration order).
+				sharers := make([]memory.NodeID, 0, len(n.Copyset[id]))
 				for sharer, ok := range n.Copyset[id] {
-					if !ok {
-						continue
+					if ok {
+						sharers = append(sharers, sharer)
 					}
+				}
+				slices.Sort(sharers)
+				for _, sharer := range sharers {
 					if sharer == n.ID || sharer < 0 || int(sharer) >= s.Nodes {
 						return fmt.Errorf("proto: object %d: copyset of home %d names node %d: %w",
 							obj, n.ID, sharer, ErrStaleCopyset)

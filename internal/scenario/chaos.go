@@ -1,3 +1,5 @@
+//dsm:wallclock the chaos sweep watchdogs live runs with real-time deadlines
+
 package scenario
 
 import (

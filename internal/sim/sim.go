@@ -154,6 +154,8 @@ func (e *Env) activateAt(t Time, p *Proc) {
 // A hand-rolled heap over []event avoids the per-push interface boxing of
 // container/heap (one allocation per scheduled event) and trades depth for
 // width: 4-ary halves the levels touched by the frequent sift-ups.
+//
+//dsm:hotpath
 func (e *Env) push(ev event) {
 	e.seq++
 	ev.seq = e.seq
@@ -171,6 +173,8 @@ func (e *Env) push(ev event) {
 }
 
 // pop removes and returns the earliest event.
+//
+//dsm:hotpath
 func (e *Env) pop() event {
 	h := e.events
 	top := h[0]
@@ -540,6 +544,8 @@ func (q *Queue) Send(v any) {
 
 // dequeue removes and returns the oldest item. The queue must be
 // non-empty.
+//
+//dsm:hotpath
 func (q *Queue) dequeue() any {
 	v := q.buf[q.head]
 	q.buf[q.head] = nil // release the reference for GC

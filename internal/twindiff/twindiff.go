@@ -112,6 +112,8 @@ func Compute(twin, cur []uint64) Diff { return ComputeInto(nil, twin, cur) }
 
 // ComputeInto is Compute drawing run storage from pool (nil pool = plain
 // allocation).
+//
+//dsm:hotpath
 func ComputeInto(pool *Pool, twin, cur []uint64) Diff {
 	if len(twin) != len(cur) {
 		panic(fmt.Sprintf("twindiff: twin len %d != cur len %d", len(twin), len(cur)))
@@ -140,6 +142,8 @@ func ComputeInto(pool *Pool, twin, cur []uint64) Diff {
 
 // Apply writes the diff's runs into dst (the home copy). Out-of-range runs
 // panic: they indicate a protocol bug, not a recoverable condition.
+//
+//dsm:hotpath
 func (d Diff) Apply(dst []uint64) {
 	for _, r := range d.Runs {
 		if int(r.Start)+len(r.Words) > len(dst) {
