@@ -44,20 +44,36 @@
 //	   violation, invariant failure, or a member's application error
 //	7  chaos self-kill (-chaos-kill-after): this process killed itself
 //	   deliberately so the survivors' abort path could be tested
+//
+// Observability: -flight N attaches a flight recorder of N events to
+// this member (HLC-stamped frame traffic, migration decisions with
+// reasons, lock/barrier events, heartbeats, faults); node 0 gathers
+// every member's ring at finish or abort and can export the merged
+// cluster timeline (-flight-text, -flight-trace for Perfetto). Any
+// failure path dumps this process's trailing events to stderr. -json
+// emits the merged run artifact machine-readably (node 0), and
+// -obs-addr serves a live debug listener: /debug/pprof, /metrics, and
+// /flight (this node's ring as text, mid-run).
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"hash/fnv"
+	"io"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
 	"time"
 
 	"repro/internal/apps"
+	"repro/internal/flight"
 	"repro/internal/live/cluster"
 	"repro/internal/memory"
+	"repro/internal/stats"
 )
 
 // Exit codes per failure domain (see package comment).
@@ -118,6 +134,16 @@ func main() {
 		// ONE member; a watchdog may differ per host).
 		deadline  = flag.Duration("deadline", 0, "watchdog: exit nonzero if the whole run has not finished in this long (0 = none)")
 		chaosKill = flag.Int64("chaos-kill-after", 0, "chaos: kill this process once it has seen this many engine data frames (0 = never)")
+
+		// Observability flags. Also excluded from the config digest: they
+		// change what a process records and reports, never what it
+		// computes, so members may legitimately differ.
+		flightCap   = flag.Int("flight", 0, "flight recorder capacity in events for this member (0 = off)")
+		flightText  = flag.String("flight-text", "", "node 0: write the merged cluster timeline as text to this file (\"-\" = stdout; needs -flight)")
+		flightTrace = flag.String("flight-trace", "", "node 0: write the merged cluster timeline as Chrome trace-event JSON to this file (\"-\" = stdout; needs -flight)")
+		flightDump  = flag.Int("flight-dump", 16, "on any failure path, dump this process's last N flight events to stderr (needs -flight)")
+		jsonOut     = flag.Bool("json", false, "node 0: emit the merged run artifact as JSON on stdout instead of the text report")
+		obsAddr     = flag.String("obs-addr", "", "serve the debug listener (/debug/pprof, /metrics, /flight) on this address")
 	)
 	flag.Parse()
 
@@ -146,17 +172,32 @@ func main() {
 	h := fnv.New64a()
 	h.Write([]byte(canon))
 
+	// member is assigned by Join below; the failure paths (OnFatal, the
+	// deadline watchdog, chaos kill) may fire first, so every dump guards
+	// against a nil member.
+	var member *cluster.Member
+	dumpFlight := func() {
+		if member == nil || *flightDump <= 0 {
+			return
+		}
+		if rec := member.FlightRecorder(); rec != nil {
+			flight.DumpLastN(os.Stderr, []*flight.Recorder{rec}, *flightDump)
+		}
+	}
+
 	cfg := cluster.Config{
 		ID:          memory.NodeID(*id),
 		Addrs:       addrs,
 		Digest:      h.Sum64(),
 		Check:       *check,
 		DialTimeout: *timeout,
+		FlightCap:   *flightCap,
 		OnFatal: func(err error) {
 			// The transport's error names the peer/connection that broke
 			// (e.g. "read with node 2 failed: ...") — print it verbatim so
 			// the operator knows which member to look at.
 			fmt.Fprintf(os.Stderr, "dsmnode %d: cluster broken, aborting: %v\n", *id, err)
+			dumpFlight()
 			os.Exit(exitAbort)
 		},
 	}
@@ -168,12 +209,17 @@ func main() {
 	if *deadline > 0 {
 		time.AfterFunc(*deadline, func() {
 			fmt.Fprintf(os.Stderr, "dsmnode %d: deadline %v exceeded with the run unfinished, aborting\n", *id, *deadline)
+			dumpFlight()
 			os.Exit(exitAbort)
 		})
 	}
-	member, err := cluster.Join(cfg)
+	var err error
+	member, err = cluster.Join(cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if *obsAddr != "" {
+		serveObs(*obsAddr, *id, member)
 	}
 	if *chaosKill > 0 {
 		// Die abruptly — no Leave, no AbortApp — once enough engine
@@ -185,6 +231,7 @@ func main() {
 				time.Sleep(200 * time.Microsecond)
 			}
 			fmt.Fprintf(os.Stderr, "dsmnode %d: chaos kill after %d data frames\n", *id, member.DataFrames())
+			dumpFlight()
 			os.Exit(exitChaosKill)
 		}()
 	}
@@ -226,20 +273,133 @@ func main() {
 			}
 		}
 		fmt.Fprintf(os.Stderr, "dsmnode %d: %v\n", *id, err)
+		dumpFlight()
+		// On node 0 the coordinator merges rings on the abort path too, so
+		// a timeline export still works when the run died verifiably.
+		if *id == 0 {
+			exportTimeline(member.FlightTimeline(), *flightText, *flightTrace)
+		}
 		member.Leave()
 		os.Exit(exitCode(err))
 	}
 	if *id == 0 {
-		fmt.Printf("%s over %d processes\n", res.App, nn)
-		fmt.Print(res.Metrics.Summary())
-		if *check {
-			fmt.Printf("check          invariants OK, oracle OK (%d ops), digest %#x\n",
-				res.OracleOps, res.Digest)
+		if *jsonOut {
+			if jerr := writeArtifact(os.Stdout, canon, nn, *check, res); jerr != nil {
+				fmt.Fprintf(os.Stderr, "dsmnode %d: json: %v\n", *id, jerr)
+				os.Exit(exitOther)
+			}
+		} else {
+			fmt.Printf("%s over %d processes\n", res.App, nn)
+			fmt.Print(res.Metrics.Summary())
+			if *check {
+				fmt.Printf("check          invariants OK, oracle OK (%d ops), digest %#x\n",
+					res.OracleOps, res.Digest)
+			}
+			if *flightCap > 0 {
+				fmt.Printf("flight         %d event(s) in the merged timeline\n", len(res.Flight))
+			}
 		}
+		exportTimeline(res.Flight, *flightText, *flightTrace)
 	} else if *verbose {
 		fmt.Fprintf(os.Stderr, "dsmnode %d: ok (digest %#x)\n", *id, res.Digest)
 	}
 	member.Leave()
+}
+
+// artifact is the -json run record (node 0): the merged cluster view in
+// one machine-readable object, mirroring what the text report prints.
+type artifact struct {
+	App       string        `json:"app"`
+	Config    string        `json:"config"` // the canonical config string behind the handshake digest
+	Processes int           `json:"processes"`
+	Metrics   stats.Metrics `json:"metrics"`
+	Check     bool          `json:"check"`
+	Digest    string        `json:"digest,omitempty"`
+	OracleOps int           `json:"oracle_ops,omitempty"`
+	Flight    int           `json:"flight_events"`
+}
+
+func writeArtifact(w io.Writer, canon string, nn int, check bool, res apps.Result) error {
+	a := artifact{
+		App:       res.App,
+		Config:    canon,
+		Processes: nn,
+		Metrics:   res.Metrics,
+		Check:     check,
+		OracleOps: res.OracleOps,
+		Flight:    len(res.Flight),
+	}
+	if check {
+		a.Digest = fmt.Sprintf("%#x", res.Digest)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a)
+}
+
+// exportTimeline writes the merged cluster timeline to the requested
+// sinks ("-" = stdout). Export failures warn but do not change the exit
+// code: the run's verdict is already decided.
+func exportTimeline(events []flight.Event, textPath, tracePath string) {
+	write := func(path, what string, render func(io.Writer) error) {
+		if path == "" {
+			return
+		}
+		err := func() error {
+			if path == "-" {
+				return render(os.Stdout)
+			}
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := render(f); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dsmnode: %s: %v\n", what, err)
+		}
+	}
+	write(textPath, "flight-text", func(w io.Writer) error { return flight.WriteText(w, events) })
+	write(tracePath, "flight-trace", func(w io.Writer) error { return flight.WriteChromeTrace(w, events) })
+}
+
+// serveObs starts the debug listener: Go's pprof handlers, a plain-text
+// /metrics snapshot, and /flight rendering this node's ring mid-run.
+// Serving is best-effort — a dead listener never fails the run.
+func serveObs(addr string, id int, member *cluster.Member) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "dsmnode_id %d\n", id)
+		fmt.Fprintf(w, "dsmnode_data_frames %d\n", member.DataFrames())
+		if rec := member.FlightRecorder(); rec != nil {
+			fmt.Fprintf(w, "dsmnode_flight_events_total %d\n", rec.Total())
+			fmt.Fprintf(w, "dsmnode_flight_events_buffered %d\n", rec.Len())
+		}
+	})
+	mux.HandleFunc("/flight", func(w http.ResponseWriter, _ *http.Request) {
+		rec := member.FlightRecorder()
+		if rec == nil {
+			http.Error(w, "flight recorder disabled (run with -flight N)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		flight.WriteText(w, rec.Snapshot())
+	})
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			fmt.Fprintf(os.Stderr, "dsmnode %d: obs listener: %v\n", id, err)
+		}
+	}()
 }
 
 func fatal(err error) {

@@ -14,15 +14,41 @@
 // invariants, fingerprints the final memory, and replays the run's
 // scalar accesses through the LRC coherence oracle — on either engine,
 // matching the `dsmbench -check` gate.
+//
+// -flight N attaches a per-node flight recorder of N events to every
+// node; the merged HLC-ordered cluster timeline then exports as
+// human-readable text (-flight-text), Chrome trace-event JSON loadable
+// in Perfetto (-flight-trace), or feeds the offline access-pattern
+// classifier (-flight-analyze). On the sim engine the timeline is
+// byte-identical across runs of the same configuration.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/apps"
+	"repro/internal/flight"
+	"repro/internal/trace"
 )
+
+// writeOut streams one export to path ("-" = stdout).
+func writeOut(path string, render func(io.Writer) error) error {
+	if path == "-" {
+		return render(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 func main() {
 	var (
@@ -43,13 +69,18 @@ func main() {
 		rep     = flag.Int("r", 8, "synthetic: repetition of the single-writer pattern")
 		updates = flag.Int("updates", 2048, "synthetic: total counter updates")
 		workers = flag.Int("workers", 8, "synthetic: worker threads (on nodes 1..workers)")
+
+		flightCap     = flag.Int("flight", 0, "per-node flight recorder capacity in events (0 = off)")
+		flightText    = flag.String("flight-text", "", "write the merged flight timeline as text to this file (\"-\" = stdout; needs -flight)")
+		flightTrace   = flag.String("flight-trace", "", "write the merged flight timeline as Chrome trace-event JSON to this file (\"-\" = stdout; needs -flight)")
+		flightAnalyze = flag.Bool("flight-analyze", false, "bridge the flight timeline into the offline access-pattern classifier and print its report (needs -flight)")
 	)
 	flag.Parse()
 
 	o := apps.Options{
 		Nodes: *nodes, Threads: *threads, Policy: *policy, Locator: *loc,
 		Network: *network, Lambda: *lambda, TInit: *tinit, NoPiggyback: *noPig,
-		Engine: *engine, Check: *check, Oracle: *check,
+		Engine: *engine, Check: *check, Oracle: *check, FlightCap: *flightCap,
 	}
 	var (
 		res apps.Result
@@ -83,5 +114,23 @@ func main() {
 	if *check {
 		fmt.Printf("check          invariants OK, oracle OK (%d ops), digest %#x\n",
 			res.OracleOps, res.Digest)
+	}
+	if *flightCap > 0 {
+		fmt.Printf("flight         %d event(s) in the merged timeline\n", len(res.Flight))
+	}
+	if *flightText != "" {
+		if err := writeOut(*flightText, func(w io.Writer) error { return flight.WriteText(w, res.Flight) }); err != nil {
+			fmt.Fprintln(os.Stderr, "dsmrun: flight-text:", err)
+			os.Exit(1)
+		}
+	}
+	if *flightTrace != "" {
+		if err := writeOut(*flightTrace, func(w io.Writer) error { return flight.WriteChromeTrace(w, res.Flight) }); err != nil {
+			fmt.Fprintln(os.Stderr, "dsmrun: flight-trace:", err)
+			os.Exit(1)
+		}
+	}
+	if *flightAnalyze {
+		fmt.Print(trace.Report(trace.Analyze(flight.ToTrace(res.Flight))))
 	}
 }

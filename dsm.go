@@ -37,6 +37,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/flight"
 	"repro/internal/gos"
 	"repro/internal/hockney"
 	"repro/internal/live"
@@ -151,6 +152,18 @@ type Config struct {
 	// process a peer node's threads actually run in. Live engine only,
 	// and it requires a Transport that reaches the peer processes.
 	LocalNode *NodeID
+	// FlightCap, when positive, attaches a fixed-capacity flight
+	// recorder to every node (internal/flight): HLC-stamped protocol
+	// events — frame traffic, migration decisions with their reasons,
+	// lock grants, barrier episodes — readable after the run through
+	// FlightEvents. Works on both engines; the sim engine stamps with
+	// the virtual clock, so a seeded run's timeline is reproducible.
+	FlightCap int
+	// FlightLocal injects an externally owned recorder for the local
+	// node — the multi-process mode, where the cluster member owns the
+	// recorder so its HLC stamps observe remote frames and the finish
+	// exchange can gather the ring. Live engine only.
+	FlightLocal *flight.Recorder
 }
 
 // Cluster is a configured DSM instance: declare shared state, then Run.
@@ -216,6 +229,7 @@ func New(cfg Config) *Cluster {
 			Trace:        cfg.Trace,
 			PathCompress: cfg.PathCompress,
 			Observer:     cfg.Observer,
+			FlightCap:    cfg.FlightCap,
 		})
 	case "live":
 		if cfg.Trace != nil {
@@ -230,12 +244,17 @@ func New(cfg Config) *Cluster {
 			PathCompress: cfg.PathCompress,
 			Observer:     cfg.Observer,
 			Transport:    cfg.Transport,
+			FlightCap:    cfg.FlightCap,
+			FlightLocal:  cfg.FlightLocal,
 		})
 	default:
 		panic(fmt.Sprintf("dsm: unknown engine %q (want \"sim\" or \"live\")", cfg.Engine))
 	}
 	if cfg.Engine != "live" && (cfg.Transport != nil || cfg.LocalNode != nil) {
 		panic("dsm: Transport/LocalNode require Engine \"live\"")
+	}
+	if cfg.Engine != "live" && cfg.FlightLocal != nil {
+		panic("dsm: FlightLocal requires Engine \"live\"")
 	}
 	if cfg.LocalNode != nil && (*cfg.LocalNode < 0 || int(*cfg.LocalNode) >= cfg.Nodes) {
 		panic(fmt.Sprintf("dsm: LocalNode %d outside cluster of %d", *cfg.LocalNode, cfg.Nodes))
@@ -343,6 +362,28 @@ func (c *Cluster) CheckInvariants() error { return c.eng.CheckInvariants() }
 // program it must be identical under every migration policy and
 // locator — migration changes cost, never results.
 func (c *Cluster) Digest() uint64 { return c.eng.Digest() }
+
+// FlightEvents returns the merged (Wall, Logical)-ordered flight
+// timeline of the run — every node's ring in one HLC-ordered log. Empty
+// when recording was not enabled (Config.FlightCap/FlightLocal). Call
+// after Run; see internal/flight for exporters (WriteText,
+// WriteChromeTrace) and the trace bridge (ToTrace).
+func (c *Cluster) FlightEvents() []flight.Event {
+	if fe, ok := c.eng.(interface{ FlightEvents() []flight.Event }); ok {
+		return fe.FlightEvents()
+	}
+	return nil
+}
+
+// FlightRecorders returns the per-node flight recorders, indexed by
+// node id (nil entries where no recorder is attached). Useful for
+// dump-on-abort reporting (flight.DumpLastN).
+func (c *Cluster) FlightRecorders() []*flight.Recorder {
+	if fr, ok := c.eng.(interface{ FlightRecorders() []*flight.Recorder }); ok {
+		return fr.FlightRecorders()
+	}
+	return nil
+}
 
 // NewTrace returns an empty protocol-event trace to attach to
 // Config.Trace.

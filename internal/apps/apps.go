@@ -12,6 +12,7 @@ import (
 
 	dsm "repro"
 
+	"repro/internal/flight"
 	"repro/internal/oracle"
 	"repro/internal/prng"
 )
@@ -66,6 +67,11 @@ type Options struct {
 	// distributively through the member's control plane instead of
 	// locally. Requires Engine "live".
 	Multi Member
+	// FlightCap enables per-node flight recorders of this capacity
+	// (internal/flight; 0 = disabled). In multi-process runs the
+	// recorder comes from the cluster member instead (see
+	// cluster.Config.FlightCap) and this field is ignored.
+	FlightCap int
 }
 
 // Member is one process's handle on a multi-process cluster, as the
@@ -130,7 +136,7 @@ func (o Options) cluster(threads int) (*dsm.Cluster, *oracle.Recorder) {
 		rec = oracle.NewRecorder(threads)
 		obs = rec
 	}
-	c := dsm.New(dsm.Config{
+	cfg := dsm.Config{
 		Nodes:        o.Nodes,
 		Policy:       o.Policy,
 		Locator:      o.Locator,
@@ -145,7 +151,19 @@ func (o Options) cluster(threads int) (*dsm.Cluster, *oracle.Recorder) {
 		Observer:     obs,
 		Transport:    tr,
 		LocalNode:    local,
-	})
+		FlightCap:    o.FlightCap,
+	}
+	if o.Multi != nil {
+		// A member carrying its own flight recorder (cluster.Config.
+		// FlightCap) records with the cluster's hybrid logical clock, so
+		// its stamps merge correctly with every peer's; the local node
+		// records into it, remote nodes record nothing here.
+		cfg.FlightCap = 0
+		if fr, ok := o.Multi.(interface{ FlightRecorder() *flight.Recorder }); ok {
+			cfg.FlightLocal = fr.FlightRecorder()
+		}
+	}
+	c := dsm.New(cfg)
 	return c, rec
 }
 
@@ -159,6 +177,10 @@ type Result struct {
 	// OracleOps counts the events the LRC oracle validated, filled only
 	// when Options.Oracle is set.
 	OracleOps int
+	// Flight is the merged HLC-ordered flight timeline, filled when
+	// recording was enabled (Options.FlightCap single-process; the
+	// cluster member's recorder multi-process, merged on node 0 only).
+	Flight []flight.Event
 }
 
 // finish applies the post-run gates shared by every app: under
@@ -174,8 +196,12 @@ func finish(c *dsm.Cluster, o Options, rec *oracle.Recorder, res Result) (Result
 		if err := o.Multi.FinishApp(c, &res, o.Check, o.Oracle); err != nil {
 			return Result{}, fmt.Errorf("%s: %w", res.App, err)
 		}
+		if tl, ok := o.Multi.(interface{ FlightTimeline() []flight.Event }); ok {
+			res.Flight = tl.FlightTimeline()
+		}
 		return res, nil
 	}
+	res.Flight = c.FlightEvents()
 	if rec != nil {
 		res.OracleOps = rec.Len()
 		if viols := rec.Check(c.InitialWord); len(viols) > 0 {

@@ -17,6 +17,8 @@ import (
 
 	"repro/internal/cnet"
 	"repro/internal/core"
+	"repro/internal/flight"
+	"repro/internal/hlc"
 	"repro/internal/hockney"
 	"repro/internal/locator"
 	"repro/internal/memory"
@@ -111,6 +113,12 @@ type Config struct {
 	// that the coherence oracle detects a broken protocol (tests set it;
 	// nothing else may).
 	DropDiffs bool
+	// FlightCap, when positive, attaches a flight recorder of that
+	// capacity to every node. Events are stamped with the virtual clock
+	// (Wall = virtual nanoseconds, Logical = per-node record sequence),
+	// so the merged timeline of a seeded run is byte-identical across
+	// repeats.
+	FlightCap int
 }
 
 // DefaultConfig returns the paper's setup: AT policy over forwarding
@@ -141,6 +149,7 @@ type Cluster struct {
 	Counters stats.Counters
 	space    *proto.Space
 	nodes    []*Node
+	flights  []*flight.Recorder
 
 	started bool
 	endTime sim.Time
@@ -190,9 +199,45 @@ func New(cfg Config) *Cluster {
 		Observer:     cfg.Observer,
 	})
 	for i := 0; i < cfg.Nodes; i++ {
-		c.nodes = append(c.nodes, newNode(c, memory.NodeID(i)))
+		n := newNode(c, memory.NodeID(i))
+		if cfg.FlightCap > 0 {
+			st := &simStamper{env: c.env}
+			rec := flight.NewRecorder(memory.NodeID(i), cfg.FlightCap, st.stamp)
+			n.Node.Flight = rec
+			c.flights = append(c.flights, rec)
+		}
+		c.nodes = append(c.nodes, n)
 	}
 	return c
+}
+
+// simStamper stamps flight events off the virtual clock: Wall is the
+// simulated nanosecond, Logical a per-node record sequence that breaks
+// ties between events recorded at the same instant. Both are functions
+// of the deterministic schedule only, so a seeded run's merged timeline
+// is byte-identical across repeats.
+type simStamper struct {
+	env *sim.Env
+	seq uint32
+}
+
+func (s *simStamper) stamp() hlc.Stamp {
+	s.seq++
+	return hlc.Stamp{Wall: int64(s.env.Now()), Logical: s.seq}
+}
+
+// FlightRecorders returns the per-node flight recorders (nil entries
+// never occur; the slice is empty when Config.FlightCap is zero).
+func (c *Cluster) FlightRecorders() []*flight.Recorder { return c.flights }
+
+// FlightEvents merges every node's ring into one (Wall, Logical)-ordered
+// timeline. Call after Run.
+func (c *Cluster) FlightEvents() []flight.Event {
+	logs := make([][]flight.Event, 0, len(c.flights))
+	for _, r := range c.flights {
+		logs = append(logs, r.Snapshot())
+	}
+	return flight.Merge(logs...)
 }
 
 // Config returns the effective configuration.

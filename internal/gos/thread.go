@@ -136,6 +136,7 @@ func (t *Thread) fault(obj memory.ObjectID) *memory.Object {
 	n := t.node
 	t.Compute(t.c.cfg.SendCost)
 	t.flushCompute()
+	start := t.proc.Now()
 	for {
 		if n.IsHome[obj] {
 			return n.Cache[obj]
@@ -155,6 +156,7 @@ func (t *Thread) fault(obj memory.ObjectID) *memory.Object {
 		switch msg.Kind {
 		case wire.ObjReply:
 			n.MaybeCompressPath(h, msg)
+			t.c.Counters.RoundTripNs.Observe(int64(t.proc.Now() - start))
 			return n.Install(msg)
 		case wire.HomeMiss:
 			if msg.Home != memory.NoNode && msg.Home != n.ID {
@@ -216,14 +218,18 @@ func (t *Thread) Acquire(l LockID) {
 	w := syncmgr.Waiter{Node: n.ID, Slot: t.slot}
 	if home == n.ID {
 		if !n.Locks[uint32(l)].Acquire(w) {
+			start := t.proc.Now()
 			t.awaitGrant(l)
+			t.c.Counters.LockHandoffNs.Observe(int64(t.proc.Now() - start))
 		}
 	} else {
+		start := t.proc.Now()
 		t.c.send(wire.Msg{
 			Kind: wire.LockReq, From: n.ID, To: home, Lock: uint32(l),
 			ReplyNode: n.ID, ReplySlot: t.slot,
 		}, stats.LockMsg)
 		t.awaitGrant(l)
+		t.c.Counters.LockHandoffNs.Observe(int64(t.proc.Now() - start))
 	}
 	n.BeginInterval()
 	if obs := t.c.cfg.Observer; obs != nil {
@@ -283,6 +289,7 @@ func (t *Thread) Barrier(b BarrierID) {
 	reports := n.JiajiaReports(uint32(b))
 	n.BarWait[uint32(b)] = append(n.BarWait[uint32(b)], t.slot)
 	w := syncmgr.Waiter{Node: n.ID, Slot: t.slot}
+	start := t.proc.Now()
 	if home == n.ID {
 		n.BarrierArrive(uint32(b), w, piggy, reports)
 	} else {
@@ -295,6 +302,7 @@ func (t *Thread) Barrier(b BarrierID) {
 	if msg.Kind != wire.BarrierGo || msg.Barrier != uint32(b) {
 		panic(fmt.Sprintf("gos: thread %s: expected barrier go, got %v", t.name, msg.Kind))
 	}
+	t.c.Counters.BarrierNs.Observe(int64(t.proc.Now() - start))
 	n.BeginInterval()
 	if obs := t.c.cfg.Observer; obs != nil {
 		obs.OnBarrierDepart(t.id, uint32(b))

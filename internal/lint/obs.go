@@ -22,12 +22,24 @@ import (
 // (e.g. a serializing wrapper built only when an observer is present)
 // declares it with //dsm:obsnonnil <why> on the struct's doc comment,
 // which exempts calls through that field.
+//
+// The same contract covers the flight recorder (internal/flight): a
+// *flight.Recorder field is nil whenever recording is disabled — the
+// default on every benchmark and production run — so Record call sites
+// outside the flight package itself must sit behind the identical
+// guards. The flight package is exempt: its recorders come from
+// NewRecorder, which never returns nil.
 var Obs = &Analyzer{
 	Name: "obslint",
-	Doc: "proto.Observer hook calls must be nil-guarded (or flow " +
-		"through a //dsm:obsnonnil field)",
+	Doc: "proto.Observer hook and flight.Recorder.Record calls must be " +
+		"nil-guarded (or flow through a //dsm:obsnonnil field)",
 	Run: runObs,
 }
+
+// flightPkg is the package whose Recorder the nil-guard contract
+// covers; call sites inside it are exempt (recorders are constructed
+// there, never nil).
+const flightPkg = "repro/internal/flight"
 
 func runObs(pass *Pass) error {
 	nonNilTypes := obsNonNilTypes(pass)
@@ -47,7 +59,9 @@ func runObs(pass *Pass) error {
 			if !ok {
 				return true
 			}
-			if !isObserverIfaceCall(pass, sel) {
+			isObs := isObserverIfaceCall(pass, sel)
+			isFlight := !isObs && isFlightRecordCall(pass, sel)
+			if !isObs && !isFlight {
 				return true
 			}
 			recv := types.ExprString(sel.X)
@@ -57,13 +71,44 @@ func runObs(pass *Pass) error {
 			if fieldOfNonNilType(pass, sel.X, nonNilTypes) {
 				return true
 			}
-			pass.Reportf(call.Pos(),
-				"proto.Observer hook %s called without a nil check on %s "+
-					"(the observer is nil on every production run)", sel.Sel.Name, recv)
+			if isObs {
+				pass.Reportf(call.Pos(),
+					"proto.Observer hook %s called without a nil check on %s "+
+						"(the observer is nil on every production run)", sel.Sel.Name, recv)
+			} else {
+				pass.Reportf(call.Pos(),
+					"flight.Recorder.Record called without a nil check on %s "+
+						"(the recorder is nil whenever recording is disabled)", recv)
+			}
 			return true
 		})
 	}
 	return nil
+}
+
+// isFlightRecordCall reports whether sel selects the hot-path Record
+// method on *flight.Recorder from outside the flight package.
+func isFlightRecordCall(pass *Pass, sel *ast.SelectorExpr) bool {
+	if sel.Sel.Name != "Record" {
+		return false
+	}
+	if pass.Pkg != nil && pass.Pkg.Path() == flightPkg {
+		return false
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	t := s.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == flightPkg && obj.Name() == "Recorder"
 }
 
 // isObserverIfaceCall reports whether sel is a method selection on the

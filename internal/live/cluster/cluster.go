@@ -64,6 +64,7 @@ import (
 	"net"
 	"time"
 
+	"repro/internal/flight"
 	"repro/internal/hlc"
 	"repro/internal/live"
 	"repro/internal/live/transport"
@@ -131,6 +132,13 @@ type Config struct {
 	// (Unix nanoseconds); nil means the system clock. Tests inject
 	// skewed sources to model machines whose clocks disagree.
 	WallClock func() int64
+	// FlightCap, when positive, attaches a flight recorder of that
+	// capacity to this member, stamped from the member's hybrid logical
+	// clock (the same clock every TCP frame carries), so the finish
+	// exchange can merge every node's ring into one HLC-ordered cluster
+	// timeline on node 0. Pass the recorder (FlightRecorder) to
+	// dsm.Config.FlightLocal so the engine shares it.
+	FlightCap int
 	// Listener optionally supplies a pre-bound listener for Addrs[ID]
 	// (tests bind :0 first to learn free ports). nil listens.
 	Listener net.Listener
@@ -160,6 +168,9 @@ type Member struct {
 
 	rec     *timedRecorder // oracle event log, when Observer was asked
 	threads int
+
+	flight   *flight.Recorder // per-node flight ring, when Config.FlightCap > 0
+	timeline []flight.Event   // merged cluster timeline (coordinator, after the verdict)
 
 	digest    uint64 // canonical final-memory digest (set by FinishRun)
 	finished  bool   // FinishRun completed cluster-wide
@@ -204,6 +215,9 @@ func Join(cfg Config) (*Member, error) {
 		cfg.AbortGrace = 5 * time.Second
 	}
 	m := &Member{cfg: cfg, n: n, clock: hlc.New(cfg.WallClock)}
+	if cfg.FlightCap > 0 {
+		m.flight = flight.NewRecorder(cfg.ID, cfg.FlightCap, m.clock.Tick)
+	}
 
 	ln := cfg.Listener
 	if ln == nil && n > 1 {
@@ -303,7 +317,7 @@ func Join(cfg Config) (*Member, error) {
 		}
 		panic(err)
 	}
-	opts := tcp.Options{OnFatal: onFatal, Clock: m.clock}
+	opts := tcp.Options{OnFatal: onFatal, Clock: m.clock, Flight: m.flight}
 	if n > 1 {
 		opts.HeartbeatInterval = cfg.HeartbeatInterval
 		opts.HeartbeatTimeout = cfg.HeartbeatTimeout
@@ -599,6 +613,18 @@ func (m *Member) Nodes() int { return m.n }
 // Digest reports the canonical cluster-wide final-memory digest,
 // available after the run finished.
 func (m *Member) Digest() uint64 { return m.digest }
+
+// FlightRecorder returns this member's flight recorder (nil when
+// Config.FlightCap was zero). Pass it to dsm.Config.FlightLocal so the
+// engine records protocol events into the same ring the finish
+// exchange gathers.
+func (m *Member) FlightRecorder() *flight.Recorder { return m.flight }
+
+// FlightTimeline returns the merged cluster-wide flight timeline in
+// (Wall, Logical) HLC order. Populated on node 0 only, after the
+// application verdict exchange (FinishApp or AbortApp) gathered every
+// member's ring; empty elsewhere or when recording was off.
+func (m *Member) FlightTimeline() []flight.Event { return m.timeline }
 
 // DataFrames reports the engine data frames this process has sent plus
 // received so far — the activity meter dsmnode's chaos kill counts

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/apps"
+	"repro/internal/flight"
 	"repro/internal/memory"
 )
 
@@ -402,4 +403,85 @@ func TestAbortGraceSeversWedgedExchange(t *testing.T) {
 	}
 	close(wedged)
 	wg.Wait()
+}
+
+// runSkewedFlight runs a 3-member ASP cluster with per-member wall
+// skew of skewStep per node and flight recording on, and returns node
+// 0's merged cluster timeline.
+func runSkewedFlight(t *testing.T, skewStep time.Duration) []flight.Event {
+	t.Helper()
+	const n = 3
+	lns, addrs := bindAddrs(t, n)
+	errs := make([]error, n)
+	var timeline []flight.Event
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			skew := int64(i) * int64(skewStep)
+			m, err := Join(Config{
+				ID: memory.NodeID(i), Addrs: addrs, Digest: 0xF11647, Check: true,
+				Listener: lns[i], DialTimeout: 10 * time.Second,
+				WallClock: func() int64 { return time.Now().UnixNano() + skew },
+				FlightCap: 4096,
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer m.Leave()
+			o := apps.Options{Nodes: n, Engine: "live", Check: true, Multi: m}
+			_, errs[i] = apps.RunASP(18, o)
+			if errs[i] == nil && m.LocalNode() == 0 {
+				timeline = m.FlightTimeline()
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("member %d failed under %v skew: %v", i, skewStep, err)
+		}
+	}
+	return timeline
+}
+
+// TestFlightTimelineHLCOrderedUnderSkew: the merged cluster flight
+// timeline on node 0 must be HLC-ordered and attribute events to every
+// member even when the members' wall clocks disagree by ±10s/±20s per
+// node — the stamps ride the same hybrid logical clock the transport
+// frames carry, so a send never sorts after its receive.
+func TestFlightTimelineHLCOrderedUnderSkew(t *testing.T) {
+	for _, skewStep := range []time.Duration{10 * time.Second, -20 * time.Second} {
+		timeline := runSkewedFlight(t, skewStep)
+		if len(timeline) == 0 {
+			t.Fatalf("skew %v: node 0 gathered no cluster timeline", skewStep)
+		}
+		var nodes [3]bool
+		var sends, recvs int
+		for i, e := range timeline {
+			if int(e.Node) >= 0 && int(e.Node) < 3 {
+				nodes[e.Node] = true
+			}
+			switch e.Kind {
+			case flight.FrameSend:
+				sends++
+			case flight.FrameRecv:
+				recvs++
+			}
+			if i > 0 && e.Stamp().Less(timeline[i-1].Stamp()) {
+				t.Fatalf("skew %v: timeline out of HLC order at %d: %+v then %+v",
+					skewStep, i, timeline[i-1], e)
+			}
+		}
+		for id, seen := range nodes {
+			if !seen {
+				t.Errorf("skew %v: no events attributed to node %d", skewStep, id)
+			}
+		}
+		if sends == 0 || recvs == 0 {
+			t.Errorf("skew %v: timeline has %d sends / %d recvs", skewStep, sends, recvs)
+		}
+	}
 }

@@ -10,6 +10,7 @@ import (
 	dsm "repro"
 
 	"repro/internal/apps"
+	"repro/internal/flight"
 	"repro/internal/hlc"
 	"repro/internal/locator"
 	"repro/internal/memory"
@@ -276,6 +277,7 @@ type appReportBody struct {
 	Digest    uint64
 	Metrics   stats.Metrics
 	Ops       []timedOp
+	Flight    []flight.Event
 }
 
 // verdictBody is node 0's cluster-wide answer.
@@ -325,6 +327,9 @@ func (m *Member) FinishApp(c *dsm.Cluster, res *apps.Result, check, oracleOn boo
 	if oracleOn && m.rec != nil {
 		rep.Ops = m.rec.ops
 	}
+	if m.flight != nil {
+		rep.Flight = m.flight.Snapshot()
+	}
 	return m.appExchange(c, res, rep, check, oracleOn)
 }
 
@@ -349,8 +354,13 @@ func (m *Member) AbortApp(appErr error) error {
 		})
 		defer timer.Stop()
 	}
+	rep := appReportBody{Err: appErr.Error()}
+	if m.flight != nil {
+		m.flight.Record(flight.Event{Kind: flight.Abort})
+		rep.Flight = m.flight.Snapshot()
+	}
 	var res apps.Result
-	return m.appExchange(nil, &res, appReportBody{Err: appErr.Error()}, false, false)
+	return m.appExchange(nil, &res, rep, false, false)
 }
 
 func (m *Member) appExchange(c *dsm.Cluster, res *apps.Result, rep appReportBody, check, oracleOn bool) error {
@@ -411,6 +421,18 @@ func (m *Member) appExchange(c *dsm.Cluster, res *apps.Result, rep appReportBody
 		if reports[id].Err != "" {
 			fail("node %d: %s", id, reports[id].Err)
 		}
+	}
+	if m.flight != nil {
+		// Merge every member's ring into the cluster timeline — on the
+		// success and abort paths alike, so a chaos post-mortem has the
+		// same HLC-ordered evidence a clean run exports.
+		logs := make([][]flight.Event, 0, m.n)
+		for id := range reports {
+			if len(reports[id].Flight) > 0 {
+				logs = append(logs, reports[id].Flight)
+			}
+		}
+		m.timeline = flight.Merge(logs...)
 	}
 	if check && v.Err == "" {
 		for id := range reports {

@@ -43,6 +43,8 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/flight"
+	"repro/internal/hlc"
 	"repro/internal/hockney"
 	"repro/internal/live/transport"
 	"repro/internal/locator"
@@ -84,6 +86,16 @@ type Config struct {
 	// RetryDelay is the requester back-off after an obsolete-home miss
 	// under the broadcast locator. Zero means 100µs.
 	RetryDelay time.Duration
+	// FlightCap, when positive, attaches a flight recorder of that
+	// capacity to every node, stamped from one engine-local hybrid
+	// logical clock. Ignored when FlightLocal is set.
+	FlightCap int
+	// FlightLocal, when non-nil, is an externally owned recorder to
+	// attach to the node whose ID it carries — the multi-process mode,
+	// where the cluster member owns the recorder so its HLC stamps
+	// observe remote frames and the finish exchange can gather the ring.
+	// The other (stubbed) nodes get no recorder.
+	FlightLocal *flight.Recorder
 }
 
 // DefaultConfig returns the paper's setup on the live engine: AT policy
@@ -179,6 +191,12 @@ func (c *Cluster) Abort(err error) {
 	}
 	c.abortErr = fmt.Errorf("%w: %v", ErrAborted, err)
 	c.aborted.Store(true)
+	for _, n := range c.nodes {
+		if f := n.ps.Flight; f != nil {
+			f.Record(flight.Event{Kind: flight.Abort})
+			break
+		}
+	}
 	c.tr.Close()
 	for _, n := range c.nodes {
 		for _, t := range n.threads {
@@ -228,14 +246,47 @@ func New(cfg Config) *Cluster {
 		DropDiffs:    cfg.DropDiffs,
 		Observer:     c.obs,
 	})
+	var stamp func() hlc.Stamp
+	if cfg.FlightLocal == nil && cfg.FlightCap > 0 {
+		stamp = hlc.New(nil).Tick
+	}
 	for i := 0; i < cfg.Nodes; i++ {
 		n := &node{c: c}
 		n.ps = c.space.NewNode(memory.NodeID(i))
 		n.ps.Eng = n
 		n.ps.Counters = &n.counters
+		switch {
+		case cfg.FlightLocal != nil && cfg.FlightLocal.Node() == memory.NodeID(i):
+			n.ps.Flight = cfg.FlightLocal
+		case stamp != nil:
+			n.ps.Flight = flight.NewRecorder(memory.NodeID(i), cfg.FlightCap, stamp)
+		}
 		c.nodes = append(c.nodes, n)
 	}
 	return c
+}
+
+// FlightRecorders returns the per-node flight recorders, indexed by node
+// id; entries are nil when no recorder is attached (recording disabled,
+// or a multi-process run's stubbed peer nodes).
+func (c *Cluster) FlightRecorders() []*flight.Recorder {
+	recs := make([]*flight.Recorder, len(c.nodes))
+	for i, n := range c.nodes {
+		recs[i] = n.ps.Flight
+	}
+	return recs
+}
+
+// FlightEvents merges every attached recorder's ring into one
+// (Wall, Logical)-ordered timeline. Call after Run.
+func (c *Cluster) FlightEvents() []flight.Event {
+	var logs [][]flight.Event
+	for _, n := range c.nodes {
+		if f := n.ps.Flight; f != nil {
+			logs = append(logs, f.Snapshot())
+		}
+	}
+	return flight.Merge(logs...)
 }
 
 // Config returns the effective configuration.
@@ -424,6 +475,9 @@ func (n *node) Send(msg wire.Msg, cat stats.Category) {
 	}
 	frame := msg.Encode(transport.GetFrame())
 	n.counters.Record(cat, len(frame))
+	if f := n.ps.Flight; f != nil {
+		f.Record(flight.Event{Kind: flight.FrameSend, Tag: uint8(cat), Peer: msg.To, Bytes: int32(len(frame))})
+	}
 	n.c.frames.Add(1)
 	n.c.frameB.Add(int64(len(frame)))
 	n.c.inflight.Add(1)
@@ -484,6 +538,9 @@ func (n *node) daemon() {
 			continue
 		}
 		transport.PutFrame(frame)
+		if f := n.ps.Flight; f != nil {
+			f.Record(flight.Event{Kind: flight.FrameRecv, Peer: msg.From, Bytes: int32(len(frame))})
+		}
 		n.ps.Handle(msg)
 		n.mu.Unlock()
 		n.c.inflight.Add(-1)

@@ -206,6 +206,7 @@ func (t *Thread) WriteView(obj memory.ObjectID) []uint64 {
 func (t *Thread) fault(obj memory.ObjectID) *memory.Object {
 	n := t.node
 	s := t.c.shared()
+	start := time.Now()
 	for {
 		if n.ps.IsHome[obj] {
 			return n.ps.Cache[obj]
@@ -232,6 +233,7 @@ func (t *Thread) fault(obj memory.ObjectID) *memory.Object {
 		switch msg.Kind {
 		case wire.ObjReply:
 			n.ps.MaybeCompressPath(h, msg)
+			n.counters.RoundTripNs.Observe(time.Since(start).Nanoseconds())
 			return n.ps.Install(msg)
 		case wire.HomeMiss:
 			if msg.Home != memory.NoNode && msg.Home != n.ps.ID {
@@ -294,14 +296,18 @@ func (t *Thread) Acquire(l proto.LockID) {
 	w := syncmgr.Waiter{Node: n.ps.ID, Slot: t.slot}
 	if home == n.ps.ID {
 		if !n.ps.Locks[uint32(l)].Acquire(w) {
+			start := time.Now()
 			t.awaitGrant(l)
+			n.counters.LockHandoffNs.Observe(time.Since(start).Nanoseconds())
 		}
 	} else {
+		start := time.Now()
 		n.Send(wire.Msg{
 			Kind: wire.LockReq, From: n.ps.ID, To: home, Lock: uint32(l),
 			ReplyNode: n.ps.ID, ReplySlot: t.slot,
 		}, stats.LockMsg)
 		t.awaitGrant(l)
+		n.counters.LockHandoffNs.Observe(time.Since(start).Nanoseconds())
 	}
 	n.ps.BeginInterval()
 	if obs := t.c.obs; obs != nil {
@@ -364,6 +370,7 @@ func (t *Thread) Barrier(b proto.BarrierID) {
 	reports := n.ps.JiajiaReports(uint32(b))
 	n.ps.BarWait[uint32(b)] = append(n.ps.BarWait[uint32(b)], t.slot)
 	w := syncmgr.Waiter{Node: n.ps.ID, Slot: t.slot}
+	start := time.Now()
 	if home == n.ps.ID {
 		n.ps.BarrierArrive(uint32(b), w, piggy, reports)
 	} else {
@@ -376,6 +383,7 @@ func (t *Thread) Barrier(b proto.BarrierID) {
 	if msg.Kind != wire.BarrierGo || msg.Barrier != uint32(b) {
 		panic(fmt.Sprintf("live: thread %s: expected barrier go, got %v", t.name, msg.Kind))
 	}
+	n.counters.BarrierNs.Observe(time.Since(start).Nanoseconds())
 	n.ps.BeginInterval()
 	if obs := t.c.obs; obs != nil {
 		obs.OnBarrierDepart(t.id, uint32(b))

@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/flight"
 	"repro/internal/live/transport"
 	"repro/internal/memory"
 )
@@ -72,6 +73,11 @@ type Options struct {
 	// set it here. A fault with no handler installed panics, matching
 	// the TCP backend's contract.
 	OnFatal func(error)
+
+	// Flight, when non-nil, records every injected fault (kill, cut) as
+	// a FaultInjected event, so a chaos timeline shows the fault amid
+	// the protocol traffic it disrupted.
+	Flight *flight.Recorder
 }
 
 // timedFrame is one frame waiting on a delivery line.
@@ -272,6 +278,9 @@ func (t *Transport) Kill(node int) {
 	if t.dead[node].Swap(true) {
 		return
 	}
+	if f := t.opt.Flight; f != nil {
+		f.Record(flight.Event{Kind: flight.FaultInjected, Peer: memory.NodeID(node)})
+	}
 	t.fatal(fmt.Errorf("faulty: node %d died (injected peer death after %d frames)", node, t.total.Load()))
 }
 
@@ -279,6 +288,9 @@ func (t *Transport) Kill(node int) {
 func (t *Transport) cutLink() {
 	if t.cut.Swap(true) {
 		return
+	}
+	if f := t.opt.Flight; f != nil {
+		f.Record(flight.Event{Kind: flight.FaultInjected, Peer: memory.NodeID(t.opt.CutA), Sync: uint32(t.opt.CutB)})
 	}
 	t.fatal(fmt.Errorf("faulty: link %d<->%d severed (injected cut after %d frames)", t.opt.CutA, t.opt.CutB, t.total.Load()))
 }
@@ -299,6 +311,15 @@ func (t *Transport) fatal(err error) {
 		}
 		go fn(err)
 	})
+}
+
+// SetFlight installs the recorder injected faults log to. The live
+// engine's recorders exist only after live.New — which needs the
+// transport — so in-process chaos runs attach node 0's recorder between
+// New and Run. Must be called before any traffic flows (Kill/cutLink
+// read the field from Send's goroutine).
+func (t *Transport) SetFlight(f *flight.Recorder) {
+	t.opt.Flight = f
 }
 
 // SetFatal implements transport.FatalSink: the live engine installs its

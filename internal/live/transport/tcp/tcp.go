@@ -54,6 +54,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/flight"
 	"repro/internal/hlc"
 	"repro/internal/live/transport"
 	"repro/internal/memory"
@@ -105,6 +106,11 @@ type Options struct {
 	// is declared dead and OnFatal fires. Pair it with an interval a few
 	// times shorter on every member. Zero disables detection.
 	HeartbeatTimeout time.Duration
+
+	// Flight, when non-nil, records heartbeat send/receive events into
+	// the node's flight recorder (the liveness traffic is otherwise
+	// invisible to the protocol layer).
+	Flight *flight.Recorder
 }
 
 // outFrame is one queued frame with its channel tag.
@@ -146,6 +152,7 @@ type Transport struct {
 	readers sync.WaitGroup
 
 	clock     *hlc.Clock
+	fl        *flight.Recorder
 	hbTimeout time.Duration
 	hbStop    chan struct{}
 	hbWG      sync.WaitGroup
@@ -173,6 +180,7 @@ func New(local memory.NodeID, conns []net.Conn, opt Options) *Transport {
 		inboxes:   make([]*transport.Queue[[]byte], n),
 		ctrl:      transport.NewQueue[Ctrl](),
 		clock:     opt.Clock,
+		fl:        opt.Flight,
 		hbTimeout: opt.HeartbeatTimeout,
 		onFatal:   opt.OnFatal,
 	}
@@ -218,6 +226,9 @@ func (t *Transport) heartbeat(interval time.Duration) {
 		case <-tick.C:
 			for _, p := range t.peers {
 				if p != nil {
+					if f := t.fl; f != nil {
+						f.Record(flight.Event{Kind: flight.HeartbeatSend, Tag: chanHeart, Peer: p.id})
+					}
 					p.out.Put(outFrame{tag: chanHeart})
 				}
 			}
@@ -510,6 +521,9 @@ func (t *Transport) reader(p *peer) {
 				transport.PutFrame(buf)
 			}
 		case chanHeart:
+			if f := t.fl; f != nil {
+				f.Record(flight.Event{Kind: flight.HeartbeatRecv, Tag: chanHeart, Peer: p.id})
+			}
 			transport.PutFrame(buf)
 		default:
 			transport.PutFrame(buf) // framelint: the early return leaked the pooled buffer

@@ -1,0 +1,126 @@
+package migration
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/memory"
+)
+
+// Reason classifies why a migration decision came out the way it did —
+// the explainability surface for the paper's core heuristic. Every
+// ShouldMigrate verdict maps to exactly one Reason (Explain), so a
+// flight-recorded Decision event can say not just *whether* the home
+// moved but *which clause* of the policy fired, with the counter and
+// threshold values it compared.
+type Reason uint8
+
+const (
+	// ReasonNone: no explanation available (unknown policy).
+	ReasonNone Reason = iota
+	// ReasonThresholdReached: the requester's consecutive-remote-write
+	// run C reached the (fixed or adaptive) threshold — migrate.
+	ReasonThresholdReached
+	// ReasonBelowThreshold: the requester is the current consecutive
+	// writer but C is still below the threshold — stay.
+	ReasonBelowThreshold
+	// ReasonNotLastWriter: the requester is not the source of the
+	// current consecutive-write run — stay.
+	ReasonNotLastWriter
+	// ReasonNeverMigrates: the policy never migrates at fault-in time
+	// (NoHM; Jiajia decides at barriers instead).
+	ReasonNeverMigrates
+	// ReasonAlwaysMigrates: the policy migrates on every fault-in (JUMP).
+	ReasonAlwaysMigrates
+	// ReasonExclusiveOwner: no other node shares the object and the
+	// ownership-transition cap has room (Jackal) — migrate.
+	ReasonExclusiveOwner
+	// ReasonSharersExist: other nodes still hold cached copies (Jackal)
+	// — stay.
+	ReasonSharersExist
+	// ReasonEpochCap: the ownership-transition cap is exhausted (Jackal)
+	// — stay.
+	ReasonEpochCap
+	// ReasonBarrierReassign: the barrier manager reassigned the home in
+	// its release broadcast (Jiajia's single-writer detection).
+	ReasonBarrierReassign
+	// ReasonPinned: the policy wanted to migrate but a bulk-view pin on
+	// the home copy vetoed it.
+	ReasonPinned
+	NumReasons
+)
+
+var reasonNames = [NumReasons]string{
+	"none", "threshold-reached", "below-threshold", "not-last-writer",
+	"never-migrates", "always-migrates", "exclusive-owner",
+	"sharers-exist", "epoch-cap", "barrier-reassign", "pinned",
+}
+
+func (r Reason) String() string {
+	if int(r) < len(reasonNames) {
+		return reasonNames[r]
+	}
+	return fmt.Sprintf("reason(%d)", uint8(r))
+}
+
+// Explanation is one migration decision with its justification: the
+// verdict, the clause that produced it, and the two values the clause
+// compared (Count against Limit; both zero when the clause compares
+// nothing, as for NoHM/JUMP).
+type Explanation struct {
+	Migrate bool
+	Reason  Reason
+	// Count/Limit are the compared pair: C vs the threshold for FT/AT,
+	// sharers or epoch vs the cap for Jackal.
+	Count float64
+	Limit float64
+}
+
+// Explain evaluates p's decision for a fault-in from requester with its
+// justification. The verdict always equals p.ShouldMigrate(st,
+// requester, sharers) — Explain is a transparent view of the same
+// decision, never a second opinion.
+func Explain(p Policy, st *core.State, requester memory.NodeID, sharers int) Explanation {
+	switch pol := p.(type) {
+	case NoHM, Jiajia:
+		return Explanation{Reason: ReasonNeverMigrates}
+	case JUMP:
+		return Explanation{Migrate: true, Reason: ReasonAlwaysMigrates}
+	case Fixed:
+		ex := Explanation{Count: float64(st.C), Limit: float64(pol.T)}
+		switch {
+		case requester != st.LastWriter:
+			ex.Reason = ReasonNotLastWriter
+		case st.C >= pol.T:
+			ex.Migrate, ex.Reason = true, ReasonThresholdReached
+		default:
+			ex.Reason = ReasonBelowThreshold
+		}
+		return ex
+	case Adaptive:
+		ex := Explanation{Count: float64(st.C), Limit: st.Threshold(pol.P)}
+		switch {
+		case requester != st.LastWriter:
+			ex.Reason = ReasonNotLastWriter
+		case st.C > 0 && float64(st.C) >= ex.Limit:
+			ex.Migrate, ex.Reason = true, ReasonThresholdReached
+		default:
+			ex.Reason = ReasonBelowThreshold
+		}
+		return ex
+	case Jackal:
+		ex := Explanation{Count: float64(sharers), Limit: float64(pol.Max)}
+		switch {
+		case sharers > 0:
+			ex.Reason = ReasonSharersExist
+		case st.Epoch >= pol.Max:
+			ex.Count, ex.Reason = float64(st.Epoch), ReasonEpochCap
+		default:
+			ex.Count = float64(st.Epoch)
+			ex.Migrate, ex.Reason = true, ReasonExclusiveOwner
+		}
+		return ex
+	default:
+		return Explanation{Migrate: p.ShouldMigrate(st, requester, sharers), Reason: ReasonNone}
+	}
+}

@@ -1,0 +1,104 @@
+package migration
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/memory"
+)
+
+// Property: Explain is a transparent view of ShouldMigrate — the verdict
+// always matches, for every built-in policy family across randomized
+// write runs, requesters, sharer counts, and feedback histories.
+func TestExplainVerdictMatchesShouldMigrateProperty(t *testing.T) {
+	p := params()
+	pols := Builtins(p)
+	for _, k := range []int{2, 3, 5} {
+		pols = append(pols, Fixed{T: k}, Jackal{Max: k})
+	}
+	f := func(run, req, sharers, hops, epochs uint8) bool {
+		s := stateWithRun(p, memory.NodeID(req%4), int(run%10))
+		if hops%3 != 0 {
+			s.Redirected(int(hops % 8)) // raise the adaptive threshold
+		}
+		for e := 0; e < int(epochs%7); e++ {
+			s = core.FromRecord(p, 512, s.Migrate(p)) // burn Jackal epochs
+		}
+		r := memory.NodeID(req % 4)
+		sh := int(sharers % 4)
+		for _, pol := range pols {
+			ex := Explain(pol, s, r, sh)
+			if ex.Migrate != pol.ShouldMigrate(s, r, sh) {
+				t.Logf("%s: Explain=%+v, ShouldMigrate=%v (C=%d last=%d epoch=%d sharers=%d)",
+					pol.Name(), ex, !ex.Migrate, s.C, s.LastWriter, s.Epoch, sh)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExplainReasons(t *testing.T) {
+	p := params()
+	capped := core.NewState(p, 512)
+	for e := 0; e < 5; e++ {
+		capped = core.FromRecord(p, 512, capped.Migrate(p))
+	}
+	raised := stateWithRun(p, 3, 1)
+	raised.Redirected(3) // T rises above 1: C=1 no longer suffices
+
+	cases := []struct {
+		name    string
+		pol     Policy
+		st      *core.State
+		req     memory.NodeID
+		sharers int
+		want    Explanation
+	}{
+		{"nohm", NoHM{}, stateWithRun(p, 3, 100), 3, 0,
+			Explanation{Reason: ReasonNeverMigrates}},
+		{"jiajia", Jiajia{}, stateWithRun(p, 3, 100), 3, 0,
+			Explanation{Reason: ReasonNeverMigrates}},
+		{"jump", JUMP{}, core.NewState(p, 512), 9, 5,
+			Explanation{Migrate: true, Reason: ReasonAlwaysMigrates}},
+		{"ft-reached", Fixed{T: 2}, stateWithRun(p, 3, 2), 3, 0,
+			Explanation{Migrate: true, Reason: ReasonThresholdReached, Count: 2, Limit: 2}},
+		{"ft-below", Fixed{T: 2}, stateWithRun(p, 3, 1), 3, 0,
+			Explanation{Reason: ReasonBelowThreshold, Count: 1, Limit: 2}},
+		{"ft-not-writer", Fixed{T: 1}, stateWithRun(p, 3, 5), 4, 0,
+			Explanation{Reason: ReasonNotLastWriter, Count: 5, Limit: 1}},
+		{"at-reached", Adaptive{P: p}, stateWithRun(p, 3, 1), 3, 0,
+			Explanation{Migrate: true, Reason: ReasonThresholdReached, Count: 1, Limit: 1}},
+		{"at-below", Adaptive{P: p}, raised, 3, 0,
+			Explanation{Reason: ReasonBelowThreshold, Count: 1, Limit: raised.Threshold(p)}},
+		{"jackal-exclusive", Jackal{Max: 5}, core.NewState(p, 512), 3, 0,
+			Explanation{Migrate: true, Reason: ReasonExclusiveOwner, Count: 0, Limit: 5}},
+		{"jackal-shared", Jackal{Max: 5}, core.NewState(p, 512), 3, 2,
+			Explanation{Reason: ReasonSharersExist, Count: 2, Limit: 5}},
+		{"jackal-capped", Jackal{Max: 5}, capped, 3, 0,
+			Explanation{Reason: ReasonEpochCap, Count: 5, Limit: 5}},
+	}
+	for _, c := range cases {
+		if got := Explain(c.pol, c.st, c.req, c.sharers); got != c.want {
+			t.Errorf("%s: Explain = %+v, want %+v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestReasonStrings(t *testing.T) {
+	for r := Reason(0); r < NumReasons; r++ {
+		if s := r.String(); s == "" || s == "reason(0)" && r != 0 {
+			t.Errorf("Reason(%d) has no name", r)
+		}
+	}
+	if ReasonThresholdReached.String() != "threshold-reached" {
+		t.Errorf("unexpected name %q", ReasonThresholdReached)
+	}
+	if Reason(200).String() != "reason(200)" {
+		t.Errorf("out-of-range reason rendered %q", Reason(200))
+	}
+}

@@ -5,8 +5,10 @@ import (
 	"slices"
 
 	"repro/internal/core"
+	"repro/internal/flight"
 	"repro/internal/locator"
 	"repro/internal/memory"
+	"repro/internal/migration"
 	"repro/internal/stats"
 	"repro/internal/syncmgr"
 	"repro/internal/trace"
@@ -29,6 +31,12 @@ type Node struct {
 	// points every node at one cluster-wide struct (single-threaded);
 	// the live engine gives each node its own and merges after the run.
 	Counters *stats.Counters
+	// Flight, when non-nil, is this node's flight recorder: protocol
+	// handlers record structured events (migration decisions with their
+	// reasons, lock grants, barrier releases, home/remote accesses) into
+	// its ring. Every call site nil-guards, so a disabled recorder costs
+	// one branch.
+	Flight *flight.Recorder
 
 	Cache    []*memory.Object // local copy (home or cached) per object
 	IsHome   []bool
@@ -203,6 +211,9 @@ func (n *Node) serveFault(msg wire.Msg) {
 	if tr := n.S.Trace; tr != nil {
 		tr.Record(trace.Event{Obj: obj, Kind: trace.Request, Node: requester, Hops: int(msg.Hops)})
 	}
+	if f := n.Flight; f != nil {
+		f.Record(flight.Event{Kind: flight.Request, Obj: obj, Peer: requester, Hops: int32(msg.Hops)})
+	}
 
 	o := n.Cache[obj]
 	data := twindiff.TwinInto(&n.Pool, o.Data)
@@ -235,7 +246,24 @@ func (n *Node) serveFault(msg wire.Msg) {
 			sharers++
 		}
 	}
-	if n.S.Policy.ShouldMigrate(st, requester, sharers) && n.ViewPins[obj] == 0 {
+	wants := n.S.Policy.ShouldMigrate(st, requester, sharers)
+	pinned := wants && n.ViewPins[obj] > 0
+	if f := n.Flight; f != nil {
+		// Explain the verdict before st.Migrate resets the epoch
+		// feedback — the Decision event carries the counter/threshold
+		// pair the heuristic actually compared.
+		ex := migration.Explain(n.S.Policy, st, requester, sharers)
+		reason := ex.Reason
+		if pinned {
+			reason = migration.ReasonPinned
+		}
+		f.Record(flight.Event{
+			Kind: flight.Decision, Obj: obj, Peer: requester,
+			Migrated: wants && !pinned, Reason: reason,
+			Count: ex.Count, Limit: ex.Limit,
+		})
+	}
+	if wants && !pinned {
 		rec := st.Migrate(n.S.Params)
 		reply.Migrate, reply.HasRec, reply.Rec, reply.Home = true, true, rec, requester
 		cs.Migrations++
@@ -353,6 +381,9 @@ func (n *Node) applyRemoteDiff(obj memory.ObjectID, d twindiff.Diff, writer memo
 	if tr := n.S.Trace; tr != nil {
 		tr.Record(trace.Event{Obj: obj, Kind: trace.RemoteWrite, Node: writer, Size: d.WireSize()})
 	}
+	if f := n.Flight; f != nil {
+		f.Record(flight.Event{Kind: flight.RemoteWrite, Obj: obj, Peer: writer, Bytes: int32(d.WireSize())})
+	}
 	// After a write by writer, every other cached copy is stale under LRC;
 	// approximate the copyset as {writer} (it certainly has a current copy).
 	// Reuse the existing map rather than allocating one per diff receipt.
@@ -449,6 +480,9 @@ func (n *Node) GrantLock(lock uint32, w syncmgr.Waiter) {
 	if obs := n.S.Observer; obs != nil {
 		obs.OnLockGrant(lock, w.Node)
 	}
+	if f := n.Flight; f != nil {
+		f.Record(flight.Event{Kind: flight.LockGrant, Sync: lock, Peer: w.Node})
+	}
 	msg := wire.Msg{Kind: wire.LockGrant, From: n.ID, To: w.Node, Lock: lock, ReplySlot: w.Slot}
 	if w.Node == n.ID {
 		n.Eng.ToThread(w.Slot, msg)
@@ -483,6 +517,9 @@ func (n *Node) BarrierArrive(bid uint32, w syncmgr.Waiter, diffs []wire.ObjDiff,
 func (n *Node) barrierRelease(bid uint32) {
 	if obs := n.S.Observer; obs != nil {
 		obs.OnBarrierRelease(bid)
+	}
+	if f := n.Flight; f != nil {
+		f.Record(flight.Event{Kind: flight.BarrierRelease, Sync: bid})
 	}
 	b := n.Bars[bid]
 	ws := b.Reset()
@@ -548,6 +585,12 @@ func (n *Node) applyAssign(a wire.HomeAssign) {
 	switch {
 	case n.IsHome[a.Obj] && a.Home != n.ID:
 		n.Counters.Migrations++
+		if f := n.Flight; f != nil {
+			f.Record(flight.Event{
+				Kind: flight.Decision, Obj: a.Obj, Peer: a.Home,
+				Migrated: true, Reason: migration.ReasonBarrierReassign,
+			})
+		}
 		n.demote(a.Obj, a.Home)
 		// Leave a forwarding pointer like a fault-time migration would:
 		// a request already in flight toward this (old) home must still

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"slices"
 
+	"repro/internal/flight"
 	"repro/internal/locator"
 
 	"repro/internal/memory"
@@ -73,6 +74,9 @@ func (n *Node) ReadCheck(obj memory.ObjectID) (o *memory.Object, trapped bool) {
 			if tr := n.S.Trace; tr != nil {
 				tr.Record(trace.Event{Obj: obj, Kind: trace.HomeRead, Node: n.ID})
 			}
+			if f := n.Flight; f != nil {
+				f.Record(flight.Event{Kind: flight.HomeRead, Obj: obj})
+			}
 			o.State = memory.ReadOnly
 			return o, true
 		}
@@ -101,6 +105,9 @@ func (n *Node) WriteCheck(obj memory.ObjectID) (o *memory.Object, trapped bool) 
 			n.Counters.HomeWrites++
 			if tr := n.S.Trace; tr != nil {
 				tr.Record(trace.Event{Obj: obj, Kind: trace.HomeWrite, Node: n.ID})
+			}
+			if f := n.Flight; f != nil {
+				f.Record(flight.Event{Kind: flight.HomeWrite, Obj: obj})
 			}
 			n.NoteMyWrite(obj)
 			o.State = memory.ReadWrite

@@ -3,9 +3,11 @@
 package scenario
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -13,6 +15,10 @@ import (
 	"repro/internal/live/transport/faulty"
 	"repro/internal/prng"
 )
+
+// chaosFlightCap sizes each node's flight ring in chaos runs: enough to
+// hold the traffic around an injected fault so the dump attributes it.
+const chaosFlightCap = 512
 
 // Chaos mode: the failure-domain gate. Each seed draws a deterministic
 // fault schedule (delivery delay/jitter always; often a scheduled node
@@ -123,14 +129,24 @@ func ChaosSweep(base uint64, count, par int, deadline time.Duration, progress fu
 				err error
 			}
 			ch := make(chan runResult, 1)
+			var dump bytes.Buffer
 			go func() {
-				res, err := p.Run(pol, RunOpts{Locator: lc, Engine: "live", Faults: &faults})
+				res, err := p.Run(pol, RunOpts{
+					Locator: lc, Engine: "live", Faults: &faults,
+					FlightCap: chaosFlightCap, FlightDump: &dump,
+				})
 				ch <- runResult{res, err}
 			}()
 			select {
 			case r := <-ch:
 				switch {
 				case errors.Is(r.err, live.ErrAborted):
+					// An abort must leave a post-mortem: every node's
+					// trailing flight events, attributed.
+					if !strings.Contains(dump.String(), "flight: node") {
+						report(outcome{fail: fmt.Sprintf("%s: aborted without a flight dump", label)})
+						return
+					}
 					report(outcome{kind: "aborted"})
 				case r.err != nil:
 					report(outcome{fail: fmt.Sprintf("%s: failed outside the abort path: %v", label, r.err)})

@@ -24,10 +24,12 @@ package scenario
 
 import (
 	"fmt"
+	"io"
 	"sync"
 
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/flight"
 	"repro/internal/gos"
 	"repro/internal/live"
 	"repro/internal/live/transport"
@@ -468,6 +470,9 @@ type Result struct {
 	Violations []oracle.Violation
 	// InvariantErr is the post-run Cluster.CheckInvariants result.
 	InvariantErr error
+	// Flight is the merged HLC-ordered cluster timeline, filled when
+	// RunOpts.FlightCap was set and the run completed.
+	Flight []flight.Event
 }
 
 // Failed reports whether any of the three verdicts flagged the run.
@@ -494,6 +499,30 @@ type RunOpts struct {
 	// mode). Live engine only. A fault that ends the run surfaces as a
 	// Run error wrapping live.ErrAborted.
 	Faults *faulty.Options
+	// FlightCap enables per-node flight recorders (internal/flight) of
+	// this capacity on either engine (0 = disabled). Chaos runs
+	// additionally log injected faults into node 0's recorder, so the
+	// timeline shows the fault amid the traffic it disrupted.
+	FlightCap int
+	// FlightDump, when non-nil, receives each node's last recorded
+	// flight events with attribution when the run ends through the abort
+	// path — the chaos post-mortem. Needs FlightCap.
+	FlightDump io.Writer
+}
+
+// flightDumpN is how many trailing events per node an abort dumps.
+const flightDumpN = 32
+
+// liveFlights drops the nil slots engines report for recording-disabled
+// nodes.
+func liveFlights(recs []*flight.Recorder) []*flight.Recorder {
+	out := recs[:0]
+	for _, r := range recs {
+		if r != nil {
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // Run executes the program under pol and verifies it with the engine
@@ -506,6 +535,7 @@ func (p *Program) Run(pol migration.Policy, opts RunOpts) (*Result, error) {
 	if engine == "" {
 		engine = "sim"
 	}
+	var flights []*flight.Recorder
 	switch engine {
 	case "sim":
 		cfg := gos.DefaultConfig(p.Nodes)
@@ -514,17 +544,28 @@ func (p *Program) Run(pol migration.Policy, opts RunOpts) (*Result, error) {
 		cfg.DebugWire = true
 		cfg.DropDiffs = opts.DropDiffs
 		cfg.Observer = rec
-		c = gos.New(cfg)
+		cfg.FlightCap = opts.FlightCap
+		gc := gos.New(cfg)
+		flights = liveFlights(gc.FlightRecorders())
+		c = gc
 	case "live":
 		cfg := live.DefaultConfig(p.Nodes)
 		cfg.Policy = pol
 		cfg.Locator = opts.Locator
 		cfg.DropDiffs = opts.DropDiffs
 		cfg.Observer = rec
+		cfg.FlightCap = opts.FlightCap
+		var ft *faulty.Transport
 		if opts.Faults != nil {
-			cfg.Transport = faulty.Wrap(transport.NewChanLoop(p.Nodes), p.Nodes, *opts.Faults)
+			ft = faulty.Wrap(transport.NewChanLoop(p.Nodes), p.Nodes, *opts.Faults)
+			cfg.Transport = ft
 		}
-		c = live.New(cfg)
+		lc := live.New(cfg)
+		flights = liveFlights(lc.FlightRecorders())
+		if ft != nil && len(flights) > 0 {
+			ft.SetFlight(flights[0])
+		}
+		c = lc
 	default:
 		return nil, fmt.Errorf("scenario: unknown engine %q", engine)
 	}
@@ -589,10 +630,20 @@ func (p *Program) Run(pol migration.Policy, opts RunOpts) (*Result, error) {
 	}
 	m, err := c.Run(workers)
 	if err != nil {
+		if opts.FlightDump != nil && len(flights) > 0 {
+			flight.DumpLastN(opts.FlightDump, flights, flightDumpN)
+		}
 		return nil, fmt.Errorf("scenario seed %d (%s) under %s/%s/%s: %w",
 			p.Seed, p.Family, pol.Name(), opts.Locator, engine, err)
 	}
 	res.Metrics = m
+	if len(flights) > 0 {
+		logs := make([][]flight.Event, len(flights))
+		for i, r := range flights {
+			logs[i] = r.Snapshot()
+		}
+		res.Flight = flight.Merge(logs...)
+	}
 	res.InvariantErr = c.CheckInvariants()
 	res.Digest = c.Digest()
 	for o, id := range objs {

@@ -1,11 +1,15 @@
 package scenario
 
 import (
+	"bytes"
 	"errors"
+	"fmt"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/flight"
 	"repro/internal/live"
 	"repro/internal/live/transport/faulty"
 	"repro/internal/locator"
@@ -181,4 +185,73 @@ func TestChaosSweepSmoke(t *testing.T) {
 		t.Error("no chaos run completed — fault mix too aggressive to test parity")
 	}
 	t.Logf("chaos: %d completed, %d aborted of %d", st.Completed, st.Aborted, st.Runs)
+}
+
+// TestChaosAbortDumpsFlight: a killed run with recorders attached must
+// leave the post-mortem — each node's trailing flight events with
+// attribution, the injected fault among them — and the merged result of
+// a surviving run must carry the fault-free timeline.
+func TestChaosAbortDumpsFlight(t *testing.T) {
+	p := Generate(3)
+	faults := faulty.Options{Seed: 3, KillNode: 0, KillAfter: 1}
+	var dump bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.Run(Policies(p.Nodes)[0], RunOpts{
+			Locator: locator.ForwardingPointer, Engine: "live",
+			Faults: &faults, FlightCap: 256, FlightDump: &dump,
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, live.ErrAborted) {
+			t.Fatalf("killed run returned %v, want an ErrAborted wrap", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("killed run hung")
+	}
+	out := dump.String()
+	for node := 0; node < p.Nodes; node++ {
+		if !strings.Contains(out, fmt.Sprintf("flight: node %d,", node)) {
+			t.Errorf("dump lacks node %d attribution:\n%s", node, out)
+		}
+	}
+	if !strings.Contains(out, "fault-injected") {
+		t.Errorf("dump does not show the injected fault:\n%s", out)
+	}
+	if !strings.Contains(out, "abort") {
+		t.Errorf("dump does not show the abort event:\n%s", out)
+	}
+}
+
+// TestScenarioFlightTimeline: a clean run with recorders on yields a
+// merged HLC-ordered timeline on either engine, and the sim engine's is
+// byte-identical across repeated runs of the same seed.
+func TestScenarioFlightTimeline(t *testing.T) {
+	p := Generate(7)
+	pol := Policies(p.Nodes)[3] // Adaptive
+	render := func(engine string) string {
+		res, err := p.Run(pol, RunOpts{Locator: locator.ForwardingPointer, Engine: engine, FlightCap: 2048})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Flight) == 0 {
+			t.Fatalf("%s: no flight timeline", engine)
+		}
+		for i := 1; i < len(res.Flight); i++ {
+			if res.Flight[i].Stamp().Less(res.Flight[i-1].Stamp()) {
+				t.Fatalf("%s: timeline out of HLC order at %d", engine, i)
+			}
+		}
+		var buf bytes.Buffer
+		if err := flight.WriteText(&buf, res.Flight); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if a, b := render("sim"), render("sim"); a != b {
+		t.Errorf("sim flight timeline diverges across identical runs:\n%s\nvs\n%s", a, b)
+	}
+	render("live")
 }

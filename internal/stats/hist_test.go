@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistObserveBucketing(t *testing.T) {
+	var h Hist
+	h.Observe(0) // bits.Len64(0) = 0
+	h.Observe(1) // bucket 1: [1,2)
+	h.Observe(2) // bucket 2: [2,4)
+	h.Observe(3)
+	h.Observe(1024) // bucket 11
+	h.Observe(-5)   // clamps to 0
+	if h.Bucket[0] != 2 || h.Bucket[1] != 1 || h.Bucket[2] != 2 || h.Bucket[11] != 1 {
+		t.Fatalf("unexpected buckets: %v", h.Bucket[:12])
+	}
+	if h.Count() != 6 {
+		t.Fatalf("Count = %d, want 6", h.Count())
+	}
+}
+
+func TestHistSaturatesLastBucket(t *testing.T) {
+	var h Hist
+	h.Observe(int64(1) << 62) // way past the 36-bucket range
+	if h.Bucket[HistBuckets-1] != 1 {
+		t.Fatalf("huge sample not saturated: %v", h.Bucket)
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be zero")
+	}
+	for i := 0; i < 90; i++ {
+		h.Observe(100) // bucket 7, upper bound 128ns
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1_000_000) // bucket 20, upper bound ~1.05ms
+	}
+	if got := h.Quantile(0.50); got != 128*time.Nanosecond {
+		t.Errorf("p50 = %v, want 128ns", got)
+	}
+	if got := h.Quantile(0.99); got != time.Duration(1<<20) {
+		t.Errorf("p99 = %v, want %v", got, time.Duration(1<<20))
+	}
+}
+
+func TestHistAddMerges(t *testing.T) {
+	var a, b Hist
+	a.Observe(10)
+	b.Observe(10)
+	b.Observe(100000)
+	a.Add(&b)
+	if a.Count() != 3 {
+		t.Fatalf("merged Count = %d, want 3", a.Count())
+	}
+	if a.Bucket[4] != 2 { // 10 → bits.Len64 = 4
+		t.Fatalf("bucket 4 = %d after merge, want 2", a.Bucket[4])
+	}
+}
+
+func TestCountersAddMergesHists(t *testing.T) {
+	var a, b Counters
+	a.LockHandoffNs.Observe(50)
+	b.LockHandoffNs.Observe(50)
+	b.BarrierNs.Observe(2000)
+	b.RoundTripNs.Observe(30000)
+	a.Add(&b)
+	if a.LockHandoffNs.Count() != 2 || a.BarrierNs.Count() != 1 || a.RoundTripNs.Count() != 1 {
+		t.Fatalf("Counters.Add dropped histogram samples: lock=%d barrier=%d rtt=%d",
+			a.LockHandoffNs.Count(), a.BarrierNs.Count(), a.RoundTripNs.Count())
+	}
+}
+
+func TestSummaryRendersHistsOnlyWhenPopulated(t *testing.T) {
+	var m Metrics
+	if s := m.Summary(); strings.Contains(s, "lock handoff") {
+		t.Errorf("empty histograms rendered:\n%s", s)
+	}
+	m.LockHandoffNs.Observe(1500)
+	m.BarrierNs.Observe(80000)
+	m.RoundTripNs.Observe(250000)
+	s := m.Summary()
+	for _, want := range []string{"lock handoff", "barrier wait", "fault rtt", "p50≤", "p99≤"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -6,6 +6,7 @@ package stats
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 	"time"
 
@@ -48,6 +49,79 @@ func (c Category) String() string {
 	return fmt.Sprintf("cat(%d)", int(c))
 }
 
+// HistBuckets is the fixed bucket count of a latency histogram: bucket
+// b holds observations v with bits.Len64(v) == b, i.e. v in
+// [2^(b-1), 2^b), so the range covers 1ns up to ~34s in powers of two
+// (larger observations saturate into the last bucket).
+const HistBuckets = 36
+
+// Hist is a fixed-bucket log2 latency histogram. The zero value is
+// ready to use; Observe is allocation-free so it can run on protocol
+// hot paths. Units are nanoseconds (virtual under sim, wall under
+// live).
+type Hist struct {
+	Bucket [HistBuckets]int64
+}
+
+// Observe records one latency sample.
+//
+//dsm:hotpath
+func (h *Hist) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	b := bits.Len64(uint64(v))
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	h.Bucket[b]++
+}
+
+// Count reports the total number of samples.
+func (h *Hist) Count() int64 {
+	var n int64
+	for _, c := range h.Bucket {
+		n += c
+	}
+	return n
+}
+
+// Add accumulates other into h (merging per-node histograms).
+func (h *Hist) Add(other *Hist) {
+	for i := range h.Bucket {
+		h.Bucket[i] += other.Bucket[i]
+	}
+}
+
+// Quantile returns the upper bound (2^b ns) of the bucket containing
+// the q-quantile sample (0 < q <= 1), an upper estimate within 2x of
+// the true value. Zero samples yield zero.
+func (h *Hist) Quantile(q float64) time.Duration {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for b, c := range h.Bucket {
+		seen += c
+		if seen >= rank {
+			return time.Duration(int64(1) << uint(b))
+		}
+	}
+	return time.Duration(int64(1) << uint(HistBuckets))
+}
+
+// summary renders one histogram line: sample count and the p50/p90/p99
+// bucket upper bounds.
+func (h *Hist) summary() string {
+	return fmt.Sprintf("n=%d p50≤%v p90≤%v p99≤%v",
+		h.Count(), h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99))
+}
+
 // Counters accumulates everything observed during one run. The zero value
 // is ready to use.
 type Counters struct {
@@ -67,6 +141,14 @@ type Counters struct {
 	TwinsCreated    int64
 	DiffsComputed   int64
 	DiffWords       int64 // total words carried by all diffs
+
+	// Latency histograms (log2 buckets, nanoseconds — virtual under
+	// sim, wall-clock under live): how long a thread waited for a lock
+	// grant, inside a barrier episode (arrive → go), and for a fault-in
+	// round-trip (request → reply installed).
+	LockHandoffNs Hist
+	BarrierNs     Hist
+	RoundTripNs   Hist
 }
 
 // Record notes one message of category c and m wire bytes.
@@ -186,6 +268,9 @@ func (s *Counters) Add(other *Counters) {
 	s.TwinsCreated += other.TwinsCreated
 	s.DiffsComputed += other.DiffsComputed
 	s.DiffWords += other.DiffWords
+	s.LockHandoffNs.Add(&other.LockHandoffNs)
+	s.BarrierNs.Add(&other.BarrierNs)
+	s.RoundTripNs.Add(&other.RoundTripNs)
 }
 
 // Summary renders a human-readable multi-line report.
@@ -211,6 +296,15 @@ func (m *Metrics) Summary() string {
 	fmt.Fprintf(&sb, "home writes    %d (exclusive %d)   home reads %d   remote writes %d\n",
 		m.HomeWrites, m.ExclHomeWrites, m.HomeReads, m.RemoteWrites)
 	fmt.Fprintf(&sb, "fault-ins      %d   piggybacked diffs %d\n", m.FaultIns, m.PiggybackDiffs)
+	if m.LockHandoffNs.Count() > 0 {
+		fmt.Fprintf(&sb, "lock handoff   %s\n", m.LockHandoffNs.summary())
+	}
+	if m.BarrierNs.Count() > 0 {
+		fmt.Fprintf(&sb, "barrier wait   %s\n", m.BarrierNs.summary())
+	}
+	if m.RoundTripNs.Count() > 0 {
+		fmt.Fprintf(&sb, "fault rtt      %s\n", m.RoundTripNs.summary())
+	}
 	for c := Category(0); c < NumCategories; c++ {
 		if m.Msgs[c] > 0 {
 			fmt.Fprintf(&sb, "  %-10s %8d msgs %12d bytes\n", c, m.Msgs[c], m.Bytes[c])
