@@ -51,9 +51,19 @@
 // every member's ring at finish or abort and can export the merged
 // cluster timeline (-flight-text, -flight-trace for Perfetto). Any
 // failure path dumps this process's trailing events to stderr. -json
-// emits the merged run artifact machine-readably (node 0), and
-// -obs-addr serves a live debug listener: /debug/pprof, /metrics, and
-// /flight (this node's ring as text, mid-run).
+// emits the merged run artifact machine-readably (node 0).
+//
+// Live telemetry is always on: every member carries a metric registry
+// (frame and byte counters per peer, queue depths and peaks, heartbeat
+// liveness, protocol counters and latency histograms from the engine,
+// plus a space-saving hot-object sketch) and ships a compact snapshot
+// to node 0 every -telemetry-interval over the transport's telemetry
+// frame channel. -obs-addr serves the debug listener: /debug/pprof,
+// /flight (this node's ring as text, mid-run), and /metrics as
+// Prometheus text exposition — on node 0 the cluster-aggregated view
+// with one labeled series set per member. -stats-interval prints a
+// periodic one-line status to stderr, and -metrics-json writes the
+// sampled metric time-series at end of run.
 package main
 
 import (
@@ -67,13 +77,19 @@ import (
 	"net/http/pprof"
 	"os"
 	"strings"
+	"sync"
 	"time"
+
+	dsm "repro"
 
 	"repro/internal/apps"
 	"repro/internal/flight"
 	"repro/internal/live/cluster"
+	"repro/internal/live/transport/tcp"
 	"repro/internal/memory"
+	"repro/internal/obshttp"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Exit codes per failure domain (see package comment).
@@ -144,6 +160,9 @@ func main() {
 		flightDump  = flag.Int("flight-dump", 16, "on any failure path, dump this process's last N flight events to stderr (needs -flight)")
 		jsonOut     = flag.Bool("json", false, "node 0: emit the merged run artifact as JSON on stdout instead of the text report")
 		obsAddr     = flag.String("obs-addr", "", "serve the debug listener (/debug/pprof, /metrics, /flight) on this address")
+		telInterval = flag.Duration("telemetry-interval", 250*time.Millisecond, "sampler tick and snapshot-ship period for the live telemetry")
+		statsIntv   = flag.Duration("stats-interval", 0, "print a one-line periodic status to stderr at this period (0 = off)")
+		metricsJSON = flag.String("metrics-json", "", "write the sampled metric time-series as JSON to this file at end of run (\"-\" = stdout)")
 	)
 	flag.Parse()
 
@@ -218,8 +237,83 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	// Live telemetry is always on, independent of -obs-addr: every
+	// member carries a registry and hot-object sketch and ships compact
+	// snapshots to node 0 so the coordinator's /metrics is the cluster
+	// view even when only node 0 exposes a listener. The observability
+	// flags are excluded from the config digest, so mixed flag sets
+	// across members still join.
+	reg := telemetry.NewRegistry(*id, fmt.Sprintf("policy=%q", *policy))
+	sink := telemetry.NewSink(0)
+	reg.AttachSink(sink)
+	registerMemberMetrics(reg, member, nn)
+	if *telInterval <= 0 {
+		*telInterval = 250 * time.Millisecond
+	}
+	var (
+		telOnce sync.Once
+		telStop = make(chan struct{})
+		telDone = make(chan struct{})
+		sampler *telemetry.Sampler
+		loopUp  bool
+	)
+	stopTel := func() {
+		telOnce.Do(func() { close(telStop) })
+		if loopUp {
+			<-telDone
+			// One final ship so node 0's aggregate holds each member's
+			// end-of-run state (best-effort: dropped if the transport is
+			// already down).
+			member.ShipTelemetry(reg.Snapshot())
+		}
+	}
+	writeMetrics := func() {
+		if *metricsJSON == "" || sampler == nil {
+			return
+		}
+		werr := func() error {
+			if *metricsJSON == "-" {
+				return sampler.WriteJSON(os.Stdout)
+			}
+			f, ferr := os.Create(*metricsJSON)
+			if ferr != nil {
+				return ferr
+			}
+			if ferr := sampler.WriteJSON(f); ferr != nil {
+				f.Close()
+				return ferr
+			}
+			return f.Close()
+		}()
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "dsmnode %d: metrics-json: %v\n", *id, werr)
+		}
+	}
+
+	var obs *obshttp.Server
 	if *obsAddr != "" {
-		serveObs(*obsAddr, *id, member)
+		obs = serveObs(*obsAddr, *id, member, reg)
+	}
+	if *statsIntv > 0 {
+		go func() {
+			t := time.NewTicker(*statsIntv)
+			defer t.Stop()
+			for {
+				select {
+				case <-telStop:
+					return
+				case <-t.C:
+					line := fmt.Sprintf("dsmnode %d: frames=%d inbox=%d/%d accesses=%d",
+						*id, member.DataFrames(), member.InboxLen(), member.PeakDepth(), sink.Total())
+					if top := sink.Top(1); len(top) > 0 {
+						line += fmt.Sprintf(" hot=obj%d(%d, %.0f%% remote)",
+							top[0].Obj, top[0].Count, 100*top[0].Remote())
+					}
+					fmt.Fprintln(os.Stderr, line)
+				}
+			}
+		}()
 	}
 	if *chaosKill > 0 {
 		// Die abruptly — no Leave, no AbortApp — once enough engine
@@ -240,6 +334,28 @@ func main() {
 		Nodes: nn, Threads: *threads, Policy: *policy, Locator: *loc,
 		Lambda: *lambda, TInit: *tinit, NoPiggyback: *noPig, Seed: *seed,
 		Engine: "live", Check: *check, Oracle: *check, Multi: member,
+		Telemetry: sink, Metrics: reg,
+		// The sampler is built once the engine exists so its frozen
+		// scalar list covers the engine-registered metrics too; the
+		// tick/ship loop then runs for the life of the app.
+		OnCluster: func(*dsm.Cluster) {
+			sampler = telemetry.NewSampler(reg, 4096)
+			loopUp = true
+			go func() {
+				defer close(telDone)
+				t := time.NewTicker(*telInterval)
+				defer t.Stop()
+				for {
+					select {
+					case <-telStop:
+						return
+					case <-t.C:
+						sampler.Tick(time.Now().UnixNano())
+						member.ShipTelemetry(reg.Snapshot())
+					}
+				}
+			}()
+		},
 	}
 	var res apps.Result
 	switch *app {
@@ -279,9 +395,13 @@ func main() {
 		if *id == 0 {
 			exportTimeline(member.FlightTimeline(), *flightText, *flightTrace)
 		}
+		stopTel()
+		writeMetrics()
+		obs.Close()
 		member.Leave()
 		os.Exit(exitCode(err))
 	}
+	stopTel()
 	if *id == 0 {
 		if *jsonOut {
 			if jerr := writeArtifact(os.Stdout, canon, nn, *check, res); jerr != nil {
@@ -303,6 +423,8 @@ func main() {
 	} else if *verbose {
 		fmt.Fprintf(os.Stderr, "dsmnode %d: ok (digest %#x)\n", *id, res.Digest)
 	}
+	writeMetrics()
+	obs.Close()
 	member.Leave()
 }
 
@@ -367,10 +489,83 @@ func exportTimeline(events []flight.Event, textPath, tracePath string) {
 	write(tracePath, "flight-trace", func(w io.Writer) error { return flight.WriteChromeTrace(w, events) })
 }
 
-// serveObs starts the debug listener: Go's pprof handlers, a plain-text
-// /metrics snapshot, and /flight rendering this node's ring mid-run.
-// Serving is best-effort — a dead listener never fails the run.
-func serveObs(addr string, id int, member *cluster.Member) {
+// registerMemberMetrics wires the cluster-member instruments into the
+// registry: frame/byte counters per peer, queue depth and peak,
+// heartbeat liveness, and flight-recorder totals. Engine-level metrics
+// (protocol counters, latency histograms) are registered by the live
+// engine itself via Options.Metrics.
+func registerMemberMetrics(reg *telemetry.Registry, member *cluster.Member, nn int) {
+	reg.GaugeFunc("dsm_up",
+		"1 while this member is alive and serving telemetry.", "",
+		func() int64 { return 1 })
+	reg.CounterFunc("dsm_data_frames_total",
+		"Engine data frames sent plus received by this member.", "",
+		member.DataFrames)
+	reg.GaugeFunc("dsm_inbox_depth",
+		"Current depth of this member's data inbox.", "",
+		func() int64 { return int64(member.InboxLen()) })
+	reg.GaugeFunc("dsm_inbox_peak",
+		"High-water mark of the data inbox depth.", "",
+		func() int64 { return int64(member.PeakDepth()) })
+	if rec := member.FlightRecorder(); rec != nil {
+		reg.CounterFunc("dsm_flight_events_total",
+			"Flight-recorder events recorded since start.", "",
+			func() int64 { return int64(rec.Total()) })
+		reg.GaugeFunc("dsm_flight_events_buffered",
+			"Flight-recorder events currently buffered in the ring.", "",
+			func() int64 { return int64(rec.Len()) })
+	}
+	self := reg.Node()
+	for j := 0; j < nn; j++ {
+		if j == self {
+			continue
+		}
+		p := memory.NodeID(j)
+		label := fmt.Sprintf("peer=\"%d\"", j)
+		stat := func(get func(tcp.PeerStats) int64) func() int64 {
+			return func() int64 {
+				ps, ok := member.PeerStats(p)
+				if !ok {
+					return 0
+				}
+				return get(ps)
+			}
+		}
+		reg.CounterFunc("dsm_peer_frames_sent_total",
+			"Frames sent to this peer across all channels.", label,
+			stat(func(ps tcp.PeerStats) int64 { return ps.FramesSent }))
+		reg.CounterFunc("dsm_peer_frames_recv_total",
+			"Frames received from this peer across all channels.", label,
+			stat(func(ps tcp.PeerStats) int64 { return ps.FramesRecv }))
+		reg.CounterFunc("dsm_peer_bytes_sent_total",
+			"Wire bytes (headers included) sent to this peer.", label,
+			stat(func(ps tcp.PeerStats) int64 { return ps.BytesSent }))
+		reg.CounterFunc("dsm_peer_bytes_recv_total",
+			"Wire bytes (headers included) received from this peer.", label,
+			stat(func(ps tcp.PeerStats) int64 { return ps.BytesRecv }))
+		reg.CounterFunc("dsm_peer_heartbeats_total",
+			"Heartbeat frames received from this peer.", label,
+			stat(func(ps tcp.PeerStats) int64 { return ps.Heartbeats }))
+		reg.GaugeFunc("dsm_peer_silence_ms",
+			"Milliseconds since anything was last received from this peer (0 until first receipt).", label,
+			func() int64 {
+				ps, ok := member.PeerStats(p)
+				if !ok || ps.LastRecv == 0 {
+					return 0
+				}
+				return (time.Now().UnixNano() - ps.LastRecv) / 1e6
+			})
+	}
+}
+
+// serveObs starts the debug listener: Go's pprof handlers, /metrics in
+// Prometheus text exposition (on node 0 the cluster-aggregated view —
+// this member's fresh snapshot merged with every shipped one), and
+// /flight rendering this node's ring mid-run. Serving is best-effort —
+// a dead listener never fails the run — but the returned server is
+// closed on the exit paths so the accept goroutine never outlives the
+// run.
+func serveObs(addr string, id int, member *cluster.Member, reg *telemetry.Registry) *obshttp.Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -378,13 +573,20 @@ func serveObs(addr string, id int, member *cluster.Member) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintf(w, "dsmnode_id %d\n", id)
-		fmt.Fprintf(w, "dsmnode_data_frames %d\n", member.DataFrames())
-		if rec := member.FlightRecorder(); rec != nil {
-			fmt.Fprintf(w, "dsmnode_flight_events_total %d\n", rec.Total())
-			fmt.Fprintf(w, "dsmnode_flight_events_buffered %d\n", rec.Len())
+		snaps := member.TelemetrySnapshots()
+		own := reg.Snapshot()
+		replaced := false
+		for i := range snaps {
+			if snaps[i].Node == own.Node {
+				snaps[i] = own
+				replaced = true
+			}
 		}
+		if !replaced {
+			snaps = append(snaps, own)
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		telemetry.WriteProm(w, snaps)
 	})
 	mux.HandleFunc("/flight", func(w http.ResponseWriter, _ *http.Request) {
 		rec := member.FlightRecorder()
@@ -395,11 +597,12 @@ func serveObs(addr string, id int, member *cluster.Member) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		flight.WriteText(w, rec.Snapshot())
 	})
-	go func() {
-		if err := http.ListenAndServe(addr, mux); err != nil {
-			fmt.Fprintf(os.Stderr, "dsmnode %d: obs listener: %v\n", id, err)
-		}
-	}()
+	srv, err := obshttp.Start(addr, mux)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsmnode %d: obs listener: %v\n", id, err)
+		return nil
+	}
+	return srv
 }
 
 func fatal(err error) {

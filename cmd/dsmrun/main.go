@@ -21,16 +21,28 @@
 // in Perfetto (-flight-trace), or feeds the offline access-pattern
 // classifier (-flight-analyze). On the sim engine the timeline is
 // byte-identical across runs of the same configuration.
+//
+// -obs-addr serves the debug listener mid-run: /debug/pprof, /metrics
+// in Prometheus text exposition (engine counters and histograms on the
+// live engine; the hot-object sketch and migration decisions on both),
+// and /flight rendering the merged flight rings as text.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	"net/http/pprof"
 	"os"
+	"sync/atomic"
+
+	dsm "repro"
 
 	"repro/internal/apps"
 	"repro/internal/flight"
+	"repro/internal/obshttp"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -74,6 +86,7 @@ func main() {
 		flightText    = flag.String("flight-text", "", "write the merged flight timeline as text to this file (\"-\" = stdout; needs -flight)")
 		flightTrace   = flag.String("flight-trace", "", "write the merged flight timeline as Chrome trace-event JSON to this file (\"-\" = stdout; needs -flight)")
 		flightAnalyze = flag.Bool("flight-analyze", false, "bridge the flight timeline into the offline access-pattern classifier and print its report (needs -flight)")
+		obsAddr       = flag.String("obs-addr", "", "serve the debug listener (/debug/pprof, /metrics, /flight) on this address mid-run")
 	)
 	flag.Parse()
 
@@ -81,6 +94,10 @@ func main() {
 		Nodes: *nodes, Threads: *threads, Policy: *policy, Locator: *loc,
 		Network: *network, Lambda: *lambda, TInit: *tinit, NoPiggyback: *noPig,
 		Engine: *engine, Check: *check, Oracle: *check, FlightCap: *flightCap,
+	}
+	var obs *obshttp.Server
+	if *obsAddr != "" {
+		obs = serveObs(*obsAddr, *policy, *engine, &o)
 	}
 	var (
 		res apps.Result
@@ -133,4 +150,59 @@ func main() {
 	if *flightAnalyze {
 		fmt.Print(trace.Report(trace.Analyze(flight.ToTrace(res.Flight))))
 	}
+	obs.Close()
+}
+
+// serveObs starts the debug listener and hooks the telemetry plumbing
+// into the run options: a hot-object sink on either engine, the metric
+// registry on the live engine (the sim engine runs under virtual time;
+// wall-clock scrapes of its counters would race the simulation), and an
+// OnCluster capture so /flight can render the rings mid-run.
+func serveObs(addr, policy, engine string, o *apps.Options) *obshttp.Server {
+	reg := telemetry.NewRegistry(0, fmt.Sprintf("policy=%q", policy))
+	sink := telemetry.NewSink(0)
+	reg.AttachSink(sink)
+	o.Telemetry = sink
+	if engine == "live" {
+		o.Metrics = reg
+	}
+	var cl atomic.Pointer[dsm.Cluster]
+	o.OnCluster = func(c *dsm.Cluster) { cl.Store(c) }
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		telemetry.WriteProm(w, []telemetry.Snapshot{reg.Snapshot()})
+	})
+	mux.HandleFunc("/flight", func(w http.ResponseWriter, _ *http.Request) {
+		c := cl.Load()
+		if c == nil {
+			http.Error(w, "cluster not built yet", http.StatusServiceUnavailable)
+			return
+		}
+		recs := c.FlightRecorders()
+		if len(recs) == 0 {
+			http.Error(w, "flight recorder disabled (run with -flight N)", http.StatusNotFound)
+			return
+		}
+		logs := make([][]flight.Event, 0, len(recs))
+		for _, r := range recs {
+			if r != nil {
+				logs = append(logs, r.Snapshot())
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		flight.WriteText(w, flight.Merge(logs...))
+	})
+	srv, err := obshttp.Start(addr, mux)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsmrun: obs listener:", err)
+		os.Exit(1)
+	}
+	return srv
 }

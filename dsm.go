@@ -48,6 +48,7 @@ import (
 	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -164,6 +165,17 @@ type Config struct {
 	// recorder so its HLC stamps observe remote frames and the finish
 	// exchange can gather the ring. Live engine only.
 	FlightLocal *flight.Recorder
+	// Telemetry, when non-nil, is a hot-object sink every node feeds
+	// from the same nil-guarded hook sites as the flight recorder: a
+	// space-saving top-K sketch of per-object accesses plus
+	// migration-decision counts by reason. Works on both engines; pure
+	// observation, so sim digests are unchanged by attaching it.
+	Telemetry *telemetry.Sink
+	// Metrics, when non-nil, receives the engine's live scrape metrics
+	// (frame counters, protocol counters, merged latency histograms).
+	// Live engine only — the sim engine's wall-free kernel has no
+	// mid-run scrape surface.
+	Metrics *telemetry.Registry
 }
 
 // Cluster is a configured DSM instance: declare shared state, then Run.
@@ -230,6 +242,7 @@ func New(cfg Config) *Cluster {
 			PathCompress: cfg.PathCompress,
 			Observer:     cfg.Observer,
 			FlightCap:    cfg.FlightCap,
+			Telemetry:    cfg.Telemetry,
 		})
 	case "live":
 		if cfg.Trace != nil {
@@ -246,6 +259,8 @@ func New(cfg Config) *Cluster {
 			Transport:    cfg.Transport,
 			FlightCap:    cfg.FlightCap,
 			FlightLocal:  cfg.FlightLocal,
+			Telemetry:    cfg.Telemetry,
+			Metrics:      cfg.Metrics,
 		})
 	default:
 		panic(fmt.Sprintf("dsm: unknown engine %q (want \"sim\" or \"live\")", cfg.Engine))
@@ -255,6 +270,9 @@ func New(cfg Config) *Cluster {
 	}
 	if cfg.Engine != "live" && cfg.FlightLocal != nil {
 		panic("dsm: FlightLocal requires Engine \"live\"")
+	}
+	if cfg.Engine != "live" && cfg.Metrics != nil {
+		panic("dsm: Metrics requires Engine \"live\"")
 	}
 	if cfg.LocalNode != nil && (*cfg.LocalNode < 0 || int(*cfg.LocalNode) >= cfg.Nodes) {
 		panic(fmt.Sprintf("dsm: LocalNode %d outside cluster of %d", *cfg.LocalNode, cfg.Nodes))

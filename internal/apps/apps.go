@@ -15,6 +15,7 @@ import (
 	"repro/internal/flight"
 	"repro/internal/oracle"
 	"repro/internal/prng"
+	"repro/internal/telemetry"
 )
 
 // Options configures an application run.
@@ -72,6 +73,19 @@ type Options struct {
 	// recorder comes from the cluster member instead (see
 	// cluster.Config.FlightCap) and this field is ignored.
 	FlightCap int
+	// Telemetry, when non-nil, is the hot-object sink the engine's
+	// nodes record accesses and migration decisions into (works on
+	// both engines; pure observation).
+	Telemetry *telemetry.Sink
+	// Metrics, when non-nil, receives the live engine's scrape metrics
+	// (frame counters, protocol counters, latency histograms). Live
+	// engine only.
+	Metrics *telemetry.Registry
+	// OnCluster, when non-nil, is called with the built cluster just
+	// before the run starts — the hook cmd binaries use to point a
+	// debug listener (flight rings, metric reads) at the engine while
+	// it is running.
+	OnCluster func(*dsm.Cluster)
 }
 
 // Member is one process's handle on a multi-process cluster, as the
@@ -152,6 +166,8 @@ func (o Options) cluster(threads int) (*dsm.Cluster, *oracle.Recorder) {
 		Transport:    tr,
 		LocalNode:    local,
 		FlightCap:    o.FlightCap,
+		Telemetry:    o.Telemetry,
+		Metrics:      o.Metrics,
 	}
 	if o.Multi != nil {
 		// A member carrying its own flight recorder (cluster.Config.
@@ -164,6 +180,9 @@ func (o Options) cluster(threads int) (*dsm.Cluster, *oracle.Recorder) {
 		}
 	}
 	c := dsm.New(cfg)
+	if o.OnCluster != nil {
+		o.OnCluster(c)
+	}
 	return c, rec
 }
 

@@ -16,6 +16,7 @@ import (
 	"repro/internal/live"
 	"repro/internal/memory"
 	"repro/internal/proto"
+	"repro/internal/telemetry"
 )
 
 // LiveBench is one live-engine measurement. NsPerOp covers one protocol
@@ -155,6 +156,49 @@ func RunLiveBenchmarks() []LiveBench {
 		for i := 0; i < b.N; i++ {
 			if f := rec; f != nil {
 				f.Record(ev)
+			}
+		}
+	})
+
+	// The telemetry overhead contract mirrors the flight recorder's: a
+	// counter increment is one atomic add, a sampler tick is pure ring
+	// writes, and a steady-state sketch record is a map hit plus in-place
+	// bumps — all pinned at 0 allocs/op.
+	add("telemetry_counter_inc", func(b *testing.B) {
+		b.ReportAllocs()
+		reg := telemetry.NewRegistry(0, "")
+		c := reg.Counter("dsm_bench_total", "bench counter", "")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+
+	add("telemetry_sampler_tick", func(b *testing.B) {
+		b.ReportAllocs()
+		reg := telemetry.NewRegistry(0, "")
+		for i := 0; i < 16; i++ {
+			reg.Counter(fmt.Sprintf("dsm_bench_%d_total", i), "bench counter", "").Add(int64(i))
+		}
+		s := telemetry.NewSampler(reg, 4096)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Tick(int64(i))
+		}
+	})
+
+	add("telemetry_sink_record", func(b *testing.B) {
+		b.ReportAllocs()
+		sink := telemetry.NewSink(64)
+		if s := sink; s != nil {
+			s.Record(3, telemetry.HomeWrite) // admit the object: steady state is a sketch hit
+		}
+		b.ResetTimer()
+		// Measured through the engines' nil-guard idiom, like the flight
+		// benches: the production call site's cost, not the bare method's.
+		for i := 0; i < b.N; i++ {
+			if s := sink; s != nil {
+				s.Record(3, telemetry.HomeWrite)
 			}
 		}
 	})

@@ -26,6 +26,7 @@ import (
 	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/wire"
 )
@@ -119,6 +120,12 @@ type Config struct {
 	// so the merged timeline of a seeded run is byte-identical across
 	// repeats.
 	FlightCap int
+	// Telemetry, when non-nil, is a shared hot-object sink every node
+	// records accesses and migration decisions into. Pure observation
+	// over the same hook sites as the flight recorder: the sketch's
+	// contents are a function of the deterministic schedule only and a
+	// seeded run's digest is unchanged by attaching it.
+	Telemetry *telemetry.Sink
 }
 
 // DefaultConfig returns the paper's setup: AT policy over forwarding
@@ -206,6 +213,7 @@ func New(cfg Config) *Cluster {
 			n.Node.Flight = rec
 			c.flights = append(c.flights, rec)
 		}
+		n.Node.Tel = cfg.Telemetry
 		c.nodes = append(c.nodes, n)
 	}
 	return c

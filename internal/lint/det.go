@@ -13,27 +13,31 @@ import (
 // here may read the wall clock, use math/rand, or let Go's randomized
 // map iteration order leak into emitted values.
 var detPackages = map[string]bool{
-	"repro/internal/sim":      true,
-	"repro/internal/gos":      true,
-	"repro/internal/proto":    true,
-	"repro/internal/twindiff": true,
-	"repro/internal/scenario": true,
-	"repro/internal/prng":     true,
-	"repro/internal/oracle":   true,
+	"repro/internal/sim":       true,
+	"repro/internal/gos":       true,
+	"repro/internal/proto":     true,
+	"repro/internal/twindiff":  true,
+	"repro/internal/scenario":  true,
+	"repro/internal/prng":      true,
+	"repro/internal/oracle":    true,
+	"repro/internal/telemetry": true,
 }
 
 // detNoOptOut are the deterministic packages that may not carry a
 // //dsm:wallclock directive at all: they are the protocol/kernel core,
 // and a wall-clock dependency there is a bug by definition. (scenario
 // is deterministic too, but its chaos harness legitimately watchdogs
-// live wall-clock runs, so it may opt out per file with justification.)
+// live wall-clock runs, so it may opt out per file with justification.
+// telemetry samples under an injected clock and renders in sorted
+// order, so it has no more business reading time.Now than proto does.)
 var detNoOptOut = map[string]bool{
-	"repro/internal/sim":      true,
-	"repro/internal/gos":      true,
-	"repro/internal/proto":    true,
-	"repro/internal/twindiff": true,
-	"repro/internal/prng":     true,
-	"repro/internal/oracle":   true,
+	"repro/internal/sim":       true,
+	"repro/internal/gos":       true,
+	"repro/internal/proto":     true,
+	"repro/internal/twindiff":  true,
+	"repro/internal/prng":      true,
+	"repro/internal/oracle":    true,
+	"repro/internal/telemetry": true,
 }
 
 // wallClockFuncs are the time-package functions that read the wall

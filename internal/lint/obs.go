@@ -1,8 +1,10 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // Obs is obslint: every call of a proto.Observer hook must be behind a
@@ -23,23 +25,43 @@ import (
 // declares it with //dsm:obsnonnil <why> on the struct's doc comment,
 // which exempts calls through that field.
 //
-// The same contract covers the flight recorder (internal/flight): a
-// *flight.Recorder field is nil whenever recording is disabled — the
-// default on every benchmark and production run — so Record call sites
-// outside the flight package itself must sit behind the identical
-// guards. The flight package is exempt: its recorders come from
-// NewRecorder, which never returns nil.
+// The same contract covers the flight recorder (internal/flight) and
+// the telemetry sink (internal/telemetry): a *flight.Recorder or
+// *telemetry.Sink field is nil whenever that facility is disabled — the
+// default on every benchmark and production run — so their hot-path
+// method call sites outside the defining package must sit behind the
+// identical guards. The defining packages are exempt: their values come
+// from constructors that never return nil.
 var Obs = &Analyzer{
 	Name: "obslint",
-	Doc: "proto.Observer hook and flight.Recorder.Record calls must be " +
-		"nil-guarded (or flow through a //dsm:obsnonnil field)",
+	Doc: "proto.Observer hook, flight.Recorder.Record, and telemetry.Sink " +
+		"Record/Decision calls must be nil-guarded (or flow through a " +
+		"//dsm:obsnonnil field)",
 	Run: runObs,
 }
 
-// flightPkg is the package whose Recorder the nil-guard contract
-// covers; call sites inside it are exempt (recorders are constructed
-// there, never nil).
-const flightPkg = "repro/internal/flight"
+// flightPkg and telemetryPkg define the nil-guarded instrument types;
+// call sites inside them are exempt (the values are constructed there,
+// never nil).
+const (
+	flightPkg    = "repro/internal/flight"
+	telemetryPkg = "repro/internal/telemetry"
+)
+
+// nilGuardedMethods is the table of pointer-receiver hot-path methods
+// whose call sites must be nil-guarded outside the defining package.
+// Extending the contract to a new instrument means adding a row here
+// and a fixture case, nothing else.
+var nilGuardedMethods = []struct {
+	pkg, typ string
+	methods  map[string]bool
+	why      string // parenthetical for the diagnostic
+}{
+	{flightPkg, "Recorder", map[string]bool{"Record": true},
+		"the recorder is nil whenever recording is disabled"},
+	{telemetryPkg, "Sink", map[string]bool{"Record": true, "Decision": true},
+		"the sink is nil whenever telemetry is disabled"},
+}
 
 func runObs(pass *Pass) error {
 	nonNilTypes := obsNonNilTypes(pass)
@@ -60,9 +82,13 @@ func runObs(pass *Pass) error {
 				return true
 			}
 			isObs := isObserverIfaceCall(pass, sel)
-			isFlight := !isObs && isFlightRecordCall(pass, sel)
-			if !isObs && !isFlight {
-				return true
+			var desc, why string
+			if !isObs {
+				var guarded bool
+				desc, why, guarded = nilGuardedCall(pass, sel)
+				if !guarded {
+					return true
+				}
 			}
 			recv := types.ExprString(sel.X)
 			if guardedAgainstNil(pass, stack, recv) {
@@ -77,8 +103,7 @@ func runObs(pass *Pass) error {
 						"(the observer is nil on every production run)", sel.Sel.Name, recv)
 			} else {
 				pass.Reportf(call.Pos(),
-					"flight.Recorder.Record called without a nil check on %s "+
-						"(the recorder is nil whenever recording is disabled)", recv)
+					"%s called without a nil check on %s (%s)", desc, recv, why)
 			}
 			return true
 		})
@@ -86,18 +111,14 @@ func runObs(pass *Pass) error {
 	return nil
 }
 
-// isFlightRecordCall reports whether sel selects the hot-path Record
-// method on *flight.Recorder from outside the flight package.
-func isFlightRecordCall(pass *Pass, sel *ast.SelectorExpr) bool {
-	if sel.Sel.Name != "Record" {
-		return false
-	}
-	if pass.Pkg != nil && pass.Pkg.Path() == flightPkg {
-		return false
-	}
+// nilGuardedCall reports whether sel selects one of the table's
+// nil-guarded hot-path methods from outside its defining package,
+// returning the diagnostic name ("flight.Recorder.Record") and the
+// parenthetical reason.
+func nilGuardedCall(pass *Pass, sel *ast.SelectorExpr) (desc, why string, ok bool) {
 	s, ok := pass.TypesInfo.Selections[sel]
 	if !ok || s.Kind() != types.MethodVal {
-		return false
+		return "", "", false
 	}
 	t := s.Recv()
 	if p, ok := t.(*types.Pointer); ok {
@@ -105,10 +126,23 @@ func isFlightRecordCall(pass *Pass, sel *ast.SelectorExpr) bool {
 	}
 	named, ok := t.(*types.Named)
 	if !ok {
-		return false
+		return "", "", false
 	}
 	obj := named.Obj()
-	return obj.Pkg() != nil && obj.Pkg().Path() == flightPkg && obj.Name() == "Recorder"
+	if obj.Pkg() == nil {
+		return "", "", false
+	}
+	for _, m := range nilGuardedMethods {
+		if obj.Pkg().Path() != m.pkg || obj.Name() != m.typ || !m.methods[sel.Sel.Name] {
+			continue
+		}
+		if pass.Pkg != nil && pass.Pkg.Path() == m.pkg {
+			return "", "", false
+		}
+		base := m.pkg[strings.LastIndexByte(m.pkg, '/')+1:]
+		return fmt.Sprintf("%s.%s.%s", base, m.typ, sel.Sel.Name), m.why, true
+	}
+	return "", "", false
 }
 
 // isObserverIfaceCall reports whether sel is a method selection on the

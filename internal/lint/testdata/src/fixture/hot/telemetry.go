@@ -1,0 +1,69 @@
+package hot
+
+import "fmt"
+
+// sketch mirrors the telemetry sink's space-saving update: a map-indexed
+// entry table whose Record-style method runs on the protocol hot path.
+type sketch struct {
+	idx     map[uint64]int
+	entries []entry
+	total   uint64
+}
+
+type entry struct {
+	obj   uint64
+	count uint64
+	kinds [4]uint64
+}
+
+// record is the telemetry-style hot path done right: map lookup,
+// in-place bumps, and a by-value append when there is room — all
+// allocation-free (the append is amortized by the slice growth policy).
+//
+//dsm:hotpath
+func (s *sketch) record(obj uint64, kind int) {
+	s.total++
+	if i, ok := s.idx[obj]; ok {
+		s.entries[i].count++
+		s.entries[i].kinds[kind]++
+		return
+	}
+	s.entries = append(s.entries, entry{obj: obj, count: 1})
+	s.idx[obj] = len(s.entries) - 1
+}
+
+// tick is a sampler-style ring write: pure index arithmetic, clean.
+//
+//dsm:hotpath
+func (s *sketch) tick(ring []uint64, n int, v uint64) int {
+	ring[n%len(ring)] = v
+	return n + 1
+}
+
+// chatty instruments the hot path the wrong way: allocating a label
+// slice, formatting, and boxing on every observation.
+//
+//dsm:hotpath
+func (s *sketch) chatty(obj uint64, kind int) {
+	labels := []uint64{obj, uint64(kind)} // want `builds a slice literal`
+	_ = labels
+	fmt.Printf("obj %d kind %d\n", obj, kind) // want `calls fmt\.Printf`
+	sink(obj)                                 // want `boxes uint64 into`
+}
+
+// lazyEntry heap-allocates the sketch entry per observation instead of
+// appending by value.
+//
+//dsm:hotpath
+func (s *sketch) lazyEntry(obj uint64) *entry {
+	return &entry{obj: obj, count: 1} // want `takes the address of a composite literal`
+}
+
+// snapshot is the cold read side: unannotated, free to allocate.
+func (s *sketch) snapshot() map[uint64]uint64 {
+	out := make(map[uint64]uint64, len(s.entries))
+	for _, e := range s.entries {
+		out[e.obj] = e.count
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"repro/internal/migration"
+	"repro/internal/telemetry"
+)
+
+// tnode embeds a telemetry sink the way the engines do: a field that is
+// nil whenever telemetry is disabled.
+type tnode struct {
+	tel *telemetry.Sink
+}
+
+// leakRecord records with no guard at all.
+func (n *tnode) leakRecord() {
+	n.tel.Record(7, telemetry.RemoteFault) // want `telemetry.Sink.Record called without a nil check`
+}
+
+// leakDecision hits the other hot-path method unguarded.
+func (n *tnode) leakDecision() {
+	n.tel.Decision(migration.ReasonThresholdReached, true) // want `telemetry.Sink.Decision called without a nil check`
+}
+
+// guardedRecord uses the canonical rebind-and-check idiom: clean.
+func (n *tnode) guardedRecord() {
+	if t := n.tel; t != nil {
+		t.Record(7, telemetry.HomeWrite)
+	}
+}
+
+// fieldGuardedDecision checks the field in place: clean.
+func (n *tnode) fieldGuardedDecision() {
+	if n.tel != nil {
+		n.tel.Decision(migration.ReasonPinned, false)
+	}
+}
+
+// earlyRecord bails on nil before recording: clean.
+func (n *tnode) earlyRecord() {
+	if n.tel == nil {
+		return
+	}
+	n.tel.Record(3, telemetry.HomeRead)
+}
+
+// auditedRecord has the guard at every call site; the justified
+// suppression keeps this one quiet.
+func (n *tnode) auditedRecord() {
+	n.tel.Record(1, telemetry.RemoteWrite) //dsm:nolint obslint: fixture: every caller checks n.tel before invoking
+}
+
+// coldTop exercises a non-hot-path method: the contract covers only
+// Record and Decision, so this stays clean even unguarded.
+func (n *tnode) coldTop() int {
+	return len(n.tel.Top(1))
+}
+
+// wiredSink is only ever built with a live sink, so its field skips the
+// per-call guard.
+//
+//dsm:obsnonnil fixture: the constructor rejects nil sinks
+type wiredSink struct {
+	tel *telemetry.Sink
+}
+
+func (w *wiredSink) fire() {
+	w.tel.Record(2, telemetry.ObjMigration)
+}

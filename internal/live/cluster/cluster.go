@@ -62,6 +62,8 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/flight"
@@ -70,6 +72,7 @@ import (
 	"repro/internal/live/transport"
 	"repro/internal/live/transport/tcp"
 	"repro/internal/memory"
+	"repro/internal/telemetry"
 )
 
 // Failure classification sentinels: every error a member surfaces
@@ -175,6 +178,13 @@ type Member struct {
 	digest    uint64 // canonical final-memory digest (set by FinishRun)
 	finished  bool   // FinishRun completed cluster-wide
 	hasResult bool
+
+	// telView collects the latest telemetry snapshot per node, fed by
+	// the transport's telemetry channel (every member ships its own
+	// periodically; node 0 accumulates the cluster view its /metrics
+	// endpoint serves).
+	telMu   sync.Mutex
+	telView map[memory.NodeID]telemetry.Snapshot
 }
 
 func (m *Member) logf(format string, args ...any) {
@@ -317,7 +327,7 @@ func Join(cfg Config) (*Member, error) {
 		}
 		panic(err)
 	}
-	opts := tcp.Options{OnFatal: onFatal, Clock: m.clock, Flight: m.flight}
+	opts := tcp.Options{OnFatal: onFatal, Clock: m.clock, Flight: m.flight, OnTelemetry: m.handleTelemetry}
 	if n > 1 {
 		opts.HeartbeatInterval = cfg.HeartbeatInterval
 		opts.HeartbeatTimeout = cfg.HeartbeatTimeout
@@ -630,6 +640,55 @@ func (m *Member) FlightTimeline() []flight.Event { return m.timeline }
 // received so far — the activity meter dsmnode's chaos kill counts
 // down before dying.
 func (m *Member) DataFrames() int64 { return m.tr.DataSent() + m.tr.DataRecv() }
+
+// InboxLen reports the local node's current inbox depth.
+func (m *Member) InboxLen() int { return m.tr.InboxLen(m.cfg.ID) }
+
+// PeerStats reports the pair-link traffic counters toward node id (ok
+// is false for the local node).
+func (m *Member) PeerStats(id memory.NodeID) (tcp.PeerStats, bool) { return m.tr.PeerStats(id) }
+
+// handleTelemetry is the transport's telemetry-channel sink: decode the
+// shipped snapshot and fold it into the cluster view. Runs on reader
+// goroutines (or the shipper's, for loopback); decode errors drop the
+// frame — telemetry is best-effort and must never take a member down.
+func (m *Member) handleTelemetry(from memory.NodeID, payload []byte) {
+	snap, err := telemetry.DecodeSnapshot(payload)
+	if err != nil {
+		return
+	}
+	m.telMu.Lock()
+	if m.telView == nil {
+		m.telView = make(map[memory.NodeID]telemetry.Snapshot)
+	}
+	m.telView[from] = snap
+	m.telMu.Unlock()
+}
+
+// ShipTelemetry sends one metric snapshot to node 0's cluster view
+// (loopback when this member is node 0). Best-effort: frames racing
+// shutdown drop silently.
+func (m *Member) ShipTelemetry(snap telemetry.Snapshot) {
+	buf, err := telemetry.EncodeSnapshot(snap)
+	if err != nil {
+		return
+	}
+	m.tr.SendTelemetry(0, buf)
+}
+
+// TelemetrySnapshots returns the cluster view accumulated from shipped
+// snapshots, sorted by node. On node 0 this covers every member that
+// has shipped at least once; other members see at most their own.
+func (m *Member) TelemetrySnapshots() []telemetry.Snapshot {
+	m.telMu.Lock()
+	snaps := make([]telemetry.Snapshot, 0, len(m.telView))
+	for _, s := range m.telView {
+		snaps = append(snaps, s)
+	}
+	m.telMu.Unlock()
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].Node < snaps[j].Node })
+	return snaps
+}
 
 // Completed reports whether the application verdict exchange has run
 // (FinishApp or AbortApp): a daemon whose app errored before the

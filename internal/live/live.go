@@ -52,6 +52,7 @@ import (
 	"repro/internal/migration"
 	"repro/internal/proto"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -96,6 +97,16 @@ type Config struct {
 	// observe remote frames and the finish exchange can gather the ring.
 	// The other (stubbed) nodes get no recorder.
 	FlightLocal *flight.Recorder
+	// Telemetry, when non-nil, is a shared hot-object sink every node
+	// records accesses and migration decisions into — pure observation
+	// over the same hook sites as the flight recorder.
+	Telemetry *telemetry.Sink
+	// Metrics, when non-nil, receives the engine's live metrics
+	// (cluster-wide frame counters, per-node protocol counters, merged
+	// latency histograms) so a scrape endpoint can read them mid-run.
+	// All registered reads are race-safe: atomics, or sums taken under
+	// each node's mutex.
+	Metrics *telemetry.Registry
 }
 
 // DefaultConfig returns the paper's setup on the live engine: AT policy
@@ -261,9 +272,74 @@ func New(cfg Config) *Cluster {
 		case stamp != nil:
 			n.ps.Flight = flight.NewRecorder(memory.NodeID(i), cfg.FlightCap, stamp)
 		}
+		n.ps.Tel = cfg.Telemetry
 		c.nodes = append(c.nodes, n)
 	}
+	if cfg.Metrics != nil {
+		c.registerMetrics(cfg.Metrics)
+	}
 	return c
+}
+
+// registerMetrics exposes the engine's internals on a telemetry
+// registry. Every read function is safe against a mid-run scrape: the
+// cluster-wide frame counters are atomics, and the per-node protocol
+// counters and latency histograms are summed under each node's mutex
+// (the same lock the daemon and threads hold while mutating them).
+func (c *Cluster) registerMetrics(reg *telemetry.Registry) {
+	reg.CounterFunc("dsm_live_frames_total",
+		"Protocol frames sent by this process's engine.", "", c.frames.Load)
+	reg.CounterFunc("dsm_live_frame_bytes_total",
+		"Encoded protocol frame bytes sent by this process's engine.", "", c.frameB.Load)
+	reg.GaugeFunc("dsm_inflight_frames",
+		"Frames sent but not yet fully handled (the quiescence counter).", "", c.inflight.Load)
+	counter := func(get func(cs *stats.Counters) int64) func() int64 {
+		return func() int64 {
+			var total int64
+			for _, n := range c.nodes {
+				n.mu.Lock()
+				total += get(&n.counters)
+				n.mu.Unlock()
+			}
+			return total
+		}
+	}
+	reg.CounterFunc("dsm_migrations_total",
+		"Home migrations performed by this process's nodes.", "",
+		counter(func(cs *stats.Counters) int64 { return cs.Migrations }))
+	reg.CounterFunc("dsm_fault_ins_total",
+		"Object fault-ins served.", "",
+		counter(func(cs *stats.Counters) int64 { return cs.FaultIns }))
+	reg.CounterFunc("dsm_remote_writes_total",
+		"Remote diffs applied at home copies.", "",
+		counter(func(cs *stats.Counters) int64 { return cs.RemoteWrites }))
+	reg.CounterFunc("dsm_home_reads_total",
+		"Read faults trapped at home copies.", "",
+		counter(func(cs *stats.Counters) int64 { return cs.HomeReads }))
+	reg.CounterFunc("dsm_home_writes_total",
+		"Write faults trapped at home copies.", "",
+		counter(func(cs *stats.Counters) int64 { return cs.HomeWrites }))
+	reg.CounterFunc("dsm_redirect_hops_total",
+		"Locator redirection hops accumulated by fault-ins.", "",
+		counter(func(cs *stats.Counters) int64 { return cs.RedirectHops }))
+	hist := func(get func(cs *stats.Counters) *stats.Hist) func(dst *stats.Hist) {
+		return func(dst *stats.Hist) {
+			for _, n := range c.nodes {
+				n.mu.Lock()
+				dst.Add(get(&n.counters))
+				n.mu.Unlock()
+			}
+		}
+	}
+	reg.HistFunc("dsm_lock_handoff_ns",
+		"Lock acquire-to-grant latency in nanoseconds (log2 buckets).", "",
+		hist(func(cs *stats.Counters) *stats.Hist { return &cs.LockHandoffNs }))
+	reg.HistFunc("dsm_barrier_wait_ns",
+		"Barrier arrive-to-release latency in nanoseconds (log2 buckets).", "",
+		hist(func(cs *stats.Counters) *stats.Hist { return &cs.BarrierNs }))
+	reg.HistFunc("dsm_fault_rtt_ns",
+		"Object fault-in round-trip latency in nanoseconds (log2 buckets).", "",
+		hist(func(cs *stats.Counters) *stats.Hist { return &cs.RoundTripNs }))
 }
 
 // FlightRecorders returns the per-node flight recorders, indexed by node

@@ -73,6 +73,7 @@ const (
 	chanData  byte = 0
 	chanCtrl  byte = 1
 	chanHeart byte = 2
+	chanTelem byte = 3
 )
 
 // Ctrl is one control-channel message as received: the peer that sent
@@ -111,6 +112,13 @@ type Options struct {
 	// the node's flight recorder (the liveness traffic is otherwise
 	// invisible to the protocol layer).
 	Flight *flight.Recorder
+
+	// OnTelemetry, when non-nil, receives every telemetry-channel frame
+	// (SendTelemetry on the sending side). It runs on the reader
+	// goroutine — or the sender's goroutine for loopback — and must not
+	// retain payload: the buffer returns to the frame pool when the
+	// handler returns. Telemetry frames with no handler are dropped.
+	OnTelemetry func(from memory.NodeID, payload []byte)
 }
 
 // outFrame is one queued frame with its channel tag.
@@ -125,6 +133,15 @@ type peer struct {
 	id   memory.NodeID
 	conn net.Conn
 	out  *transport.Queue[outFrame]
+
+	// Link counters for the telemetry surface, updated by the reader
+	// and writer goroutines and read by PeerStats mid-run.
+	framesSent atomic.Int64
+	framesRecv atomic.Int64
+	bytesSent  atomic.Int64
+	bytesRecv  atomic.Int64
+	heartbeats atomic.Int64 // heartbeat frames received
+	lastRecv   atomic.Int64 // wall nanos of the last frame read
 }
 
 // Transport implements transport.Transport over per-pair TCP
@@ -153,6 +170,7 @@ type Transport struct {
 
 	clock     *hlc.Clock
 	fl        *flight.Recorder
+	onTelem   func(from memory.NodeID, payload []byte)
 	hbTimeout time.Duration
 	hbStop    chan struct{}
 	hbWG      sync.WaitGroup
@@ -181,6 +199,7 @@ func New(local memory.NodeID, conns []net.Conn, opt Options) *Transport {
 		ctrl:      transport.NewQueue[Ctrl](),
 		clock:     opt.Clock,
 		fl:        opt.Flight,
+		onTelem:   opt.OnTelemetry,
 		hbTimeout: opt.HeartbeatTimeout,
 		onFatal:   opt.OnFatal,
 	}
@@ -293,6 +312,52 @@ func (t *Transport) SendCtrl(to memory.NodeID, buf []byte) {
 // the transport is fully closed (or has failed).
 func (t *Transport) RecvCtrl() (Ctrl, bool) {
 	return t.ctrl.Get()
+}
+
+// SendTelemetry queues a telemetry-channel frame for node to (loopback
+// invokes OnTelemetry synchronously for the local node, so a cluster
+// view can treat its own node uniformly). The payload is copied; the
+// caller keeps ownership of buf. Telemetry is best-effort: frames
+// racing shutdown drop silently.
+func (t *Transport) SendTelemetry(to memory.NodeID, buf []byte) {
+	if to == t.local {
+		if h := t.onTelem; h != nil {
+			h(t.local, buf)
+		}
+		return
+	}
+	payload := append(transport.GetFrame(), buf...)
+	p := t.peers[to]
+	if p == nil || !p.out.Put(outFrame{tag: chanTelem, payload: payload}) {
+		transport.PutFrame(payload)
+	}
+}
+
+// PeerStats is one pair link's traffic state for the telemetry surface.
+type PeerStats struct {
+	FramesSent int64 // frames written to this peer (all channels)
+	FramesRecv int64 // frames read from this peer (all channels)
+	BytesSent  int64 // wire bytes written, headers included
+	BytesRecv  int64 // wire bytes read, headers included
+	Heartbeats int64 // heartbeat frames received
+	LastRecv   int64 // wall nanos of the last frame read; 0 when none yet
+}
+
+// PeerStats reports the link counters toward node id; ok is false for
+// the local node and absent peers.
+func (t *Transport) PeerStats(id memory.NodeID) (PeerStats, bool) {
+	if id < 0 || int(id) >= t.n || t.peers[id] == nil {
+		return PeerStats{}, false
+	}
+	p := t.peers[id]
+	return PeerStats{
+		FramesSent: p.framesSent.Load(),
+		FramesRecv: p.framesRecv.Load(),
+		BytesSent:  p.bytesSent.Load(),
+		BytesRecv:  p.bytesRecv.Load(),
+		Heartbeats: p.heartbeats.Load(),
+		LastRecv:   p.lastRecv.Load(),
+	}, true
 }
 
 // DataSent reports the data frames handed to peer writers so far.
@@ -455,6 +520,8 @@ func (t *Transport) writer(p *peer) {
 			// complete; the frames go nowhere.
 			continue
 		}
+		p.framesSent.Add(1)
+		p.bytesSent.Add(int64(headSize + len(f.payload)))
 		if f.payload != nil {
 			transport.PutFrame(f.payload)
 		}
@@ -509,6 +576,9 @@ func (t *Transport) reader(p *peer) {
 			t.fail(p, "read", err)
 			return
 		}
+		p.framesRecv.Add(1)
+		p.bytesRecv.Add(int64(headSize + size))
+		p.lastRecv.Store(time.Now().UnixNano())
 		switch tag {
 		case chanData:
 			if t.inboxes[t.local].Put(buf) {
@@ -521,8 +591,14 @@ func (t *Transport) reader(p *peer) {
 				transport.PutFrame(buf)
 			}
 		case chanHeart:
+			p.heartbeats.Add(1)
 			if f := t.fl; f != nil {
 				f.Record(flight.Event{Kind: flight.HeartbeatRecv, Tag: chanHeart, Peer: p.id})
+			}
+			transport.PutFrame(buf)
+		case chanTelem:
+			if h := t.onTelem; h != nil {
+				h(p.id, buf)
 			}
 			transport.PutFrame(buf)
 		default:

@@ -1,0 +1,66 @@
+// Package obshttp is the shared debug-listener plumbing for the cmd
+// binaries: an http.Server with sane header timeouts (a stuck client
+// must not wedge a cluster member) that the owner shuts down cleanly
+// at finish or abort instead of leaking the accept goroutine.
+package obshttp
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Server is a running debug listener.
+type Server struct {
+	srv  *http.Server
+	addr string
+	done chan struct{}
+	err  error
+}
+
+// Start listens on addr and serves mux in the background. Unlike a
+// bare http.ListenAndServe it binds synchronously — a bad address
+// fails here, not in a goroutine's log output — and arms
+// ReadHeaderTimeout so a half-open scrape connection cannot pin the
+// process.
+func Start(addr string, mux http.Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		srv: &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+		addr: ln.Addr().String(),
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		if err := s.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.err = err
+		}
+	}()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.addr }
+
+// Close shuts the listener down, giving in-flight scrapes a short
+// grace period before hard-closing. Safe on a nil receiver so exit
+// paths can call it unconditionally.
+func (s *Server) Close() {
+	if s == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		s.srv.Close()
+	}
+	<-s.done
+}

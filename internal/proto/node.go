@@ -11,6 +11,7 @@ import (
 	"repro/internal/migration"
 	"repro/internal/stats"
 	"repro/internal/syncmgr"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/twindiff"
 	"repro/internal/wire"
@@ -37,6 +38,12 @@ type Node struct {
 	// its ring. Every call site nil-guards, so a disabled recorder costs
 	// one branch.
 	Flight *flight.Recorder
+	// Tel, when non-nil, is the hot-object telemetry sink: the same
+	// hook sites that feed the flight recorder also count per-object
+	// accesses and migration decisions into its space-saving sketch.
+	// Like Flight it is pure observation — it never feeds back into
+	// protocol decisions — and every call site nil-guards.
+	Tel *telemetry.Sink
 
 	Cache    []*memory.Object // local copy (home or cached) per object
 	IsHome   []bool
@@ -214,6 +221,9 @@ func (n *Node) serveFault(msg wire.Msg) {
 	if f := n.Flight; f != nil {
 		f.Record(flight.Event{Kind: flight.Request, Obj: obj, Peer: requester, Hops: int32(msg.Hops)})
 	}
+	if t := n.Tel; t != nil {
+		t.Record(obj, telemetry.RemoteFault)
+	}
 
 	o := n.Cache[obj]
 	data := twindiff.TwinInto(&n.Pool, o.Data)
@@ -248,7 +258,7 @@ func (n *Node) serveFault(msg wire.Msg) {
 	}
 	wants := n.S.Policy.ShouldMigrate(st, requester, sharers)
 	pinned := wants && n.ViewPins[obj] > 0
-	if f := n.Flight; f != nil {
+	if n.Flight != nil || n.Tel != nil {
 		// Explain the verdict before st.Migrate resets the epoch
 		// feedback — the Decision event carries the counter/threshold
 		// pair the heuristic actually compared.
@@ -257,13 +267,21 @@ func (n *Node) serveFault(msg wire.Msg) {
 		if pinned {
 			reason = migration.ReasonPinned
 		}
-		f.Record(flight.Event{
-			Kind: flight.Decision, Obj: obj, Peer: requester,
-			Migrated: wants && !pinned, Reason: reason,
-			Count: ex.Count, Limit: ex.Limit,
-		})
+		if f := n.Flight; f != nil {
+			f.Record(flight.Event{
+				Kind: flight.Decision, Obj: obj, Peer: requester,
+				Migrated: wants && !pinned, Reason: reason,
+				Count: ex.Count, Limit: ex.Limit,
+			})
+		}
+		if t := n.Tel; t != nil {
+			t.Decision(reason, wants && !pinned)
+		}
 	}
 	if wants && !pinned {
+		if t := n.Tel; t != nil {
+			t.Record(obj, telemetry.ObjMigration)
+		}
 		rec := st.Migrate(n.S.Params)
 		reply.Migrate, reply.HasRec, reply.Rec, reply.Home = true, true, rec, requester
 		cs.Migrations++
@@ -383,6 +401,9 @@ func (n *Node) applyRemoteDiff(obj memory.ObjectID, d twindiff.Diff, writer memo
 	}
 	if f := n.Flight; f != nil {
 		f.Record(flight.Event{Kind: flight.RemoteWrite, Obj: obj, Peer: writer, Bytes: int32(d.WireSize())})
+	}
+	if t := n.Tel; t != nil {
+		t.Record(obj, telemetry.RemoteWrite)
 	}
 	// After a write by writer, every other cached copy is stale under LRC;
 	// approximate the copyset as {writer} (it certainly has a current copy).
@@ -590,6 +611,10 @@ func (n *Node) applyAssign(a wire.HomeAssign) {
 				Kind: flight.Decision, Obj: a.Obj, Peer: a.Home,
 				Migrated: true, Reason: migration.ReasonBarrierReassign,
 			})
+		}
+		if t := n.Tel; t != nil {
+			t.Decision(migration.ReasonBarrierReassign, true)
+			t.Record(a.Obj, telemetry.ObjMigration)
 		}
 		n.demote(a.Obj, a.Home)
 		// Leave a forwarding pointer like a fault-time migration would:

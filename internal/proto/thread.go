@@ -10,6 +10,7 @@ import (
 	"repro/internal/memory"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/twindiff"
 	"repro/internal/wire"
@@ -77,6 +78,9 @@ func (n *Node) ReadCheck(obj memory.ObjectID) (o *memory.Object, trapped bool) {
 			if f := n.Flight; f != nil {
 				f.Record(flight.Event{Kind: flight.HomeRead, Obj: obj})
 			}
+			if t := n.Tel; t != nil {
+				t.Record(obj, telemetry.HomeRead)
+			}
 			o.State = memory.ReadOnly
 			return o, true
 		}
@@ -108,6 +112,9 @@ func (n *Node) WriteCheck(obj memory.ObjectID) (o *memory.Object, trapped bool) 
 			}
 			if f := n.Flight; f != nil {
 				f.Record(flight.Event{Kind: flight.HomeWrite, Obj: obj})
+			}
+			if t := n.Tel; t != nil {
+				t.Record(obj, telemetry.HomeWrite)
 			}
 			n.NoteMyWrite(obj)
 			o.State = memory.ReadWrite

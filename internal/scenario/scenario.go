@@ -41,6 +41,7 @@ import (
 	"repro/internal/prng"
 	"repro/internal/proto"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Family names an access-pattern family.
@@ -508,6 +509,10 @@ type RunOpts struct {
 	// flight events with attribution when the run ends through the abort
 	// path — the chaos post-mortem. Needs FlightCap.
 	FlightDump io.Writer
+	// Telemetry, when non-nil, is a hot-object sink the engine's nodes
+	// feed (internal/telemetry). Pure observation on either engine: a
+	// seeded sim run's digest is identical with and without it.
+	Telemetry *telemetry.Sink
 }
 
 // flightDumpN is how many trailing events per node an abort dumps.
@@ -545,6 +550,7 @@ func (p *Program) Run(pol migration.Policy, opts RunOpts) (*Result, error) {
 		cfg.DropDiffs = opts.DropDiffs
 		cfg.Observer = rec
 		cfg.FlightCap = opts.FlightCap
+		cfg.Telemetry = opts.Telemetry
 		gc := gos.New(cfg)
 		flights = liveFlights(gc.FlightRecorders())
 		c = gc
@@ -555,6 +561,7 @@ func (p *Program) Run(pol migration.Policy, opts RunOpts) (*Result, error) {
 		cfg.DropDiffs = opts.DropDiffs
 		cfg.Observer = rec
 		cfg.FlightCap = opts.FlightCap
+		cfg.Telemetry = opts.Telemetry
 		var ft *faulty.Transport
 		if opts.Faults != nil {
 			ft = faulty.Wrap(transport.NewChanLoop(p.Nodes), p.Nodes, *opts.Faults)

@@ -91,3 +91,63 @@ func TestSummaryRendersHistsOnlyWhenPopulated(t *testing.T) {
 		}
 	}
 }
+
+// Satellite edge cases: the telemetry path renders quantiles off merged
+// and sometimes-empty histograms, so the corners must hold exactly.
+
+func TestHistQuantileEmpty(t *testing.T) {
+	var h Hist
+	for _, q := range []float64{0.01, 0.5, 0.99, 1.0} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("Quantile(%v) on empty hist = %v, want 0", q, got)
+		}
+	}
+}
+
+func TestHistQuantileOverflowBucket(t *testing.T) {
+	// Samples past the bucket range saturate into the last bucket; every
+	// quantile must then report that bucket's upper bound — never
+	// something past the histogram's range.
+	var h Hist
+	h.Observe(int64(1) << 62)
+	h.Observe((int64(1) << 62) + 12345)
+	want := time.Duration(int64(1) << (HistBuckets - 1))
+	for _, q := range []float64{0.5, 0.99, 1.0} {
+		if got := h.Quantile(q); got != want {
+			t.Fatalf("Quantile(%v) = %v, want saturated bound %v", q, got, want)
+		}
+	}
+}
+
+func TestHistQuantileStableUnderMerge(t *testing.T) {
+	// Two heavily skewed histograms — one all-fast, one all-slow. The
+	// merged quantiles must be identical regardless of merge order, and
+	// the median of the symmetric merge must sit in the fast mode while
+	// the tail reports the slow mode.
+	fast, slow := &Hist{}, &Hist{}
+	for i := 0; i < 1000; i++ {
+		fast.Observe(100) // bucket 7, bound 128ns
+	}
+	for i := 0; i < 10; i++ {
+		slow.Observe(1 << 20) // bucket 21, bound ~2ms
+	}
+	ab, ba := &Hist{}, &Hist{}
+	ab.Add(fast)
+	ab.Add(slow)
+	ba.Add(slow)
+	ba.Add(fast)
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999, 1.0} {
+		if ab.Quantile(q) != ba.Quantile(q) {
+			t.Fatalf("merge order changed Quantile(%v): %v vs %v", q, ab.Quantile(q), ba.Quantile(q))
+		}
+	}
+	if got := ab.Quantile(0.5); got != 128*time.Nanosecond {
+		t.Fatalf("merged p50 = %v, want 128ns (the fast mode)", got)
+	}
+	if got := ab.Quantile(1.0); got != time.Duration(int64(1)<<21) {
+		t.Fatalf("merged p100 = %v, want %v (the slow mode)", got, time.Duration(int64(1)<<21))
+	}
+	if ab.Count() != 1010 {
+		t.Fatalf("merged Count = %d, want 1010", ab.Count())
+	}
+}

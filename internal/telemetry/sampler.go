@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Sampler snapshots a registry's scalar metrics into fixed-capacity
+// ring time-series. It never reads a clock: the caller passes each
+// tick's timestamp (wall nanos in dsmnode, anything monotone in
+// tests), which keeps the package free of wall-clock sources.
+//
+// The metric set is frozen at NewSampler; scalars registered later are
+// not sampled. Tick is allocation-free: it writes into rings allocated
+// up front.
+type Sampler struct {
+	reads []func() int64
+	names []string
+	label []string
+
+	// ring state, guarded by the registry-independent fields above
+	// being immutable after construction.
+	times []int64
+	vals  [][]int64
+	next  int
+	n     int
+}
+
+// NewSampler builds a sampler over r's current scalar metrics with a
+// ring of the given capacity (minimum 1).
+func NewSampler(r *Registry, capacity int) *Sampler {
+	if capacity < 1 {
+		capacity = 1
+	}
+	r.mu.Lock()
+	s := &Sampler{
+		reads: make([]func() int64, 0, len(r.scalars)),
+		names: make([]string, 0, len(r.scalars)),
+		label: make([]string, 0, len(r.scalars)),
+	}
+	for _, sc := range r.scalars {
+		s.reads = append(s.reads, sc.read)
+		s.names = append(s.names, sc.name)
+		s.label = append(s.label, sc.label)
+	}
+	r.mu.Unlock()
+	s.times = make([]int64, capacity)
+	s.vals = make([][]int64, len(s.reads))
+	for i := range s.vals {
+		s.vals[i] = make([]int64, capacity)
+	}
+	return s
+}
+
+// Tick records one sample of every metric at the given timestamp,
+// overwriting the oldest slot when the ring is full. Single-threaded:
+// callers drive it from one goroutine (the dsmnode telemetry loop).
+//
+//dsm:hotpath
+func (s *Sampler) Tick(now int64) {
+	s.times[s.next] = now
+	for i, read := range s.reads {
+		s.vals[i][s.next] = read()
+	}
+	s.next++
+	if s.next == len(s.times) {
+		s.next = 0
+	}
+	if s.n < len(s.times) {
+		s.n++
+	}
+}
+
+// Len returns the number of samples currently held.
+func (s *Sampler) Len() int { return s.n }
+
+// Series is one metric's sampled values, aligned with TimeSeries.Times.
+type Series struct {
+	Name   string  `json:"name"`
+	Label  string  `json:"label,omitempty"`
+	Values []int64 `json:"values"`
+}
+
+// TimeSeries is the -metrics-json artifact schema: timestamps plus one
+// value row per metric, oldest sample first.
+type TimeSeries struct {
+	Times  []int64  `json:"times"`
+	Series []Series `json:"series"`
+}
+
+// Series unrolls the rings into chronological order.
+func (s *Sampler) Series() TimeSeries {
+	ts := TimeSeries{
+		Times:  make([]int64, 0, s.n),
+		Series: make([]Series, len(s.reads)),
+	}
+	start := 0
+	if s.n == len(s.times) {
+		start = s.next
+	}
+	for k := 0; k < s.n; k++ {
+		ts.Times = append(ts.Times, s.times[(start+k)%len(s.times)])
+	}
+	for i := range s.reads {
+		vals := make([]int64, 0, s.n)
+		for k := 0; k < s.n; k++ {
+			vals = append(vals, s.vals[i][(start+k)%len(s.times)])
+		}
+		ts.Series[i] = Series{Name: s.names[i], Label: s.label[i], Values: vals}
+	}
+	return ts
+}
+
+// WriteJSON writes the time-series artifact.
+func (s *Sampler) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.Series())
+}

@@ -1,0 +1,210 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/memory"
+	"repro/internal/migration"
+)
+
+// AccessKind classifies one protocol-level object access, mirroring
+// the flight-recorder hook sites the sink is fed from.
+type AccessKind uint8
+
+const (
+	// HomeRead is a trapped read at the home copy.
+	HomeRead AccessKind = iota
+	// HomeWrite is a trapped write at the home copy.
+	HomeWrite
+	// RemoteFault is a fault-in request arriving at the home from a
+	// remote node (the trace classifier's Request events).
+	RemoteFault
+	// RemoteWrite is a remote diff applied at the home.
+	RemoteWrite
+	// ObjMigration is a home migration of the object.
+	ObjMigration
+	// NumAccessKinds bounds the per-kind count array.
+	NumAccessKinds
+)
+
+var accessKindNames = [NumAccessKinds]string{
+	"home_read", "home_write", "remote_fault", "remote_write", "migration",
+}
+
+// String names the kind for Prometheus labels.
+func (k AccessKind) String() string {
+	if k < NumAccessKinds {
+		return accessKindNames[k]
+	}
+	return "unknown"
+}
+
+// TopEntry is one object in the hot-set report. Count is the
+// space-saving estimate of total accesses (migrations excluded); Err
+// bounds its overestimation. The true count lies in [Count-Err, Count].
+type TopEntry struct {
+	Obj   memory.ObjectID
+	Count uint64
+	Err   uint64
+	Kinds [NumAccessKinds]uint64
+}
+
+// Remote returns the remote-access share of the entry's observed
+// accesses in [0,1] — the imbalance signal an adaptive policy reads.
+func (e TopEntry) Remote() float64 {
+	total := e.Kinds[HomeRead] + e.Kinds[HomeWrite] + e.Kinds[RemoteFault] + e.Kinds[RemoteWrite]
+	if total == 0 {
+		return 0
+	}
+	return float64(e.Kinds[RemoteFault]+e.Kinds[RemoteWrite]) / float64(total)
+}
+
+// DefaultTopK is the sketch width used when callers pass k <= 0:
+// enough to hold every object exactly in the scenario families, small
+// enough that the worst-case eviction scan stays cheap.
+const DefaultTopK = 64
+
+// Sink is a space-saving (Metwally et al.) top-K sketch over object
+// accesses plus migration-decision counters. Engines hold it as a
+// nil-when-disabled pointer behind the same guard idiom as the flight
+// recorder; Record and Decision are the hot-path entry points and stay
+// allocation-free in steady state.
+type Sink struct {
+	mu       sync.Mutex
+	k        int
+	idx      map[memory.ObjectID]int
+	entries  []entry
+	total    uint64
+	migrated [migration.NumReasons]int64
+	stayed   [migration.NumReasons]int64
+}
+
+type entry struct {
+	obj   memory.ObjectID
+	count uint64
+	err   uint64
+	kinds [NumAccessKinds]uint64
+}
+
+// NewSink creates a sketch tracking at most k objects exactly-ish;
+// k <= 0 means DefaultTopK.
+func NewSink(k int) *Sink {
+	if k <= 0 {
+		k = DefaultTopK
+	}
+	return &Sink{
+		k:       k,
+		idx:     make(map[memory.ObjectID]int, k),
+		entries: make([]entry, 0, k),
+	}
+}
+
+// Record counts one access. Monitored objects increment in place; an
+// unmonitored object evicts the current minimum, inheriting its count
+// as the overestimation error (the space-saving update rule).
+//
+//dsm:hotpath
+func (s *Sink) Record(obj memory.ObjectID, kind AccessKind) {
+	s.mu.Lock()
+	if kind != ObjMigration {
+		s.total++
+	}
+	if i, ok := s.idx[obj]; ok {
+		e := &s.entries[i]
+		if kind != ObjMigration {
+			e.count++
+		}
+		e.kinds[kind]++
+		s.mu.Unlock()
+		return
+	}
+	if len(s.entries) < s.k {
+		s.entries = append(s.entries, entry{obj: obj})
+		i := len(s.entries) - 1
+		s.idx[obj] = i
+		e := &s.entries[i]
+		if kind != ObjMigration {
+			e.count++
+		}
+		e.kinds[kind]++
+		s.mu.Unlock()
+		return
+	}
+	// Evict the minimum-count entry. Linear scan: k is small and this
+	// only runs on sketch misses.
+	min := 0
+	for i := 1; i < len(s.entries); i++ {
+		if s.entries[i].count < s.entries[min].count {
+			min = i
+		}
+	}
+	e := &s.entries[min]
+	delete(s.idx, e.obj)
+	s.idx[obj] = min
+	e.err = e.count
+	e.obj = obj
+	for i := range e.kinds {
+		e.kinds[i] = 0
+	}
+	if kind != ObjMigration {
+		e.count++
+	}
+	e.kinds[kind]++
+	s.mu.Unlock()
+}
+
+// Decision counts one migration.Explain outcome by reason.
+//
+//dsm:hotpath
+func (s *Sink) Decision(reason migration.Reason, migrated bool) {
+	if reason < 0 || reason >= migration.NumReasons {
+		return
+	}
+	s.mu.Lock()
+	if migrated {
+		s.migrated[reason]++
+	} else {
+		s.stayed[reason]++
+	}
+	s.mu.Unlock()
+}
+
+// Total returns the number of recorded accesses (migrations excluded).
+func (s *Sink) Total() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Top returns the n hottest monitored objects, sorted by estimated
+// count descending (object id ascending on ties, so reports are
+// deterministic). n <= 0 returns all monitored objects.
+func (s *Sink) Top(n int) []TopEntry {
+	s.mu.Lock()
+	out := make([]TopEntry, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, TopEntry{Obj: e.obj, Count: e.count, Err: e.err, Kinds: e.kinds})
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Obj < out[j].Obj
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Decisions returns copies of the per-reason migration-decision
+// counters, indexed by migration.Reason ordinal.
+func (s *Sink) Decisions() (migrated, stayed []int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	migrated = append([]int64(nil), s.migrated[:]...)
+	stayed = append([]int64(nil), s.stayed[:]...)
+	return migrated, stayed
+}

@@ -1,0 +1,23 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// EncodeSnapshot serializes a snapshot for the transport's telemetry
+// frame channel.
+func EncodeSnapshot(s Snapshot) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeSnapshot parses a snapshot shipped by EncodeSnapshot.
+func DecodeSnapshot(b []byte) (Snapshot, error) {
+	var s Snapshot
+	err := gob.NewDecoder(bytes.NewReader(b)).Decode(&s)
+	return s, err
+}

@@ -1,0 +1,223 @@
+// Package telemetry is the live observability substrate: a zero-alloc
+// metric registry (counters, gauges, bridges to stats.Hist), a
+// fixed-interval sampler that snapshots registered metrics into
+// fixed-capacity ring time-series (sampler.go), and a space-saving
+// top-K sketch of per-object access behavior (sink.go) fed from the
+// same nil-guarded observer hook sites as the flight recorder.
+//
+// The package never reads the wall clock and never feeds back into
+// protocol decisions: the sampler takes its timestamps from the
+// caller, so the deterministic engines can carry a Sink without
+// perturbing digests, and detlint holds this package to the same
+// no-wall-clock bar as the simulation core.
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/stats"
+)
+
+// Kind classifies a scalar metric for Prometheus TYPE lines.
+type Kind uint8
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+)
+
+// String returns the Prometheus TYPE keyword.
+func (k Kind) String() string {
+	if k == KindCounter {
+		return "counter"
+	}
+	return "gauge"
+}
+
+// Counter is a monotonically increasing metric backed by one atomic.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+//
+//dsm:hotpath
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+//
+//dsm:hotpath
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is a point-in-time value backed by one atomic.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+//
+//dsm:hotpath
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds n (gauges may go down).
+//
+//dsm:hotpath
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// scalar is one registered scalar metric: a name, metadata, and a
+// read function that must be cheap and safe to call concurrently with
+// the code being measured (atomics, or a read under the owner's lock).
+type scalar struct {
+	name  string
+	help  string
+	label string // extra label fragment, e.g. `peer="2"`; "" for none
+	kind  Kind
+	read  func() int64
+}
+
+// histogram is one registered stats.Hist bridge. fill must write a
+// consistent snapshot of the histogram into dst (taking whatever lock
+// guards the source buckets).
+type histogram struct {
+	name  string
+	help  string
+	label string
+	fill  func(dst *stats.Hist)
+}
+
+// Registry holds the metrics one node exposes. Registration happens at
+// startup; reads (Snapshot, Sampler.Tick) may run concurrently with
+// the metrics being updated.
+type Registry struct {
+	node   int
+	common string // label fragment stamped on every series, e.g. `policy="AT"`
+
+	mu      sync.Mutex
+	scalars []scalar
+	hists   []histogram
+	sink    *Sink
+}
+
+// NewRegistry creates a registry for one node. common is a label
+// fragment (`policy="AT"`) rendered on every series this node exports;
+// it may be empty.
+func NewRegistry(node int, common string) *Registry {
+	return &Registry{node: node, common: common}
+}
+
+// Node returns the owning node's id.
+func (r *Registry) Node() int { return r.node }
+
+// Counter registers and returns a new counter.
+func (r *Registry) Counter(name, help, label string) *Counter {
+	c := &Counter{}
+	r.CounterFunc(name, help, label, c.Load)
+	return c
+}
+
+// Gauge registers and returns a new gauge.
+func (r *Registry) Gauge(name, help, label string) *Gauge {
+	g := &Gauge{}
+	r.GaugeFunc(name, help, label, g.Load)
+	return g
+}
+
+// CounterFunc registers a counter whose value comes from read.
+func (r *Registry) CounterFunc(name, help, label string, read func() int64) {
+	r.register(scalar{name: name, help: help, label: label, kind: KindCounter, read: read})
+}
+
+// GaugeFunc registers a gauge whose value comes from read.
+func (r *Registry) GaugeFunc(name, help, label string, read func() int64) {
+	r.register(scalar{name: name, help: help, label: label, kind: KindGauge, read: read})
+}
+
+func (r *Registry) register(s scalar) {
+	r.mu.Lock()
+	r.scalars = append(r.scalars, s)
+	r.mu.Unlock()
+}
+
+// HistFunc registers a latency histogram bridge. fill is called with a
+// zeroed stats.Hist on every snapshot.
+func (r *Registry) HistFunc(name, help, label string, fill func(dst *stats.Hist)) {
+	r.mu.Lock()
+	r.hists = append(r.hists, histogram{name: name, help: help, label: label, fill: fill})
+	r.mu.Unlock()
+}
+
+// AttachSink ties a hot-object sketch to the registry so snapshots
+// carry its top-K report and migration-decision counts.
+func (r *Registry) AttachSink(s *Sink) {
+	r.mu.Lock()
+	r.sink = s
+	r.mu.Unlock()
+}
+
+// Sample is one scalar value in a snapshot.
+type Sample struct {
+	Name  string
+	Help  string
+	Label string
+	Kind  Kind
+	Value int64
+}
+
+// HistSample is one histogram in a snapshot: raw log2 buckets, to be
+// rendered as cumulative Prometheus buckets by WriteProm.
+type HistSample struct {
+	Name    string
+	Help    string
+	Label   string
+	Buckets [stats.HistBuckets]int64
+}
+
+// Snapshot is one node's metric state at one instant — the compact
+// unit members ship to node 0 over the telemetry frame channel.
+type Snapshot struct {
+	Node    int
+	Common  string
+	Samples []Sample
+	Hists   []HistSample
+	TopK    []TopEntry
+	// Migrated/Stayed count migration.Explain outcomes by
+	// migration.Reason ordinal.
+	Migrated []int64
+	Stayed   []int64
+}
+
+// Snapshot reads every registered metric. It allocates (it is the
+// cold path: shipping and exposition), but perturbs the measured code
+// only by the read functions' own locking.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap := Snapshot{
+		Node:    r.node,
+		Common:  r.common,
+		Samples: make([]Sample, 0, len(r.scalars)),
+		Hists:   make([]HistSample, 0, len(r.hists)),
+	}
+	for _, s := range r.scalars {
+		snap.Samples = append(snap.Samples, Sample{
+			Name: s.name, Help: s.help, Label: s.label, Kind: s.kind, Value: s.read(),
+		})
+	}
+	for _, h := range r.hists {
+		var tmp stats.Hist
+		h.fill(&tmp)
+		hs := HistSample{Name: h.name, Help: h.help, Label: h.label}
+		for b, c := range tmp.Bucket {
+			hs.Buckets[b] = c
+		}
+		snap.Hists = append(snap.Hists, hs)
+	}
+	if r.sink != nil {
+		snap.TopK = r.sink.Top(0)
+		snap.Migrated, snap.Stayed = r.sink.Decisions()
+	}
+	return snap
+}
